@@ -1,0 +1,93 @@
+// Experiment A1 (DESIGN.md): ablations of the rewriting engine's design
+// choices —
+//   * intermediate CQ minimization (without it, recursive-but-harmless
+//     programs like PaperExample1 do not even terminate — demonstrated in
+//     tests/rewriter_test.cc, AblationIntermediateReduction — so only the
+//     terminating toggles are swept here);
+//   * factorization (needed for completeness, costs extra candidates);
+//   * final UCQ minimization (smaller output, extra containment checks).
+// Counters report the generated/final CQ counts so the quality impact is
+// visible next to the time.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "base/logging.h"
+#include "logic/parser.h"
+#include "rewriting/rewriter.h"
+#include "workload/generators.h"
+#include "workload/paper_examples.h"
+#include "workload/university.h"
+
+namespace ontorew {
+namespace {
+
+ConjunctiveQuery MustQuery(const char* text, Vocabulary* vocab) {
+  StatusOr<ConjunctiveQuery> query = ParseQuery(text, vocab);
+  OREW_CHECK(query.ok()) << query.status();
+  return *std::move(query);
+}
+
+void RunConfig(benchmark::State& state, const TgdProgram& program,
+               const ConjunctiveQuery& query, bool factorize,
+               bool minimize) {
+  RewriterOptions options;
+  options.factorize = factorize;
+  options.minimize = minimize;
+  int generated = 0, disjuncts = 0;
+  for (auto _ : state) {
+    StatusOr<RewriteResult> result = RewriteCq(query, program, options);
+    OREW_CHECK(result.ok()) << result.status();
+    generated = result->generated;
+    disjuncts = result->ucq.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["generated"] = generated;
+  state.counters["disjuncts"] = disjuncts;
+}
+
+// University, the join query used by the C3 experiment.
+void BM_AblationUniversity(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  ConjunctiveQuery query = MustQuery(
+      "q(S) :- enrolled(S, C), teaches(T, C), faculty(T).", &vocab);
+  RunConfig(state, ontology, query, state.range(0) != 0,
+            state.range(1) != 0);
+}
+BENCHMARK(BM_AblationUniversity)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->ArgNames({"factorize", "minimize"});
+
+// The paper's Example 1 (recursive but harmless).
+void BM_AblationExample1(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample1(&vocab);
+  ConjunctiveQuery query = MustQuery("q(X, Y) :- r(X, Y).", &vocab);
+  RunConfig(state, program, query, state.range(0) != 0,
+            state.range(1) != 0);
+}
+BENCHMARK(BM_AblationExample1)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->ArgNames({"factorize", "minimize"});
+
+// Chain ontology, deep hierarchy.
+void BM_AblationChain(benchmark::State& state) {
+  Vocabulary vocab;
+  const int depth = 64;
+  TgdProgram program = ChainFamily(depth, 1, &vocab);
+  ConjunctiveQuery query = MustQuery(
+      (std::string("q(X0) :- p") + std::to_string(depth) + "(X0).").c_str(),
+      &vocab);
+  RunConfig(state, program, query, state.range(0) != 0,
+            state.range(1) != 0);
+}
+BENCHMARK(BM_AblationChain)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->ArgNames({"factorize", "minimize"});
+
+}  // namespace
+}  // namespace ontorew
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Experiment C6 (DESIGN.md): chase behaviour backdrop for the paper's OWA
+// semantics (Section 3) — restricted vs. oblivious variants, growth with
+// instance size, and divergence detection on the non-terminating
+// person/parent pattern.
+
+#include <benchmark/benchmark.h>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "logic/parser.h"
+#include "chase/chase.h"
+#include "workload/generators.h"
+#include "workload/paper_examples.h"
+#include "workload/university.h"
+
+namespace ontorew {
+namespace {
+
+void BM_RestrictedChaseUniversity(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(5);
+  UniversityInstanceOptions options;
+  options.num_students = 20 * static_cast<int>(state.range(0));
+  options.num_phd_students = 2 * static_cast<int>(state.range(0));
+  Database db = UniversityInstance(options, &rng, &vocab);
+  int output_tuples = 0;
+  for (auto _ : state) {
+    ChaseResult result = RunChase(ontology, db);
+    OREW_CHECK(result.terminated);
+    output_tuples = result.db.TotalTuples();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["input_tuples"] = db.TotalTuples();
+  state.counters["output_tuples"] = output_tuples;
+}
+BENCHMARK(BM_RestrictedChaseUniversity)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_ObliviousChaseUniversity(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(5);
+  UniversityInstanceOptions options;
+  options.num_students = 20 * static_cast<int>(state.range(0));
+  Database db = UniversityInstance(options, &rng, &vocab);
+  ChaseOptions chase_options;
+  chase_options.variant = ChaseOptions::Variant::kOblivious;
+  int output_tuples = 0;
+  for (auto _ : state) {
+    ChaseResult result = RunChase(ontology, db, chase_options);
+    OREW_CHECK(result.terminated);
+    output_tuples = result.db.TotalTuples();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["input_tuples"] = db.TotalTuples();
+  state.counters["output_tuples"] = output_tuples;
+}
+BENCHMARK(BM_ObliviousChaseUniversity)->RangeMultiplier(4)->Range(1, 16);
+
+// Divergence: the person/parent pattern chases forever (each null spawns
+// another); measure the cost of running into the tuple cap (the sweep
+// parameter). Note Example 2 is NOT used here: although it is not
+// FO-rewritable, its chase terminates per instance (see EXPERIMENTS.md).
+void BM_ChaseDivergenceDetection(benchmark::State& state) {
+  Vocabulary vocab;
+  StatusOr<TgdProgram> parsed = ParseProgram(
+      "person(X) -> parent(X, Y).\nparent(X, Y) -> person(Y).\n", &vocab);
+  OREW_CHECK(parsed.ok());
+  TgdProgram program = *std::move(parsed);
+  Database db;
+  db.Insert(vocab.FindPredicate("person"),
+            {Value::Constant(vocab.InternConstant("eve"))});
+  ChaseOptions options;
+  options.max_tuples = static_cast<int>(state.range(0));
+  options.max_rounds = 100000;
+  for (auto _ : state) {
+    ChaseResult result = RunChase(program, db, options);
+    OREW_CHECK(!result.terminated);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ChaseDivergenceDetection)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_ChaseLadder(benchmark::State& state) {
+  // Ladder ontologies: chase depth equals the ladder height.
+  Vocabulary vocab;
+  TgdProgram program = LadderFamily(static_cast<int>(state.range(0)), &vocab);
+  Database db;
+  db.Insert(vocab.FindPredicate("c0"),
+            {Value::Constant(vocab.InternConstant("seed"))});
+  for (auto _ : state) {
+    ChaseResult result = RunChase(program, db);
+    OREW_CHECK(result.terminated);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChaseLadder)->RangeMultiplier(2)->Range(4, 128)->Complexity();
+
+}  // namespace
+}  // namespace ontorew
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Experiment C4 (DESIGN.md): cost and size of UCQ rewriting across the
+// FO-rewritable classes (the operational side of the paper's [10]).
+// Reported counters: disjuncts in the final UCQ and CQs generated during
+// saturation. Expected shape: linear growth along hierarchy depth for
+// DL-Lite-style ontologies; growth with query size for composition
+// ontologies; constant-ish for the fixed paper examples.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "base/logging.h"
+#include "logic/parser.h"
+#include "logic/vocabulary.h"
+#include "rewriting/rewriter.h"
+#include "workload/generators.h"
+#include "workload/paper_examples.h"
+#include "workload/university.h"
+
+namespace ontorew {
+namespace {
+
+ConjunctiveQuery MustQuery(const char* text, Vocabulary* vocab) {
+  StatusOr<ConjunctiveQuery> query = ParseQuery(text, vocab);
+  OREW_CHECK(query.ok()) << query.status();
+  return *std::move(query);
+}
+
+// Rewriting q(X) :- p_n(X) against a chain of depth n: the UCQ has n + 1
+// disjuncts; time should grow polynomially with n.
+void BM_RewriteChainDepth(benchmark::State& state) {
+  Vocabulary vocab;
+  int n = static_cast<int>(state.range(0));
+  TgdProgram program = ChainFamily(n, /*arity=*/1, &vocab);
+  ConjunctiveQuery query =
+      MustQuery((std::string("q(X0) :- p") + std::to_string(n) + "(X0).")
+                    .c_str(),
+                &vocab);
+  int disjuncts = 0;
+  for (auto _ : state) {
+    StatusOr<RewriteResult> result = RewriteCq(query, program);
+    OREW_CHECK(result.ok()) << result.status();
+    disjuncts = result->ucq.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["disjuncts"] = disjuncts;
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RewriteChainDepth)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity();
+
+// Rewriting over the university ontology with increasing query size.
+void BM_RewriteUniversityQuerySize(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  std::string body = "person(X0)";
+  for (int i = 1; i < state.range(0); ++i) {
+    body += ", person(X" + std::to_string(i) + ")";
+    body += ", knows(X" + std::to_string(i - 1) + ", X" +
+            std::to_string(i) + ")";
+  }
+  ConjunctiveQuery query =
+      MustQuery(("q(X0) :- " + body + ".").c_str(), &vocab);
+  // The UCQ rewriting is exponential in the number of ontology atoms in
+  // the query (each person-atom multiplies the union by its 10
+  // unfoldings): give the saturation room.
+  RewriterOptions options;
+  options.max_cqs = 300000;
+  int disjuncts = 0, generated = 0;
+  for (auto _ : state) {
+    StatusOr<RewriteResult> result = RewriteCq(query, ontology, options);
+    OREW_CHECK(result.ok()) << result.status();
+    disjuncts = result->ucq.size();
+    generated = result->generated;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["disjuncts"] = disjuncts;
+  state.counters["generated"] = generated;
+}
+BENCHMARK(BM_RewriteUniversityQuerySize)->DenseRange(1, 3, 1);
+
+// The paper's Example 1 and Example 3 rewritings (fixed size).
+void BM_RewritePaperExample1(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample1(&vocab);
+  ConjunctiveQuery query = MustQuery("q(X, Y) :- r(X, Y).", &vocab);
+  for (auto _ : state) {
+    StatusOr<RewriteResult> result = RewriteCq(query, program);
+    OREW_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RewritePaperExample1);
+
+void BM_RewritePaperExample3(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample3(&vocab);
+  ConjunctiveQuery query = MustQuery("q(X) :- t(X, Y, Z).", &vocab);
+  for (auto _ : state) {
+    StatusOr<RewriteResult> result = RewriteCq(query, program);
+    OREW_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RewritePaperExample3);
+
+// Divergence detection cost on Example 2 (bounded by max_cqs).
+void BM_RewriteExample2DivergenceCap(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  ConjunctiveQuery query = MustQuery("q() :- r(\"a\", X).", &vocab);
+  RewriterOptions options;
+  options.max_cqs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    StatusOr<RewriteResult> result = RewriteCq(query, program, options);
+    OREW_CHECK(!result.ok());  // Always hits the cap.
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RewriteExample2DivergenceCap)->Arg(100)->Arg(400)->Arg(1600);
+
+}  // namespace
+}  // namespace ontorew
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Experiment C1 (DESIGN.md): "establishing whether a set of TGDs is SWR is
+// in PTIME" (paper, Section 5). Measures the SWR membership test — position
+// graph construction + labeled cycle analysis — across program families and
+// sizes. Expected shape: near-linear growth in the number of rules.
+
+#include <benchmark/benchmark.h>
+
+#include "core/swr.h"
+#include "logic/vocabulary.h"
+#include "workload/generators.h"
+
+namespace ontorew {
+namespace {
+
+void BM_SwrCheckChain(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program = ChainFamily(static_cast<int>(state.range(0)),
+                                   /*arity=*/2, &vocab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSwr(program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SwrCheckChain)->RangeMultiplier(2)->Range(16, 4096)->Complexity();
+
+void BM_SwrCheckLadder(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program = LadderFamily(static_cast<int>(state.range(0)), &vocab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSwr(program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SwrCheckLadder)->RangeMultiplier(2)->Range(16, 2048)->Complexity();
+
+void BM_SwrCheckComposition(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program =
+      CompositionFamily(static_cast<int>(state.range(0)), &vocab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSwr(program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SwrCheckComposition)
+    ->RangeMultiplier(2)
+    ->Range(16, 2048)
+    ->Complexity();
+
+void BM_SwrCheckRandomSimple(benchmark::State& state) {
+  Vocabulary vocab;
+  Rng rng(1234);
+  RandomProgramOptions options;
+  options.num_rules = static_cast<int>(state.range(0));
+  options.num_predicates = options.num_rules / 2 + 2;
+  options.max_arity = 3;
+  options.max_body_atoms = 3;
+  options.existential_prob = 0.3;
+  TgdProgram program = RandomProgram(options, &rng, &vocab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSwr(program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SwrCheckRandomSimple)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Complexity();
+
+}  // namespace
+}  // namespace ontorew
+
+BENCHMARK_MAIN();

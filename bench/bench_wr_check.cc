@@ -1,0 +1,113 @@
+// Experiment C2 (DESIGN.md): the paper's Section 7 observation that the
+// membership test "rises from PTIME to PSPACE" for WR. Measures the P-node
+// graph saturation + cycle analysis: polynomial on the benign families,
+// combinatorial in the arity on the stress family (the P-atom alphabet
+// {z, x1..xk} grows with the maximal arity k).
+
+#include <benchmark/benchmark.h>
+
+#include "base/logging.h"
+
+#include "core/pnode_graph.h"
+#include "core/query_analysis.h"
+#include "core/wr.h"
+#include "logic/parser.h"
+#include "logic/vocabulary.h"
+#include "workload/generators.h"
+#include "workload/paper_examples.h"
+
+namespace ontorew {
+namespace {
+
+void BM_WrCheckChain(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program =
+      ChainFamily(static_cast<int>(state.range(0)), /*arity=*/2, &vocab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsWr(program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WrCheckChain)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_WrCheckExample3Copies(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program =
+      Example3Family(static_cast<int>(state.range(0)), &vocab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsWr(program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WrCheckExample3Copies)
+    ->RangeMultiplier(2)
+    ->Range(1, 32)
+    ->Complexity();
+
+// The arity sweep: the node space of the P-node graph is exponential in
+// the maximal arity; this is the PSPACE-hardness shape. The counter
+// reports the saturated node count.
+void BM_WrCheckArityStress(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program =
+      ArityStressFamily(static_cast<int>(state.range(0)), &vocab);
+  PNodeGraphOptions options;
+  options.max_nodes = 500000;
+  int nodes = 0;
+  for (auto _ : state) {
+    StatusOr<PNodeGraph> graph = PNodeGraph::Build(program, options);
+    if (graph.ok()) nodes = graph->num_nodes();
+    benchmark::DoNotOptimize(graph);
+  }
+  state.counters["pnode_graph_nodes"] = nodes;
+}
+BENCHMARK(BM_WrCheckArityStress)->DenseRange(2, 8, 1);
+
+// C7 companion: per-query safety analysis (core/query_analysis.h) — the
+// query-seeded saturation explores only the reachable fragment, so narrow
+// queries cost much less than the full WR check.
+void BM_QuerySafetyNarrow(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program = Example2Family(static_cast<int>(state.range(0)),
+                                      &vocab);
+  StatusOr<ConjunctiveQuery> query = ParseQuery("q(X) :- t_0(X, Y).",
+                                                &vocab);
+  OREW_CHECK(query.ok());
+  for (auto _ : state) {
+    StatusOr<QuerySafetyReport> report =
+        AnalyzeQuerySafety(*query, program, vocab);
+    OREW_CHECK(report.ok());
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_QuerySafetyNarrow)->RangeMultiplier(2)->Range(1, 16);
+
+void BM_QuerySafetyWide(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program = Example2Family(static_cast<int>(state.range(0)),
+                                      &vocab);
+  StatusOr<ConjunctiveQuery> query =
+      ParseQuery("q(X, Y, Z) :- s_0(X, Y, Z).", &vocab);
+  OREW_CHECK(query.ok());
+  for (auto _ : state) {
+    StatusOr<QuerySafetyReport> report =
+        AnalyzeQuerySafety(*query, program, vocab);
+    OREW_CHECK(report.ok());
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_QuerySafetyWide)->RangeMultiplier(2)->Range(1, 16);
+
+void BM_WrCheckPaperExample2(benchmark::State& state) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsWr(program));
+  }
+}
+BENCHMARK(BM_WrCheckPaperExample2);
+
+}  // namespace
+}  // namespace ontorew
+
+BENCHMARK_MAIN();

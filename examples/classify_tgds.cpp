@@ -1,0 +1,91 @@
+// Command-line classifier: reads a TGD program (from a file argument or
+// stdin) and reports its membership in every class the library knows,
+// with witness cycles and optional DOT dumps of the position and P-node
+// graphs.
+//
+//   $ ./build/examples/classify_tgds ontology.tgd
+//   $ echo "r(X, Y) -> s(X)." | ./build/examples/classify_tgds
+//   $ ./build/examples/classify_tgds --dot ontology.tgd   # graphs too
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "classes/classifier.h"
+#include "core/pnode_graph.h"
+#include "core/position_graph.h"
+#include "core/swr.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+int main(int argc, char** argv) {
+  using namespace ontorew;
+
+  bool dump_dot = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dot") == 0) {
+      dump_dot = true;
+    } else {
+      path = argv[i];
+    }
+  }
+
+  std::string text;
+  if (path != nullptr) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  Vocabulary vocab;
+  StatusOr<TgdProgram> program = ParseProgram(text, &vocab);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("program (%d TGDs):\n%s\n\n", program->size(),
+              ToString(*program, vocab).c_str());
+
+  ClassificationReport report = Classify(*program, vocab);
+  std::printf("classification:\n%s\n", report.ToTable().c_str());
+
+  if (report.is_simple) {
+    SwrReport swr = CheckSwr(*program, vocab);
+    if (!swr.is_swr) {
+      std::printf("SWR witness cycle:\n  %s\n\n", swr.witness.c_str());
+    }
+  }
+
+  if (dump_dot) {
+    StatusOr<PositionGraph> position_graph =
+        PositionGraph::BuildUnchecked(*program);
+    if (position_graph.ok()) {
+      std::printf("position graph (DOT):\n%s\n",
+                  position_graph->ToDot(vocab).c_str());
+    }
+    StatusOr<PNodeGraph> pnode_graph = PNodeGraph::Build(*program);
+    if (pnode_graph.ok()) {
+      std::printf("P-node graph (DOT):\n%s\n",
+                  pnode_graph->ToDot(vocab).c_str());
+    } else {
+      std::printf("P-node graph unavailable: %s\n",
+                  pnode_graph.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

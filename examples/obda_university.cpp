@@ -1,0 +1,78 @@
+// OBDA over the university ontology: contrasts the three ways to answer a
+// query over an ontology + database —
+//   (1) ignore the ontology (closed-world SQL): misses implied answers;
+//   (2) materialize with the chase, then query;
+//   (3) rewrite into a UCQ and evaluate over the raw data (the paper's
+//       FO-rewritability route — no materialization, AC0 data complexity).
+//
+//   $ ./build/examples/obda_university
+
+#include <cstdio>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "db/eval.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "rewriting/rewriter.h"
+#include "workload/university.h"
+
+namespace {
+
+void Report(const char* label, const std::vector<ontorew::Tuple>& answers) {
+  std::printf("  %-28s %4zu answers\n", label, answers.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace ontorew;
+
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(2024);
+  UniversityInstanceOptions options;
+  options.num_students = 200;
+  options.num_phd_students = 20;
+  Database db = UniversityInstance(options, &rng, &vocab);
+  std::printf("university instance: %d tuples over raw predicates\n\n",
+              db.TotalTuples());
+
+  const char* queries[] = {
+      "q(X) :- person(X).",
+      "q(X) :- faculty(X).",
+      "q(X) :- advises(Y, X), phd(X).",
+      "q(S) :- enrolled(S, C), teaches(T, C), faculty(T).",
+  };
+
+  for (const char* text : queries) {
+    std::printf("query: %s\n", text);
+    StatusOr<ConjunctiveQuery> query = ParseQuery(text, &vocab);
+    OREW_CHECK(query.ok()) << query.status();
+
+    // (1) Closed world: evaluate the query body directly.
+    Report("closed-world evaluation:", Evaluate(*query, db));
+
+    // (2) Materialization: chase, then evaluate (dropping null answers).
+    StatusOr<std::vector<Tuple>> via_chase =
+        CertainAnswersViaChase(UnionOfCqs(*query), ontology, db);
+    OREW_CHECK(via_chase.ok()) << via_chase.status();
+    Report("chase + evaluation:", *via_chase);
+
+    // (3) FO rewriting: rewrite once, evaluate over the *raw* data.
+    StatusOr<RewriteResult> rewriting = RewriteCq(*query, ontology);
+    OREW_CHECK(rewriting.ok()) << rewriting.status();
+    EvalOptions drop;
+    drop.drop_tuples_with_nulls = true;
+    std::vector<Tuple> via_rewriting = Evaluate(rewriting->ucq, db, drop);
+    std::printf("  rewriting (%2d disjuncts):    %4zu answers\n",
+                rewriting->ucq.size(), via_rewriting.size());
+
+    OREW_CHECK(via_rewriting == *via_chase)
+        << "rewriting and chase disagree on " << text;
+    std::printf("  (rewriting == chase: certain answers agree)\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: define an ontology as TGDs, check that query answering is
+// FO-rewritable, rewrite a conjunctive query, and evaluate it over plain
+// data — the whole OBDA pipeline in ~60 lines.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "base/logging.h"
+#include "classes/classifier.h"
+#include "db/database.h"
+#include "db/eval.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "rewriting/rewriter.h"
+
+int main() {
+  using namespace ontorew;
+
+  // 1. The ontology: every cat is a pet, pets have owners, owners are
+  //    persons.
+  Vocabulary vocab;
+  StatusOr<TgdProgram> ontology = ParseProgram(
+      "cat(X) -> pet(X).\n"
+      "pet(X) -> ownedBy(X, Y).\n"
+      "ownedBy(X, Y) -> person(Y).\n",
+      &vocab);
+  OREW_CHECK(ontology.ok()) << ontology.status();
+  std::printf("ontology:\n%s\n\n", ToString(*ontology, vocab).c_str());
+
+  // 2. Classify it: which known FO-rewritable classes accept it?
+  ClassificationReport report = Classify(*ontology, vocab);
+  std::printf("classification:\n%s\n", report.ToTable().c_str());
+
+  // 3. The data: just two raw facts.
+  Database db;
+  db.Insert(vocab.FindPredicate("cat"),
+            {Value::Constant(vocab.InternConstant("felix"))});
+  db.Insert(vocab.FindPredicate("ownedBy"),
+            {Value::Constant(vocab.InternConstant("rex")),
+             Value::Constant(vocab.InternConstant("ada"))});
+
+  // 4. A query: who (certainly) is a person?
+  StatusOr<ConjunctiveQuery> query =
+      ParseQuery("q(X) :- person(X).", &vocab);
+  OREW_CHECK(query.ok()) << query.status();
+
+  // 5. Rewrite it against the ontology...
+  StatusOr<RewriteResult> rewriting = RewriteCq(*query, *ontology);
+  OREW_CHECK(rewriting.ok()) << rewriting.status();
+  std::printf("FO rewriting (%d disjuncts):\n%s\n\n", rewriting->ucq.size(),
+              ToString(rewriting->ucq, vocab).c_str());
+
+  // 6. ...and evaluate the rewriting over the raw data. Note that the
+  //    certain answer "ada" follows directly from the data, while felix's
+  //    owner exists but is anonymous — so felix produces no person answer.
+  std::printf("certain answers:\n");
+  for (const Tuple& tuple : Evaluate(rewriting->ucq, db)) {
+    std::printf("  %s\n", ToString(tuple, vocab).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Builds everything, runs the full test suite and every benchmark, and
+# captures the logs EXPERIMENTS.md refers to.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "== $b"
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,29 @@
+#include "base/interner.h"
+
+#include <string>
+#include <string_view>
+
+#include "base/logging.h"
+
+namespace ontorew {
+
+Interner::Id Interner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  Id id = static_cast<Id>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Interner::Id Interner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& Interner::NameOf(Id id) const {
+  OREW_CHECK(id >= 0 && id < size()) << "bad interner id " << id;
+  return names_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace ontorew

@@ -1,0 +1,43 @@
+#ifndef ONTOREW_BASE_INTERNER_H_
+#define ONTOREW_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+// String interning: maps names (predicate symbols, constant symbols,
+// variable names) to dense int32 ids so the symbolic algorithms can compare
+// and hash symbols as integers.
+
+namespace ontorew {
+
+class Interner {
+ public:
+  using Id = std::int32_t;
+
+  Interner() = default;
+  Interner(const Interner&) = default;
+  Interner& operator=(const Interner&) = default;
+
+  // Returns the id for `name`, creating one if it is new. Ids are dense,
+  // starting at 0, in insertion order.
+  Id Intern(std::string_view name);
+
+  // Returns the id of `name` or -1 if it was never interned.
+  Id Find(std::string_view name) const;
+
+  // Returns the name for a previously returned id.
+  const std::string& NameOf(Id id) const;
+
+  Id size() const { return static_cast<Id>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, Id> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_BASE_INTERNER_H_

@@ -1,0 +1,63 @@
+#ifndef ONTOREW_BASE_LOGGING_H_
+#define ONTOREW_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+// Checked assertions in the style of absl CHECK. OREW_CHECK is always on;
+// OREW_DCHECK compiles away in NDEBUG builds. A failed check prints the
+// condition, location and streamed message, then aborts.
+//
+//   OREW_CHECK(arity > 0) << "predicate " << name << " must have arguments";
+
+namespace ontorew::internal {
+
+// Accumulates the failure message and aborts in the destructor. Used only
+// via the OREW_CHECK macros below.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  CheckFailStream(const CheckFailStream&) = delete;
+  CheckFailStream& operator=(const CheckFailStream&) = delete;
+
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns the streamed CheckFailStream expression into void so it can sit in
+// the unevaluated branch of the ternary in OREW_CHECK. operator& binds more
+// loosely than operator<<, so the message is fully streamed first.
+struct Voidify {
+  void operator&(const CheckFailStream&) const {}
+};
+
+}  // namespace ontorew::internal
+
+#define OREW_CHECK(condition)                  \
+  (condition) ? static_cast<void>(0)           \
+              : ::ontorew::internal::Voidify() & \
+                    ::ontorew::internal::CheckFailStream(#condition, \
+                                                         __FILE__, __LINE__)
+
+#ifdef NDEBUG
+#define OREW_DCHECK(condition) OREW_CHECK(true || (condition))
+#else
+#define OREW_DCHECK(condition) OREW_CHECK(condition)
+#endif
+
+#endif  // ONTOREW_BASE_LOGGING_H_

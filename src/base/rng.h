@@ -1,0 +1,50 @@
+#ifndef ONTOREW_BASE_RNG_H_
+#define ONTOREW_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "base/logging.h"
+
+// Deterministic pseudo-random generator (splitmix64) used by the workload
+// generators and property tests. Fixed seeds make every test and benchmark
+// reproducible across platforms, unlike std::mt19937 + distributions whose
+// output is implementation-defined for some distributions.
+
+namespace ontorew {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  int Uniform(int bound) {
+    OREW_CHECK(bound > 0);
+    return static_cast<int>(Next() % static_cast<std::uint64_t>(bound));
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int UniformIn(int lo, int hi) {
+    OREW_CHECK(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_BASE_RNG_H_

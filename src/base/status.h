@@ -1,0 +1,132 @@
+#ifndef ONTOREW_BASE_STATUS_H_
+#define ONTOREW_BASE_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "base/logging.h"
+
+// Exception-free error handling in the style of absl::Status / StatusOr.
+// Fallible operations (parsing, rewriting with divergence caps, chase with
+// step caps) return Status or StatusOr<T>; programming errors use
+// OREW_CHECK instead.
+
+namespace ontorew {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kResourceExhausted = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+// Human-readable name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    OREW_CHECK(code != StatusCode::kOk) << "error status needs non-OK code";
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// Holds either a value or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: lets fallible
+  // functions `return value;` or `return SomeError(...);` directly.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    OREW_CHECK(!status_.ok()) << "StatusOr from OK status carries no value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    OREW_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    OREW_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    OREW_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Propagates errors out of the enclosing function.
+//   OREW_RETURN_IF_ERROR(DoSomething());
+#define OREW_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::ontorew::Status orew_status_ = (expr);    \
+    if (!orew_status_.ok()) return orew_status_; \
+  } while (false)
+
+// Unwraps a StatusOr into a new variable, propagating errors.
+//   OREW_ASSIGN_OR_RETURN(auto parsed, Parse(text));
+#define OREW_ASSIGN_OR_RETURN(decl, expr)                        \
+  OREW_ASSIGN_OR_RETURN_IMPL_(                                   \
+      OREW_STATUS_CONCAT_(orew_statusor_, __LINE__), decl, expr)
+#define OREW_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  decl = std::move(tmp).value()
+#define OREW_STATUS_CONCAT_(a, b) OREW_STATUS_CONCAT_IMPL_(a, b)
+#define OREW_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_BASE_STATUS_H_

@@ -1,0 +1,61 @@
+#ifndef ONTOREW_BASE_STRINGS_H_
+#define ONTOREW_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+// Small string helpers (StrCat / StrJoin) so the rest of the codebase does
+// not juggle ostringstream by hand. GCC 12 lacks std::format, so these are
+// stream-based.
+
+namespace ontorew {
+
+namespace internal {
+inline void StrAppendTo(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void StrAppendTo(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  StrAppendTo(os, rest...);
+}
+}  // namespace internal
+
+// Concatenates the streamed representations of the arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrAppendTo(os, args...);
+  return os.str();
+}
+
+// Joins the elements of a range with a separator, streaming each element.
+template <typename Range>
+std::string StrJoin(const Range& range, std::string_view separator) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& element : range) {
+    if (!first) os << separator;
+    first = false;
+    os << element;
+  }
+  return os.str();
+}
+
+// Joins with a custom element formatter: formatter(os, element).
+template <typename Range, typename Formatter>
+std::string StrJoin(const Range& range, std::string_view separator,
+                    Formatter&& formatter) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& element : range) {
+    if (!first) os << separator;
+    first = false;
+    formatter(os, element);
+  }
+  return os.str();
+}
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_BASE_STRINGS_H_

@@ -1,0 +1,133 @@
+#include "chase/chase.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/strings.h"
+#include "db/eval.h"
+
+namespace ontorew {
+namespace {
+
+// A stable key for (rule, frontier binding), used to fire each oblivious
+// trigger exactly once.
+std::string TriggerKey(int rule_index, const Tgd& tgd,
+                       const Binding& binding) {
+  std::string key = StrCat("r", rule_index);
+  for (VariableId v : tgd.DistinguishedVariables()) {
+    auto it = binding.find(v);
+    // Distinguished variables occur in the body, so every body match
+    // binds them.
+    key += StrCat("|", it->second.is_null() ? "n" : "c", it->second.id());
+  }
+  // For the oblivious chase the trigger is identified by the whole body
+  // homomorphism, not just the frontier.
+  for (VariableId v : tgd.ExistentialBodyVariables()) {
+    auto it = binding.find(v);
+    key += StrCat("|", it->second.is_null() ? "n" : "c", it->second.id());
+  }
+  return key;
+}
+
+// Instantiates the head of `tgd` under `binding`, inventing one fresh null
+// per existential head variable, and inserts the atoms into `db`. Returns
+// true if any tuple was new.
+bool ApplyTrigger(const Tgd& tgd, const Binding& binding, Database* db) {
+  std::unordered_map<VariableId, Value> nulls;
+  bool inserted = false;
+  for (const Atom& alpha : tgd.head()) {
+    Tuple tuple;
+    tuple.reserve(alpha.terms().size());
+    for (Term t : alpha.terms()) {
+      if (t.is_constant()) {
+        tuple.push_back(Value::Constant(t.id()));
+        continue;
+      }
+      auto bound = binding.find(t.id());
+      if (bound != binding.end()) {
+        tuple.push_back(bound->second);
+        continue;
+      }
+      auto [it, is_new] = nulls.emplace(t.id(), Value());
+      if (is_new) it->second = db->FreshNull();
+      tuple.push_back(it->second);
+    }
+    if (db->Insert(alpha.predicate(), std::move(tuple))) inserted = true;
+  }
+  return inserted;
+}
+
+// True iff the head of `tgd` is satisfied in `db` under the frontier part
+// of `binding` (restricted-chase applicability test).
+bool HeadSatisfied(const Tgd& tgd, const Binding& binding,
+                   const Database& db) {
+  Binding frontier;
+  for (VariableId v : tgd.DistinguishedVariables()) {
+    frontier.emplace(v, binding.at(v));
+  }
+  return HasMatch(tgd.head(), db, frontier);
+}
+
+}  // namespace
+
+ChaseResult RunChase(const TgdProgram& program, const Database& input,
+                     const ChaseOptions& options) {
+  ChaseResult result;
+  result.db = input;
+
+  std::unordered_set<std::string> fired;  // Oblivious-chase trigger log.
+  bool capped = false;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+    for (int r = 0; r < program.size() && !capped; ++r) {
+      const Tgd& tgd = program.tgd(r);
+      // Materialize this rule's triggers on the current instance before
+      // applying any of them (breadth-first rounds).
+      std::vector<Binding> triggers;
+      ForEachMatch(tgd.body(), result.db, [&triggers](const Binding& b) {
+        triggers.push_back(b);
+        return true;
+      });
+      for (const Binding& binding : triggers) {
+        if (options.variant == ChaseOptions::Variant::kOblivious) {
+          if (!fired.insert(TriggerKey(r, tgd, binding)).second) continue;
+        } else if (HeadSatisfied(tgd, binding, result.db)) {
+          continue;
+        }
+        ++result.applications;
+        if (ApplyTrigger(tgd, binding, &result.db)) changed = true;
+        if (result.db.TotalTuples() > options.max_tuples) {
+          capped = true;
+          break;
+        }
+      }
+    }
+    result.rounds = round + 1;
+    if (!changed) {
+      result.terminated = !capped;
+      return result;
+    }
+    if (capped) break;
+  }
+  result.terminated = false;
+  return result;
+}
+
+StatusOr<std::vector<Tuple>> CertainAnswersViaChase(
+    const UnionOfCqs& query, const TgdProgram& program, const Database& input,
+    const ChaseOptions& options) {
+  ChaseResult chase = RunChase(program, input, options);
+  if (!chase.terminated) {
+    return ResourceExhaustedError(
+        StrCat("chase did not reach a fixpoint within ", chase.rounds,
+               " rounds / ", chase.db.TotalTuples(), " tuples"));
+  }
+  EvalOptions eval_options;
+  eval_options.drop_tuples_with_nulls = true;
+  return Evaluate(query, chase.db, eval_options);
+}
+
+}  // namespace ontorew

@@ -1,0 +1,57 @@
+#ifndef ONTOREW_CHASE_CHASE_H_
+#define ONTOREW_CHASE_CHASE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "db/database.h"
+#include "db/eval.h"
+#include "logic/program.h"
+#include "logic/query.h"
+
+// The chase: materializes the consequences of a TGD program over a
+// database, introducing labeled nulls for existential head variables
+// (the paper's OWA semantics, Section 3: every database in sem(P, D)
+// contains a homomorphic image of the chase, so evaluating a UCQ over the
+// chase and dropping null answers yields exactly cert(q, P, D) when the
+// chase terminates).
+//
+// Two variants:
+//  * restricted (standard): a trigger fires only if its head is not
+//    already satisfied under the frontier binding — terminates more often;
+//  * oblivious: every trigger fires exactly once — simpler, terminates on
+//    weakly acyclic programs.
+// Neither terminates in general (PaperExample2 diverges); the caps below
+// bound the work, and `terminated` reports whether a fixpoint was reached.
+
+namespace ontorew {
+
+struct ChaseOptions {
+  enum class Variant { kRestricted, kOblivious };
+  Variant variant = Variant::kRestricted;
+  int max_rounds = 10000;
+  int max_tuples = 5000000;
+};
+
+struct ChaseResult {
+  Database db;
+  bool terminated = false;  // True iff a fixpoint was reached.
+  int rounds = 0;
+  int applications = 0;  // Triggers fired.
+};
+
+// Runs the chase of (program, input). Never fails: when caps are hit the
+// partial instance is returned with terminated = false.
+ChaseResult RunChase(const TgdProgram& program, const Database& input,
+                     const ChaseOptions& options = {});
+
+// cert(q, P, D) = ans(q, chase(P, D)) restricted to null-free tuples.
+// Errors with ResourceExhausted when the chase did not reach a fixpoint
+// (the certain answers would be under-approximated).
+StatusOr<std::vector<Tuple>> CertainAnswersViaChase(
+    const UnionOfCqs& query, const TgdProgram& program, const Database& input,
+    const ChaseOptions& options = {});
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CHASE_CHASE_H_

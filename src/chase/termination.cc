@@ -1,0 +1,30 @@
+#include "chase/termination.h"
+
+#include "classes/agrd.h"
+#include "classes/weakly_acyclic.h"
+
+namespace ontorew {
+
+ChaseGuarantee CheckChaseGuarantee(const TgdProgram& program) {
+  if (IsWeaklyAcyclic(program)) return ChaseGuarantee::kWeaklyAcyclic;
+  if (IsAgrd(program)) return ChaseGuarantee::kAcyclicGrd;
+  return ChaseGuarantee::kUnknown;
+}
+
+bool ChaseGuaranteedTerminating(const TgdProgram& program) {
+  return CheckChaseGuarantee(program) != ChaseGuarantee::kUnknown;
+}
+
+std::string_view ToString(ChaseGuarantee guarantee) {
+  switch (guarantee) {
+    case ChaseGuarantee::kWeaklyAcyclic:
+      return "weakly-acyclic";
+    case ChaseGuarantee::kAcyclicGrd:
+      return "acyclic-GRD";
+    case ChaseGuarantee::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace ontorew

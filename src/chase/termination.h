@@ -1,0 +1,38 @@
+#ifndef ONTOREW_CHASE_TERMINATION_H_
+#define ONTOREW_CHASE_TERMINATION_H_
+
+#include <string_view>
+
+#include "logic/program.h"
+
+// Sufficient chase-termination guards, used to decide when
+// CertainAnswersViaChase can serve as ground truth without caps. (Chase
+// termination is undecidable in general; these are the two classical
+// sufficient conditions implemented in classes/.)
+
+namespace ontorew {
+
+enum class ChaseGuarantee {
+  // Weak acyclicity: the oblivious (hence also restricted) chase
+  // terminates on every instance.
+  kWeaklyAcyclic,
+  // Acyclic graph of rule dependencies: every rule fires only boundedly
+  // many rounds.
+  kAcyclicGrd,
+  // No guarantee found (the chase may still terminate, e.g.
+  // PaperExample2).
+  kUnknown,
+};
+
+// The strongest applicable guarantee.
+ChaseGuarantee CheckChaseGuarantee(const TgdProgram& program);
+
+// True iff some sufficient condition applies.
+bool ChaseGuaranteedTerminating(const TgdProgram& program);
+
+// "weakly-acyclic", "acyclic-GRD" or "unknown".
+std::string_view ToString(ChaseGuarantee guarantee);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CHASE_TERMINATION_H_

@@ -1,0 +1,78 @@
+#include "classes/agrd.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "logic/substitution.h"
+#include "logic/unification.h"
+
+namespace ontorew {
+namespace {
+
+// Renames the variables of `atom` by adding `offset`, so two rules can be
+// unified with disjoint variables.
+Atom ShiftVariables(const Atom& atom, VariableId offset) {
+  std::vector<Term> terms;
+  terms.reserve(atom.terms().size());
+  for (Term t : atom.terms()) {
+    terms.push_back(t.is_constant() ? t : Term::Var(t.id() + offset));
+  }
+  return Atom(atom.predicate(), std::move(terms));
+}
+
+}  // namespace
+
+bool RuleDependsOn(const Tgd& to, const Tgd& from) {
+  // Rename `to` apart from `from`.
+  VariableId offset = 1;
+  for (VariableId v : from.BodyVariables()) offset = std::max(offset, v + 1);
+  for (VariableId v : from.HeadVariables()) offset = std::max(offset, v + 1);
+
+  for (const Atom& alpha : from.head()) {
+    for (const Atom& beta_raw : to.body()) {
+      Atom beta = ShiftVariables(beta_raw, offset);
+      Substitution subst;
+      if (!UnifyAtoms(alpha, beta, &subst)) continue;
+      // The atom produced by `from` carries fresh nulls at existential
+      // head positions; `to`'s body atom can match it only if no such
+      // null is forced to equal a constant or a frontier value.
+      bool admissible = true;
+      for (VariableId y : from.ExistentialHeadVariables()) {
+        Term ty = subst.Resolve(Term::Var(y));
+        if (ty.is_constant()) {
+          admissible = false;
+          break;
+        }
+        for (VariableId d : from.DistinguishedVariables()) {
+          if (subst.Resolve(Term::Var(d)) == ty) {
+            admissible = false;
+            break;
+          }
+        }
+        if (!admissible) break;
+      }
+      if (admissible) return true;
+    }
+  }
+  return false;
+}
+
+LabeledDigraph BuildRuleDependencyGraph(const TgdProgram& program) {
+  LabeledDigraph graph;
+  graph.AddNodes(program.size());
+  for (int i = 0; i < program.size(); ++i) {
+    for (int j = 0; j < program.size(); ++j) {
+      if (RuleDependsOn(program.tgd(j), program.tgd(i))) {
+        graph.AddEdge(i, j, 0);
+      }
+    }
+  }
+  return graph;
+}
+
+bool IsAgrd(const TgdProgram& program) {
+  LabeledDigraph graph = BuildRuleDependencyGraph(program);
+  return !HasDangerousCycle(graph, /*required=*/0, /*forbidden=*/0);
+}
+
+}  // namespace ontorew

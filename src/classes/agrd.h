@@ -1,0 +1,30 @@
+#ifndef ONTOREW_CLASSES_AGRD_H_
+#define ONTOREW_CLASSES_AGRD_H_
+
+#include "graph/digraph.h"
+#include "logic/program.h"
+
+// The graph of rule dependencies (GRD) and the acyclic-GRD class (Baget,
+// Leclère, Mugnier, Salvat: "On rules with existential variables: walking
+// the decidability line", AIJ 2011). Rule R2 *depends on* R1 when an
+// application of R1 can trigger a new application of R2 — approximated
+// here by the standard unification test: some head atom of R1 unifies
+// with some body atom of R2 such that no existential head variable of R1
+// is identified with a constant or with a frontier variable of R1. aGRD
+// programs (no dependency cycle) are FO-rewritable... in fact they
+// guarantee chase termination; their UCQ rewriting also terminates.
+
+namespace ontorew {
+
+// True iff an application of `from` can trigger an application of `to`.
+bool RuleDependsOn(const Tgd& to, const Tgd& from);
+
+// Node i = rule i; edge i -> j iff rule j depends on rule i.
+LabeledDigraph BuildRuleDependencyGraph(const TgdProgram& program);
+
+// True iff the graph of rule dependencies is acyclic.
+bool IsAgrd(const TgdProgram& program);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CLASSES_AGRD_H_

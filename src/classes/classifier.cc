@@ -1,0 +1,67 @@
+#include "classes/classifier.h"
+
+#include <string>
+
+#include "base/strings.h"
+#include "classes/agrd.h"
+#include "classes/domain_restricted.h"
+#include "classes/guarded.h"
+#include "classes/linear.h"
+#include "classes/sticky.h"
+#include "classes/weakly_acyclic.h"
+#include "core/swr.h"
+#include "core/wr.h"
+
+namespace ontorew {
+
+std::string ClassificationReport::ToTable() const {
+  auto row = [](const char* name, bool value) {
+    return StrCat("  ", name, ": ", value ? "yes" : "no", "\n");
+  };
+  std::string table;
+  table += row("simple TGDs        ", is_simple);
+  table += row("Linear             ", linear);
+  table += row("Multilinear        ", multilinear);
+  table += row("Sticky             ", sticky);
+  table += row("Sticky-Join        ", sticky_join);
+  table += row("acyclic GRD        ", agrd);
+  table += row("Guarded            ", guarded);
+  table += row("Frontier-Guarded   ", frontier_guarded);
+  table += row("Domain-Restricted  ", domain_restricted);
+  table += row("Weakly Acyclic     ", weakly_acyclic);
+  table += row("SWR  (this paper)  ", swr);
+  table += StrCat("  WR   (this paper)  : ",
+                  wr == Wr::kYes  ? "yes"
+                  : wr == Wr::kNo ? "no"
+                                  : "undetermined",
+                  wr_note.empty() ? "" : StrCat("  (", wr_note, ")"), "\n");
+  return table;
+}
+
+ClassificationReport Classify(const TgdProgram& program,
+                              const Vocabulary& vocab, int wr_max_nodes) {
+  ClassificationReport report;
+  report.is_simple = program.IsSimple();
+  report.linear = IsLinear(program);
+  report.multilinear = IsMultilinear(program);
+  report.sticky = IsSticky(program);
+  report.sticky_join = IsStickyJoin(program);
+  report.agrd = IsAgrd(program);
+  report.guarded = IsGuarded(program);
+  report.frontier_guarded = IsFrontierGuarded(program);
+  report.domain_restricted = IsDomainRestricted(program);
+  report.weakly_acyclic = IsWeaklyAcyclic(program);
+  report.swr = IsSwr(program);
+  StatusOr<WrReport> wr = CheckWr(program, vocab, wr_max_nodes);
+  if (wr.ok()) {
+    report.wr = wr->is_wr ? ClassificationReport::Wr::kYes
+                          : ClassificationReport::Wr::kNo;
+    if (!wr->is_wr) report.wr_note = StrCat("cycle: ", wr->witness);
+  } else {
+    report.wr = ClassificationReport::Wr::kUndetermined;
+    report.wr_note = wr.status().ToString();
+  }
+  return report;
+}
+
+}  // namespace ontorew

@@ -1,0 +1,42 @@
+#ifndef ONTOREW_CLASSES_CLASSIFIER_H_
+#define ONTOREW_CLASSES_CLASSIFIER_H_
+
+#include <string>
+
+#include "logic/program.h"
+#include "logic/vocabulary.h"
+
+// One-stop classification of a TGD program against every class the paper
+// discusses: the known FO-rewritable baselines, the paper's SWR and WR,
+// and weak acyclicity (the chase-termination guard).
+
+namespace ontorew {
+
+struct ClassificationReport {
+  bool is_simple = false;
+  bool linear = false;
+  bool multilinear = false;
+  bool sticky = false;
+  bool sticky_join = false;
+  bool agrd = false;
+  bool guarded = false;
+  bool frontier_guarded = false;
+  bool domain_restricted = false;
+  bool weakly_acyclic = false;
+  bool swr = false;
+  // WR has three outcomes: yes / no / undetermined (multi-head program or
+  // P-node graph cap exceeded — the paper's "situation (ii)").
+  enum class Wr { kYes, kNo, kUndetermined } wr = Wr::kUndetermined;
+  std::string wr_note;
+
+  // Fixed-width human-readable table.
+  std::string ToTable() const;
+};
+
+ClassificationReport Classify(const TgdProgram& program,
+                              const Vocabulary& vocab,
+                              int wr_max_nodes = 200000);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CLASSES_CLASSIFIER_H_

@@ -1,0 +1,27 @@
+#include "classes/domain_restricted.h"
+
+#include <algorithm>
+
+namespace ontorew {
+
+bool IsDomainRestricted(const Tgd& tgd) {
+  const std::vector<VariableId> body_vars = tgd.BodyVariables();
+  for (const Atom& alpha : tgd.head()) {
+    int present = 0;
+    for (VariableId v : body_vars) {
+      if (alpha.ContainsVariable(v)) ++present;
+    }
+    if (present != 0 && present != static_cast<int>(body_vars.size())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsDomainRestricted(const TgdProgram& program) {
+  return std::all_of(
+      program.tgds().begin(), program.tgds().end(),
+      [](const Tgd& tgd) { return IsDomainRestricted(tgd); });
+}
+
+}  // namespace ontorew

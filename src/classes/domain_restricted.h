@@ -1,0 +1,18 @@
+#ifndef ONTOREW_CLASSES_DOMAIN_RESTRICTED_H_
+#define ONTOREW_CLASSES_DOMAIN_RESTRICTED_H_
+
+#include "logic/program.h"
+
+// Domain-restricted TGDs (Baget, Leclère, Mugnier, Salvat, AIJ 2011): each
+// head atom contains all or none of the variables occurring in the body.
+// One of the FO-rewritable classes the paper's Section 6 names as
+// incomparable with SWR and subsumed by WR.
+
+namespace ontorew {
+
+bool IsDomainRestricted(const Tgd& tgd);
+bool IsDomainRestricted(const TgdProgram& program);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CLASSES_DOMAIN_RESTRICTED_H_

@@ -1,0 +1,45 @@
+#include "classes/guarded.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ontorew {
+namespace {
+
+bool SomeAtomContainsAll(const std::vector<Atom>& atoms,
+                         const std::vector<VariableId>& vars) {
+  for (const Atom& atom : atoms) {
+    bool guards = true;
+    for (VariableId v : vars) {
+      if (!atom.ContainsVariable(v)) {
+        guards = false;
+        break;
+      }
+    }
+    if (guards) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsGuarded(const Tgd& tgd) {
+  return SomeAtomContainsAll(tgd.body(), tgd.BodyVariables());
+}
+
+bool IsGuarded(const TgdProgram& program) {
+  return std::all_of(program.tgds().begin(), program.tgds().end(),
+                     [](const Tgd& tgd) { return IsGuarded(tgd); });
+}
+
+bool IsFrontierGuarded(const Tgd& tgd) {
+  return SomeAtomContainsAll(tgd.body(), tgd.DistinguishedVariables());
+}
+
+bool IsFrontierGuarded(const TgdProgram& program) {
+  return std::all_of(
+      program.tgds().begin(), program.tgds().end(),
+      [](const Tgd& tgd) { return IsFrontierGuarded(tgd); });
+}
+
+}  // namespace ontorew

@@ -1,0 +1,26 @@
+#ifndef ONTOREW_CLASSES_GUARDED_H_
+#define ONTOREW_CLASSES_GUARDED_H_
+
+#include "logic/program.h"
+
+// Guarded and frontier-guarded TGDs (Calì–Gottlob–Kifer; Baget et al.) —
+// the decidable-but-not-FO-rewritable side of the Datalog± landscape,
+// included as comparison points for the coverage experiment: a TGD is
+// guarded iff some body atom contains every body variable, and
+// frontier-guarded iff some body atom contains every distinguished
+// (frontier) variable. Guarded ⊆ frontier-guarded; linear ⊆ guarded.
+// Query answering is decidable for both, but only PTIME-in-data (not AC0):
+// neither implies FO-rewritability — transitivity `e(X,Y), e(Y,Z) ->
+// e(X,Z)` is frontier-guarded yet not FO-rewritable.
+
+namespace ontorew {
+
+bool IsGuarded(const Tgd& tgd);
+bool IsGuarded(const TgdProgram& program);
+
+bool IsFrontierGuarded(const Tgd& tgd);
+bool IsFrontierGuarded(const TgdProgram& program);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CLASSES_GUARDED_H_

@@ -1,0 +1,28 @@
+#include "classes/linear.h"
+
+#include <algorithm>
+
+namespace ontorew {
+
+bool IsLinear(const Tgd& tgd) { return tgd.body().size() == 1; }
+
+bool IsLinear(const TgdProgram& program) {
+  return std::all_of(program.tgds().begin(), program.tgds().end(),
+                     [](const Tgd& tgd) { return IsLinear(tgd); });
+}
+
+bool IsMultilinear(const Tgd& tgd) {
+  for (const Atom& beta : tgd.body()) {
+    for (VariableId v : tgd.DistinguishedVariables()) {
+      if (!beta.ContainsVariable(v)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsMultilinear(const TgdProgram& program) {
+  return std::all_of(program.tgds().begin(), program.tgds().end(),
+                     [](const Tgd& tgd) { return IsMultilinear(tgd); });
+}
+
+}  // namespace ontorew

@@ -1,0 +1,22 @@
+#ifndef ONTOREW_CLASSES_LINEAR_H_
+#define ONTOREW_CLASSES_LINEAR_H_
+
+#include "logic/program.h"
+
+// Linear and Multilinear TGDs (Calì, Gottlob, Lukasiewicz — the Datalog±
+// family). A TGD is linear iff its body consists of a single atom; a TGD
+// is multilinear iff every body atom contains every distinguished
+// (frontier) variable of the TGD. Both classes are FO-rewritable; under
+// the simple-TGD restriction the paper shows SWR subsumes both.
+
+namespace ontorew {
+
+bool IsLinear(const Tgd& tgd);
+bool IsLinear(const TgdProgram& program);
+
+bool IsMultilinear(const Tgd& tgd);
+bool IsMultilinear(const TgdProgram& program);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CLASSES_LINEAR_H_

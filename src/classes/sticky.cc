@@ -1,0 +1,104 @@
+#include "classes/sticky.h"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/position.h"
+
+namespace ontorew {
+namespace {
+
+// All (1-based) positions at which marked variables occur in rule bodies.
+std::unordered_set<Position, PositionHash> MarkedPositions(
+    const TgdProgram& program, const StickyMarking& marking) {
+  std::unordered_set<Position, PositionHash> positions;
+  for (int r = 0; r < program.size(); ++r) {
+    const std::unordered_set<VariableId>& marked =
+        marking.marked[static_cast<std::size_t>(r)];
+    for (const Atom& beta : program.tgd(r).body()) {
+      for (int i = 0; i < beta.arity(); ++i) {
+        Term t = beta.term(i);
+        if (t.is_variable() && marked.count(t.id()) > 0) {
+          positions.insert(Position::At(beta.predicate(), i + 1));
+        }
+      }
+    }
+  }
+  return positions;
+}
+
+}  // namespace
+
+StickyMarking ComputeStickyMarking(const TgdProgram& program) {
+  StickyMarking marking;
+  marking.marked.resize(static_cast<std::size_t>(program.size()));
+
+  // Initial step: body variables missing from the head.
+  for (int r = 0; r < program.size(); ++r) {
+    const Tgd& tgd = program.tgd(r);
+    for (VariableId v : tgd.ExistentialBodyVariables()) {
+      marking.marked[static_cast<std::size_t>(r)].insert(v);
+    }
+  }
+
+  // Propagation to fixpoint: a head occurrence of v at a marked position
+  // marks v in that rule's body.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::unordered_set<Position, PositionHash> marked_positions =
+        MarkedPositions(program, marking);
+    for (int r = 0; r < program.size(); ++r) {
+      const Tgd& tgd = program.tgd(r);
+      for (const Atom& alpha : tgd.head()) {
+        for (int i = 0; i < alpha.arity(); ++i) {
+          Term t = alpha.term(i);
+          if (!t.is_variable()) continue;
+          if (!tgd.IsDistinguished(t.id())) continue;
+          if (marked_positions.count(Position::At(alpha.predicate(), i + 1)) ==
+              0) {
+            continue;
+          }
+          if (marking.marked[static_cast<std::size_t>(r)].insert(t.id())
+                  .second) {
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return marking;
+}
+
+bool IsSticky(const TgdProgram& program) {
+  StickyMarking marking = ComputeStickyMarking(program);
+  for (int r = 0; r < program.size(); ++r) {
+    const Tgd& tgd = program.tgd(r);
+    for (VariableId v : marking.marked[static_cast<std::size_t>(r)]) {
+      int occurrences = 0;
+      for (const Atom& beta : tgd.body()) {
+        occurrences += beta.CountTerm(Term::Var(v));
+      }
+      if (occurrences > 1) return false;
+    }
+  }
+  return true;
+}
+
+bool IsStickyJoin(const TgdProgram& program) {
+  StickyMarking marking = ComputeStickyMarking(program);
+  for (int r = 0; r < program.size(); ++r) {
+    const Tgd& tgd = program.tgd(r);
+    for (VariableId v : marking.marked[static_cast<std::size_t>(r)]) {
+      int atoms_containing = 0;
+      for (const Atom& beta : tgd.body()) {
+        if (beta.ContainsVariable(v)) ++atoms_containing;
+      }
+      if (atoms_containing > 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ontorew

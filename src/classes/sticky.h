@@ -1,0 +1,48 @@
+#ifndef ONTOREW_CLASSES_STICKY_H_
+#define ONTOREW_CLASSES_STICKY_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "logic/program.h"
+
+// Sticky and Sticky-Join TGDs (Calì, Gottlob, Pieris).
+//
+// The sticky *marking* procedure marks body variables that can be "lost"
+// during forward propagation:
+//   * initially, every body variable of a TGD that does not occur in its
+//     head is marked;
+//   * then, repeatedly: if a variable v occurs in the head of a TGD at a
+//     position where some marked variable (of any TGD) occurs in a body,
+//     v is marked in that TGD's body; until fixpoint.
+//
+// A program is *sticky* iff no marked variable occurs more than once in a
+// body (counting repeated occurrences inside one atom).
+//
+// IsStickyJoin implements the *test the paper applies in Example 3*: a
+// marked variable occurring in two different atoms of a body refutes
+// membership ("y1 appears in two different atoms of body(R3)"), while
+// repetition inside a single atom is tolerated. Caveats:
+//   * on SIMPLE TGDs (no within-atom repetition) the criterion coincides
+//     with Sticky, so the paper's Section 5 subsumption experiments are
+//     exact;
+//   * on arbitrary TGDs it is a sound refutation (false => certainly not
+//     sticky-join) but an over-approximation when true: the full AIJ 2012
+//     definition also rejects e.g. PaperExample2, which this test
+//     accepts. Treat `true` as "passes the paper's SJ test".
+
+namespace ontorew {
+
+struct StickyMarking {
+  // marked[r] = marked body variables of program.tgd(r).
+  std::vector<std::unordered_set<VariableId>> marked;
+};
+
+StickyMarking ComputeStickyMarking(const TgdProgram& program);
+
+bool IsSticky(const TgdProgram& program);
+bool IsStickyJoin(const TgdProgram& program);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CLASSES_STICKY_H_

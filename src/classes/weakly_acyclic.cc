@@ -1,0 +1,59 @@
+#include "classes/weakly_acyclic.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/position.h"
+
+namespace ontorew {
+
+LabeledDigraph BuildWeakAcyclicityGraph(const TgdProgram& program) {
+  LabeledDigraph graph;
+  std::unordered_map<Position, int, PositionHash> node_of;
+  auto node = [&graph, &node_of](Position p) {
+    auto [it, inserted] = node_of.emplace(p, graph.num_nodes());
+    if (inserted) graph.AddNode();
+    return it->second;
+  };
+
+  for (const Tgd& tgd : program.tgds()) {
+    for (VariableId v : tgd.DistinguishedVariables()) {
+      // Body positions of v.
+      std::vector<Position> body_positions;
+      for (const Atom& beta : tgd.body()) {
+        for (int i = 0; i < beta.arity(); ++i) {
+          if (beta.term(i) == Term::Var(v)) {
+            body_positions.push_back(Position::At(beta.predicate(), i + 1));
+          }
+        }
+      }
+      for (Position p : body_positions) {
+        int from = node(p);
+        for (const Atom& alpha : tgd.head()) {
+          for (int i = 0; i < alpha.arity(); ++i) {
+            Term t = alpha.term(i);
+            if (t == Term::Var(v)) {
+              int to = node(Position::At(alpha.predicate(), i + 1));
+              if (!graph.HasEdge(from, to, 0)) graph.AddEdge(from, to, 0);
+            } else if (t.is_variable() &&
+                       tgd.IsExistentialHeadVariable(t.id())) {
+              int to = node(Position::At(alpha.predicate(), i + 1));
+              if (!graph.HasEdge(from, to, kSpecialEdge)) {
+                graph.AddEdge(from, to, kSpecialEdge);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+bool IsWeaklyAcyclic(const TgdProgram& program) {
+  LabeledDigraph graph = BuildWeakAcyclicityGraph(program);
+  return !HasDangerousCycle(graph, /*required=*/kSpecialEdge,
+                            /*forbidden=*/0);
+}
+
+}  // namespace ontorew

@@ -1,0 +1,31 @@
+#ifndef ONTOREW_CLASSES_WEAKLY_ACYCLIC_H_
+#define ONTOREW_CLASSES_WEAKLY_ACYCLIC_H_
+
+#include "graph/digraph.h"
+#include "logic/program.h"
+
+// Weak acyclicity (Fagin, Kolaitis, Miller, Popa — data exchange): the
+// classical sufficient condition for chase termination. The *dependency
+// graph* has one node per position (predicate, index); for every TGD and
+// every distinguished variable v occurring at body position p:
+//   * a regular edge p -> p' for every head position p' where v occurs;
+//   * a special edge p -> p'' for every head position p'' holding an
+//     existential head variable.
+// The program is weakly acyclic iff no cycle goes through a special edge.
+// Not an FO-rewritability condition, but the guard our chase engine uses
+// to promise termination.
+
+namespace ontorew {
+
+// Label bit for special edges in the dependency graph.
+inline constexpr LabelMask kSpecialEdge = 1;
+
+// Returns the dependency graph; node ids follow PositionIndexer order:
+// positions enumerated per predicate in program.Predicates() order.
+LabeledDigraph BuildWeakAcyclicityGraph(const TgdProgram& program);
+
+bool IsWeaklyAcyclic(const TgdProgram& program);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CLASSES_WEAKLY_ACYCLIC_H_

@@ -1,0 +1,25 @@
+#include "core/labels.h"
+
+#include <string>
+
+namespace ontorew {
+
+std::string LabelsToString(LabelMask mask) {
+  std::string result;
+  for (const auto& [bit, name] : LabelLegend()) {
+    if ((mask & bit) != 0) {
+      if (!result.empty()) result += ",";
+      result += name;
+    }
+  }
+  return result;
+}
+
+const std::vector<std::pair<LabelMask, std::string>>& LabelLegend() {
+  static const auto& legend =
+      *new std::vector<std::pair<LabelMask, std::string>>{
+          {kLabelM, "m"}, {kLabelS, "s"}, {kLabelD, "d"}, {kLabelI, "i"}};
+  return legend;
+}
+
+}  // namespace ontorew

@@ -1,0 +1,31 @@
+#ifndef ONTOREW_CORE_LABELS_H_
+#define ONTOREW_CORE_LABELS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+
+// Edge label bits shared by the position graph and the P-node graph
+// (paper, Section 4): m = "missing" a distinguished variable, s =
+// "splitting" an existential variable, d = "decreasing" the number of
+// bounded arguments, i = "isolated" body atom. The position graph uses
+// only {m, s}; the P-node graph uses all four.
+
+namespace ontorew {
+
+inline constexpr LabelMask kLabelM = 1;  // missing distinguished variable
+inline constexpr LabelMask kLabelS = 2;  // splitting existential variable
+inline constexpr LabelMask kLabelD = 4;  // decreasing bounded arguments
+inline constexpr LabelMask kLabelI = 8;  // isolated body atom
+
+// "m,s" style rendering of a label set.
+std::string LabelsToString(LabelMask mask);
+
+// Legend for graph/digraph.h ToDot.
+const std::vector<std::pair<LabelMask, std::string>>& LabelLegend();
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CORE_LABELS_H_

@@ -1,0 +1,200 @@
+#include "core/pnode.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace ontorew {
+namespace {
+
+// Encodes an atom under a (possibly partial) variable renaming; unknown
+// variables encode as "?" (used only while comparing candidate context
+// orders, where they compare consistently).
+std::string EncodeAtom(const Atom& atom,
+                       const std::unordered_map<VariableId, VariableId>& map) {
+  std::string key = StrCat("p", atom.predicate(), "(");
+  for (Term t : atom.terms()) {
+    if (t.is_constant()) {
+      key += StrCat("c", t.id(), ",");
+    } else {
+      auto it = map.find(t.id());
+      key += it == map.end() ? "?," : StrCat("v", it->second, ",");
+    }
+  }
+  key += ")";
+  return key;
+}
+
+// Extends `map` with the variables of `atom` in position order, assigning
+// ids from *next.
+void ExtendRenaming(const Atom& atom,
+                    std::unordered_map<VariableId, VariableId>* map,
+                    VariableId* next) {
+  for (Term t : atom.terms()) {
+    if (!t.is_variable()) continue;
+    if (map->emplace(t.id(), *next).second) ++*next;
+  }
+}
+
+Atom RenameAtom(const Atom& atom,
+                const std::unordered_map<VariableId, VariableId>& map) {
+  std::vector<Term> terms;
+  terms.reserve(atom.terms().size());
+  for (Term t : atom.terms()) {
+    if (t.is_constant()) {
+      terms.push_back(t);
+    } else {
+      auto it = map.find(t.id());
+      OREW_CHECK(it != map.end());
+      terms.push_back(Term::Var(it->second));
+    }
+  }
+  return Atom(atom.predicate(), std::move(terms));
+}
+
+// Contexts up to this size are canonicalized exactly (minimum encoding
+// over all orders); larger ones use a greedy key sort.
+constexpr std::size_t kExactPermutationLimit = 6;
+
+}  // namespace
+
+std::string PNode::Key() const {
+  std::unordered_map<VariableId, VariableId> identity;
+  auto collect = [&identity](const Atom& atom) {
+    for (Term t : atom.terms()) {
+      if (t.is_variable()) identity.emplace(t.id(), t.id());
+    }
+  };
+  collect(sigma);
+  for (const Atom& atom : others) collect(atom);
+  std::string key = has_trace ? "T:" : "N:";
+  key += EncodeAtom(sigma, identity);
+  for (const Atom& atom : others) {
+    key += "|";
+    key += EncodeAtom(atom, identity);
+  }
+  return key;
+}
+
+std::string PAtomToString(const Atom& atom, const Vocabulary& vocab) {
+  std::string result = StrCat(vocab.PredicateName(atom.predicate()), "(");
+  bool first = true;
+  for (Term t : atom.terms()) {
+    if (!first) result += ",";
+    first = false;
+    if (t.is_constant()) {
+      result += vocab.ConstantName(t.id());
+    } else if (t.id() == kTraceVariable) {
+      result += "z";
+    } else {
+      result += StrCat("x", t.id());
+    }
+  }
+  result += ")";
+  return result;
+}
+
+std::string ToString(const PNode& node, const Vocabulary& vocab) {
+  std::string result = StrCat("<", PAtomToString(node.sigma, vocab));
+  if (!node.others.empty()) {
+    result += " | ";
+    result += StrJoin(node.others, ", ",
+                      [&vocab](std::ostream& os, const Atom& atom) {
+                        os << PAtomToString(atom, vocab);
+                      });
+  }
+  result += ">";
+  return result;
+}
+
+PNode CanonicalizePNode(const std::vector<Atom>& atoms, int sigma_index,
+                        std::optional<Term> trace) {
+  OREW_CHECK(sigma_index >= 0 &&
+             sigma_index < static_cast<int>(atoms.size()));
+  const Atom& sigma = atoms[static_cast<std::size_t>(sigma_index)];
+
+  // Base renaming: trace -> 0, σ's other variables -> 1, 2, ...
+  std::unordered_map<VariableId, VariableId> base;
+  VariableId next = 1;
+  if (trace.has_value()) {
+    OREW_CHECK(trace->is_variable());
+    OREW_CHECK(sigma.ContainsTerm(*trace))
+        << "trace variable must occur in sigma";
+    base.emplace(trace->id(), kTraceVariable);
+  }
+  ExtendRenaming(sigma, &base, &next);
+
+  std::vector<Atom> others;
+  others.reserve(atoms.size() - 1);
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (static_cast<int>(i) != sigma_index) others.push_back(atoms[i]);
+  }
+
+  PNode node;
+  node.has_trace = trace.has_value();
+  node.sigma = RenameAtom(sigma, base);
+
+  if (others.empty()) {
+    return node;
+  }
+
+  if (others.size() <= kExactPermutationLimit) {
+    // Exact canonical order: minimum full encoding over all permutations.
+    std::vector<std::size_t> order(others.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::string best_key;
+    std::vector<Atom> best_atoms;
+    do {
+      std::unordered_map<VariableId, VariableId> map = base;
+      VariableId counter = next;
+      std::vector<Atom> renamed;
+      renamed.reserve(others.size());
+      std::string key;
+      for (std::size_t i : order) {
+        ExtendRenaming(others[i], &map, &counter);
+        renamed.push_back(RenameAtom(others[i], map));
+        std::unordered_map<VariableId, VariableId> identity;
+        for (Term t : renamed.back().terms()) {
+          if (t.is_variable()) identity.emplace(t.id(), t.id());
+        }
+        key += EncodeAtom(renamed.back(), identity);
+        key += "|";
+      }
+      if (best_key.empty() || key < best_key) {
+        best_key = key;
+        best_atoms = std::move(renamed);
+      }
+    } while (std::next_permutation(order.begin(), order.end()));
+    node.others = std::move(best_atoms);
+    return node;
+  }
+
+  // Greedy fallback for large contexts: sort by partial-renaming keys, then
+  // rename in that order. Deterministic; may distinguish some symmetric
+  // contexts (harmless: it can only enlarge the graph, never hide a
+  // recurrence, because the renaming is a deterministic function of the
+  // application sequence).
+  std::sort(others.begin(), others.end(),
+            [&base](const Atom& a, const Atom& b) {
+              std::string ka = EncodeAtom(a, base);
+              std::string kb = EncodeAtom(b, base);
+              if (ka != kb) return ka < kb;
+              return a < b;
+            });
+  std::unordered_map<VariableId, VariableId> map = base;
+  VariableId counter = next;
+  for (const Atom& atom : others) {
+    ExtendRenaming(atom, &map, &counter);
+    node.others.push_back(RenameAtom(atom, map));
+  }
+  return node;
+}
+
+}  // namespace ontorew

@@ -1,0 +1,64 @@
+#ifndef ONTOREW_CORE_PNODE_H_
+#define ONTOREW_CORE_PNODE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/atom.h"
+#include "logic/term.h"
+#include "logic/vocabulary.h"
+
+// P-atoms and P-nodes (paper, Definitions 6–7).
+//
+// A P-atom is an atom over the bounded alphabet X_P = {z, x1, ..., xk}
+// plus the constants of P. We encode the special trace variable z as
+// variable id 0 and the generic variables x1, x2, ... as ids 1, 2, ....
+//
+// A P-node is a pair ⟨σ, Σ⟩ of a P-atom and its context — the set of
+// atoms produced together with σ by one backward application of a TGD.
+// We store the canonical form: σ, then the remaining context atoms in a
+// canonical order, with variables renamed as above. Two P-nodes are equal
+// iff their canonical keys are equal.
+
+namespace ontorew {
+
+// The reserved variable id of the trace variable z in canonical P-atoms.
+inline constexpr VariableId kTraceVariable = 0;
+
+struct PNode {
+  Atom sigma;
+  // The context atoms other than σ, in canonical order. (The full context
+  // Σ of the paper is {sigma} ∪ others.)
+  std::vector<Atom> others;
+  // Whether σ carries the trace variable z (id 0).
+  bool has_trace = false;
+
+  // Deterministic key; equal keys iff canonically equal P-nodes.
+  std::string Key() const;
+
+  friend bool operator==(const PNode& a, const PNode& b) {
+    return a.has_trace == b.has_trace && a.sigma == b.sigma &&
+           a.others == b.others;
+  }
+};
+
+// Renders a canonical P-atom: variables as "z", "x1", "x2", ...; constants
+// via the vocabulary.
+std::string PAtomToString(const Atom& atom, const Vocabulary& vocab);
+
+// "⟨s(z,z,x1) | t(z,x2)⟩" — σ first, context after the bar.
+std::string ToString(const PNode& node, const Vocabulary& vocab);
+
+// Canonicalizes the P-node ⟨atoms[sigma_index], set(atoms)⟩ where the
+// variables of `atoms` are arbitrary ids. If `trace` is set, it must be a
+// variable term occurring in atoms[sigma_index]; it becomes z (id 0).
+// Other variables are renamed generically: σ's variables first (in
+// position order), then the remaining atoms' variables in a canonical
+// context order (exact minimum over permutations for small contexts).
+PNode CanonicalizePNode(const std::vector<Atom>& atoms, int sigma_index,
+                        std::optional<Term> trace);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CORE_PNODE_H_

@@ -1,0 +1,17 @@
+#include "core/position.h"
+
+#include <string>
+
+#include "base/strings.h"
+
+namespace ontorew {
+
+std::string ToString(Position position, const Vocabulary& vocab) {
+  if (position.is_generic()) {
+    return StrCat(vocab.PredicateName(position.relation), "[ ]");
+  }
+  return StrCat(vocab.PredicateName(position.relation), "[", position.index,
+                "]");
+}
+
+}  // namespace ontorew

@@ -1,0 +1,49 @@
+#ifndef ONTOREW_CORE_POSITION_H_
+#define ONTOREW_CORE_POSITION_H_
+
+#include <cstddef>
+#include <string>
+
+#include "logic/vocabulary.h"
+
+// A position (paper, Definition 2): either r[i] — the i-th argument
+// position of relation r (1-based, as in the paper) — or the "generic"
+// position r[ ], written here with index 0.
+
+namespace ontorew {
+
+struct Position {
+  PredicateId relation = -1;
+  int index = 0;  // 0 means r[ ]; otherwise 1..arity.
+
+  static Position Generic(PredicateId relation) {
+    return Position{relation, 0};
+  }
+  static Position At(PredicateId relation, int index) {
+    return Position{relation, index};
+  }
+
+  bool is_generic() const { return index == 0; }
+
+  friend bool operator==(Position a, Position b) {
+    return a.relation == b.relation && a.index == b.index;
+  }
+  friend bool operator<(Position a, Position b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.index < b.index;
+  }
+};
+
+struct PositionHash {
+  std::size_t operator()(Position p) const {
+    return static_cast<std::size_t>(p.relation) * 1315423911u +
+           static_cast<std::size_t>(p.index);
+  }
+};
+
+// "r[ ]" or "r[2]".
+std::string ToString(Position position, const Vocabulary& vocab);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CORE_POSITION_H_

@@ -1,0 +1,176 @@
+#include "core/position_graph.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/strings.h"
+#include "core/labels.h"
+
+namespace ontorew {
+namespace {
+
+// Number of body atoms in which variable v occurs.
+int CountAtomsContaining(const std::vector<Atom>& atoms, VariableId v) {
+  int count = 0;
+  for (const Atom& atom : atoms) {
+    if (atom.ContainsVariable(v)) ++count;
+  }
+  return count;
+}
+
+// 1-based positions of variable v in atom (with repeated variables there
+// can be several).
+std::vector<int> PositionsOf(const Atom& atom, VariableId v) {
+  std::vector<int> positions;
+  for (int i = 0; i < atom.arity(); ++i) {
+    if (atom.term(i) == Term::Var(v)) positions.push_back(i + 1);
+  }
+  return positions;
+}
+
+}  // namespace
+
+StatusOr<PositionGraph> PositionGraph::Build(const TgdProgram& program) {
+  if (!program.IsSimple()) {
+    return FailedPreconditionError(
+        "position graph (Definition 4) requires a set of simple TGDs; use "
+        "BuildUnchecked to apply the construction regardless");
+  }
+  return BuildImpl(program);
+}
+
+StatusOr<PositionGraph> PositionGraph::BuildUnchecked(
+    const TgdProgram& program) {
+  for (const Tgd& tgd : program.tgds()) {
+    OREW_RETURN_IF_ERROR(tgd.Validate());
+  }
+  return BuildImpl(program);
+}
+
+PositionGraph PositionGraph::BuildImpl(const TgdProgram& program) {
+  PositionGraph result;
+  std::deque<int> worklist;
+
+  auto get_or_add_node = [&result, &worklist](Position position) {
+    auto it = result.node_index_.find(position);
+    if (it != result.node_index_.end()) return it->second;
+    int index = result.graph_.AddNode();
+    result.nodes_.push_back(position);
+    result.node_index_.emplace(position, index);
+    worklist.push_back(index);
+    return index;
+  };
+
+  // Base case: r[ ] for every head relation.
+  for (const Tgd& tgd : program.tgds()) {
+    for (const Atom& alpha : tgd.head()) {
+      get_or_add_node(Position::Generic(alpha.predicate()));
+    }
+  }
+
+  while (!worklist.empty()) {
+    int sigma_index = worklist.front();
+    worklist.pop_front();
+    Position sigma = result.nodes_[static_cast<std::size_t>(sigma_index)];
+
+    for (int rule_index = 0; rule_index < program.size(); ++rule_index) {
+      const Tgd& tgd = program.tgd(rule_index);
+      for (const Atom& alpha : tgd.head()) {
+        if (alpha.predicate() != sigma.relation) continue;
+        // Definition 3: for σ = r[i], α[i] must be a distinguished
+        // variable of R.
+        Term traced_term;  // α[i] when σ = r[i].
+        if (!sigma.is_generic()) {
+          traced_term = alpha.term(sigma.index - 1);
+          if (!traced_term.is_variable() ||
+              !tgd.IsDistinguished(traced_term.id())) {
+            continue;
+          }
+        }
+
+        const std::vector<VariableId> distinguished =
+            tgd.DistinguishedVariables();
+        const std::vector<VariableId> existential_body =
+            tgd.ExistentialBodyVariables();
+
+        // Point 2: some existential body variable occurs in >= 2 atoms.
+        bool s_application = false;
+        for (VariableId x : existential_body) {
+          if (CountAtomsContaining(tgd.body(), x) >= 2) {
+            s_application = true;
+            break;
+          }
+        }
+        // Point 3: the traced head variable occurs in >= 2 body atoms.
+        if (!sigma.is_generic() &&
+            CountAtomsContaining(tgd.body(), traced_term.id()) >= 2) {
+          s_application = true;
+        }
+
+        for (int beta_index = 0;
+             beta_index < static_cast<int>(tgd.body().size()); ++beta_index) {
+          const Atom& beta = tgd.body()[static_cast<std::size_t>(beta_index)];
+          bool m_edge = false;
+          for (VariableId d : distinguished) {
+            if (!beta.ContainsVariable(d)) {
+              m_edge = true;
+              break;
+            }
+          }
+          LabelMask labels = 0;
+          if (m_edge) labels |= kLabelM;
+          if (s_application) labels |= kLabelS;
+
+          std::vector<Position> targets;
+          // (a) the generic position of β's relation.
+          targets.push_back(Position::Generic(beta.predicate()));
+          // (b) positions of existential body variables in β.
+          for (VariableId z : existential_body) {
+            for (int pos : PositionsOf(beta, z)) {
+              targets.push_back(Position::At(beta.predicate(), pos));
+            }
+          }
+          // (c) positions of the traced head variable in β.
+          if (!sigma.is_generic()) {
+            for (int pos : PositionsOf(beta, traced_term.id())) {
+              targets.push_back(Position::At(beta.predicate(), pos));
+            }
+          }
+
+          for (Position target : targets) {
+            int target_index = get_or_add_node(target);
+            // E is a set of edges; avoid exact duplicates while keeping
+            // parallel edges with different labels for diagnostics.
+            if (!result.graph_.HasEdge(sigma_index, target_index, labels)) {
+              result.graph_.AddEdge(sigma_index, target_index, labels);
+              result.edge_provenance_.push_back(
+                  EdgeProvenance{rule_index, beta_index});
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+int PositionGraph::NodeIndex(Position position) const {
+  auto it = node_index_.find(position);
+  return it == node_index_.end() ? -1 : it->second;
+}
+
+std::vector<std::string> PositionGraph::NodeNames(
+    const Vocabulary& vocab) const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (Position position : nodes_) names.push_back(ToString(position, vocab));
+  return names;
+}
+
+std::string PositionGraph::ToDot(const Vocabulary& vocab) const {
+  return ontorew::ToDot(graph_, NodeNames(vocab), LabelLegend());
+}
+
+}  // namespace ontorew

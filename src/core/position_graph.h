@@ -1,0 +1,79 @@
+#ifndef ONTOREW_CORE_POSITION_GRAPH_H_
+#define ONTOREW_CORE_POSITION_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "core/position.h"
+#include "graph/digraph.h"
+#include "logic/program.h"
+#include "logic/vocabulary.h"
+
+// The position graph AG(P) of a set of simple TGDs (paper, Definition 4).
+//
+// Nodes are positions; the node set starts from r[ ] for every head
+// relation and grows inductively. From a node σ, every TGD R whose head α
+// is R-compatible with σ (Definition 3) contributes, for each body atom β:
+//   (a) an edge to s[ ] where s = Rel(β);
+//   (b) an edge to Pos(z, β) for each existential body variable z of R
+//       occurring in β;
+//   (c) if σ = r[i], an edge to Pos(y, β) where y = α[i], when y occurs
+//       in β;
+//   (d) label m on the edges of (a)–(c) for this β if some distinguished
+//       variable of R does not occur in β;
+// and label s on all edges of the application if some existential body
+// variable of R occurs in at least two body atoms (point 2), or — for
+// σ = r[i] with y = α[i] — y occurs in at least two body atoms (point 3).
+//
+// Build() requires a simple program. BuildUnchecked() applies the same
+// construction to arbitrary single-head programs (used to regenerate the
+// paper's Figure 2, where the position graph is deliberately applied
+// outside its scope); with repeated variables, Pos(x, β) is read as the set
+// of positions of x in β.
+
+namespace ontorew {
+
+class PositionGraph {
+ public:
+  // Which rule application produced an edge (diagnostics for witnesses).
+  struct EdgeProvenance {
+    int rule_index = -1;       // Index into program.tgds().
+    int body_atom_index = -1;  // The β of Definition 4's inner loop.
+  };
+
+  // Fails with FailedPrecondition if the program is not simple.
+  static StatusOr<PositionGraph> Build(const TgdProgram& program);
+  // Best-effort construction for arbitrary single-head programs.
+  static StatusOr<PositionGraph> BuildUnchecked(const TgdProgram& program);
+
+  const LabeledDigraph& graph() const { return graph_; }
+  const std::vector<Position>& nodes() const { return nodes_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // Index of a position node, or -1 if absent.
+  int NodeIndex(Position position) const;
+
+  // Provenance of edge `e` (aligned with graph().edges()).
+  const EdgeProvenance& edge_provenance(int e) const {
+    return edge_provenance_[static_cast<std::size_t>(e)];
+  }
+
+  // Node names ("r[ ]", "s[2]") in node-index order.
+  std::vector<std::string> NodeNames(const Vocabulary& vocab) const;
+
+  std::string ToDot(const Vocabulary& vocab) const;
+
+ private:
+  static PositionGraph BuildImpl(const TgdProgram& program);
+
+  LabeledDigraph graph_;
+  std::vector<Position> nodes_;
+  std::vector<EdgeProvenance> edge_provenance_;
+  std::unordered_map<Position, int, PositionHash> node_index_;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CORE_POSITION_GRAPH_H_

@@ -1,0 +1,59 @@
+#include "core/query_analysis.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "core/labels.h"
+#include "core/pnode.h"
+#include "core/pnode_graph.h"
+#include "graph/digraph.h"
+
+namespace ontorew {
+
+StatusOr<QuerySafetyReport> AnalyzeQuerySafety(const ConjunctiveQuery& query,
+                                               const TgdProgram& program,
+                                               const Vocabulary& vocab,
+                                               int max_nodes) {
+  OREW_RETURN_IF_ERROR(query.Validate());
+
+  // Seeds: every query atom, in the context of the whole query body. The
+  // canonical generic variables over-approximate both bound (answer) and
+  // unbound terms, matching the graph's admissibility semantics.
+  std::vector<PNode> seeds;
+  for (std::size_t j = 0; j < query.body().size(); ++j) {
+    seeds.push_back(CanonicalizePNode(query.body(), static_cast<int>(j),
+                                      std::nullopt));
+  }
+
+  PNodeGraphOptions options;
+  options.max_nodes = max_nodes;
+  OREW_ASSIGN_OR_RETURN(PNodeGraph graph,
+                        PNodeGraph::BuildFromSeeds(program, seeds, options));
+
+  QuerySafetyReport report;
+  report.num_nodes = graph.num_nodes();
+  report.num_edges = graph.graph().num_edges();
+  CycleWitness cycle = FindDangerousCycle(
+      graph.graph(), kLabelM | kLabelS | kLabelD, /*forbidden=*/kLabelI);
+  report.is_safe = !cycle.found;
+  if (cycle.found) {
+    std::string description;
+    for (int e : cycle.edges) {
+      const LabeledDigraph::Edge& edge = graph.graph().edge(e);
+      description += StrCat(
+          ToString(graph.nodes()[static_cast<std::size_t>(edge.from)], vocab),
+          " -", LabelsToString(edge.labels), "-> ");
+    }
+    if (!cycle.edges.empty()) {
+      const LabeledDigraph::Edge& first = graph.graph().edge(cycle.edges[0]);
+      description += ToString(
+          graph.nodes()[static_cast<std::size_t>(first.from)], vocab);
+    }
+    report.witness = std::move(description);
+  }
+  return report;
+}
+
+}  // namespace ontorew

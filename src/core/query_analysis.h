@@ -1,0 +1,42 @@
+#ifndef ONTOREW_CORE_QUERY_ANALYSIS_H_
+#define ONTOREW_CORE_QUERY_ANALYSIS_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "logic/program.h"
+#include "logic/query.h"
+#include "logic/vocabulary.h"
+
+// Per-query safety analysis — the paper's Section 7 exit for "situation
+// (iii)" (P is not WR), in the spirit of its query-patterns reference
+// [11]: even when the *program* admits dangerous recursion, a concrete
+// query may only ever reach harmless parts of it. We saturate the P-node
+// graph from the query's own atoms (each paired with the whole query body
+// as context) instead of the rule heads, and test the WR dangerous-cycle
+// condition on this reachable subgraph. If no dangerous cycle is
+// reachable, every rewriting chain from this query shape is bounded, and
+// the rewriting engine terminates on it.
+
+namespace ontorew {
+
+struct QuerySafetyReport {
+  // True iff the query-reachable P-node subgraph has no {d,m,s}\{i} cycle.
+  bool is_safe = false;
+  // Size of the reachable subgraph.
+  int num_nodes = 0;
+  int num_edges = 0;
+  // When unsafe: a human-readable dangerous closed walk.
+  std::string witness;
+};
+
+// Errors: FailedPrecondition for multi-head programs, ResourceExhausted
+// beyond `max_nodes`.
+StatusOr<QuerySafetyReport> AnalyzeQuerySafety(const ConjunctiveQuery& query,
+                                               const TgdProgram& program,
+                                               const Vocabulary& vocab,
+                                               int max_nodes = 200000);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CORE_QUERY_ANALYSIS_H_

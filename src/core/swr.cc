@@ -1,0 +1,64 @@
+#include "core/swr.h"
+
+#include <string>
+
+#include "base/strings.h"
+#include "core/labels.h"
+#include "core/position_graph.h"
+#include "graph/digraph.h"
+
+namespace ontorew {
+namespace {
+
+std::string DescribeWalk(const PositionGraph& position_graph,
+                         const std::vector<int>& edges,
+                         const Vocabulary& vocab) {
+  std::string description;
+  for (int e : edges) {
+    const LabeledDigraph::Edge& edge = position_graph.graph().edge(e);
+    const PositionGraph::EdgeProvenance& provenance =
+        position_graph.edge_provenance(e);
+    description += StrCat(
+        ToString(position_graph.nodes()[static_cast<std::size_t>(edge.from)],
+                 vocab),
+        " -", LabelsToString(edge.labels), "[R", provenance.rule_index + 1,
+        "]-> ");
+  }
+  if (!edges.empty()) {
+    const LabeledDigraph::Edge& first =
+        position_graph.graph().edge(edges.front());
+    description += ToString(
+        position_graph.nodes()[static_cast<std::size_t>(first.from)], vocab);
+  }
+  return description;
+}
+
+}  // namespace
+
+SwrReport CheckSwr(const TgdProgram& program, const Vocabulary& vocab) {
+  SwrReport report;
+  report.is_simple = program.IsSimple();
+  if (!report.is_simple) {
+    report.witness = "the program is not a set of simple TGDs";
+    return report;
+  }
+  StatusOr<PositionGraph> position_graph = PositionGraph::Build(program);
+  OREW_CHECK(position_graph.ok()) << position_graph.status();
+  CycleWitness cycle = FindDangerousCycle(
+      position_graph->graph(), kLabelM | kLabelS, /*forbidden=*/0);
+  report.is_swr = !cycle.found;
+  if (cycle.found) {
+    report.witness = DescribeWalk(*position_graph, cycle.edges, vocab);
+  }
+  return report;
+}
+
+bool IsSwr(const TgdProgram& program) {
+  if (!program.IsSimple()) return false;
+  StatusOr<PositionGraph> position_graph = PositionGraph::Build(program);
+  OREW_CHECK(position_graph.ok()) << position_graph.status();
+  return !HasDangerousCycle(position_graph->graph(), kLabelM | kLabelS,
+                            /*forbidden=*/0);
+}
+
+}  // namespace ontorew

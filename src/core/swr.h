@@ -1,0 +1,37 @@
+#ifndef ONTOREW_CORE_SWR_H_
+#define ONTOREW_CORE_SWR_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/program.h"
+#include "logic/vocabulary.h"
+
+// The class of Simply Weakly Recursive (SWR) TGDs (paper, Definition 5):
+// a set P of TGDs is SWR iff (i) P is a set of simple TGDs and (ii) no
+// cycle of the position graph AG(P) contains both an m-edge and an
+// s-edge. Every SWR set is FO-rewritable (Theorem 1), and the test runs in
+// PTIME.
+
+namespace ontorew {
+
+struct SwrReport {
+  // Whether P satisfies the simple-TGD preconditions.
+  bool is_simple = false;
+  // The verdict; false whenever !is_simple.
+  bool is_swr = false;
+  // When a dangerous cycle exists: a human-readable closed walk
+  // "r[ ] -m-> s[2] -s-> r[ ]".
+  std::string witness;
+};
+
+// Full report, including a witness cycle when the set is simple but not
+// SWR.
+SwrReport CheckSwr(const TgdProgram& program, const Vocabulary& vocab);
+
+// Verdict only.
+bool IsSwr(const TgdProgram& program);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CORE_SWR_H_

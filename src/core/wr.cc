@@ -1,0 +1,59 @@
+#include "core/wr.h"
+
+#include <string>
+
+#include "base/strings.h"
+#include "core/labels.h"
+#include "core/pnode_graph.h"
+#include "graph/digraph.h"
+
+namespace ontorew {
+
+StatusOr<WrReport> CheckWr(const TgdProgram& program, const Vocabulary& vocab,
+                           int max_nodes) {
+  PNodeGraphOptions options;
+  options.max_nodes = max_nodes;
+  OREW_ASSIGN_OR_RETURN(PNodeGraph pnode_graph,
+                        PNodeGraph::Build(program, options));
+
+  WrReport report;
+  report.num_nodes = pnode_graph.num_nodes();
+  report.num_edges = pnode_graph.graph().num_edges();
+
+  CycleWitness cycle =
+      FindDangerousCycle(pnode_graph.graph(), kLabelM | kLabelS | kLabelD,
+                         /*forbidden=*/kLabelI);
+  report.is_wr = !cycle.found;
+  if (cycle.found) {
+    std::string description;
+    for (int e : cycle.edges) {
+      const LabeledDigraph::Edge& edge = pnode_graph.graph().edge(e);
+      const PNodeGraph::EdgeProvenance& provenance =
+          pnode_graph.edge_provenance(e);
+      description +=
+          StrCat(ToString(pnode_graph.nodes()[static_cast<std::size_t>(
+                              edge.from)],
+                          vocab),
+                 " -", LabelsToString(edge.labels), "[R",
+                 provenance.rule_index + 1, "]-> ");
+    }
+    if (!cycle.edges.empty()) {
+      const LabeledDigraph::Edge& first =
+          pnode_graph.graph().edge(cycle.edges.front());
+      description += ToString(
+          pnode_graph.nodes()[static_cast<std::size_t>(first.from)], vocab);
+    }
+    report.witness = std::move(description);
+  }
+  return report;
+}
+
+bool IsWr(const TgdProgram& program) {
+  StatusOr<PNodeGraph> pnode_graph = PNodeGraph::Build(program);
+  if (!pnode_graph.ok()) return false;
+  return !HasDangerousCycle(pnode_graph->graph(),
+                            kLabelM | kLabelS | kLabelD,
+                            /*forbidden=*/kLabelI);
+}
+
+}  // namespace ontorew

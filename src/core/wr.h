@@ -1,0 +1,39 @@
+#ifndef ONTOREW_CORE_WR_H_
+#define ONTOREW_CORE_WR_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "logic/program.h"
+#include "logic/vocabulary.h"
+
+// The class of Weakly Recursive (WR) TGDs (paper, Definition 8): a set P
+// of TGDs is WR iff its P-node graph has no cycle that contains a d-edge,
+// an m-edge and an s-edge while containing no i-edge. WR is conjectured to
+// be FO-rewritable and to strictly subsume every known FO-rewritable
+// class; membership is conjectured to be in PSPACE (the node space of the
+// P-node graph is exponential).
+
+namespace ontorew {
+
+struct WrReport {
+  bool is_wr = false;
+  // Size of the saturated P-node graph (a proxy for the PSPACE cost).
+  int num_nodes = 0;
+  int num_edges = 0;
+  // When not WR: a human-readable dangerous closed walk.
+  std::string witness;
+};
+
+// Full report. Errors: FailedPrecondition for multi-head programs,
+// ResourceExhausted when the P-node graph exceeds `max_nodes`.
+StatusOr<WrReport> CheckWr(const TgdProgram& program, const Vocabulary& vocab,
+                           int max_nodes = 200000);
+
+// Verdict only; false is also returned on error (use CheckWr to
+// distinguish).
+bool IsWr(const TgdProgram& program);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_CORE_WR_H_

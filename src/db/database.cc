@@ -1,0 +1,111 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace ontorew {
+namespace {
+const std::vector<int>& EmptyIndexVector() {
+  static const auto& empty = *new std::vector<int>();
+  return empty;
+}
+}  // namespace
+
+std::string ToString(Value value, const Vocabulary& vocab) {
+  if (value.is_constant()) return vocab.ConstantName(value.id());
+  return StrCat("_:n", value.id());
+}
+
+std::string ToString(const Tuple& tuple, const Vocabulary& vocab) {
+  return StrCat("(",
+                StrJoin(tuple, ", ",
+                        [&vocab](std::ostream& os, Value v) {
+                          os << ToString(v, vocab);
+                        }),
+                ")");
+}
+
+Relation::Relation(int arity) : arity_(arity) {
+  OREW_CHECK(arity >= 0);
+  index_.resize(static_cast<std::size_t>(arity));
+}
+
+bool Relation::Insert(Tuple tuple) {
+  OREW_CHECK(static_cast<int>(tuple.size()) == arity_)
+      << "tuple arity " << tuple.size() << " vs relation arity " << arity_;
+  if (!present_.insert(tuple).second) return false;
+  int index = size();
+  for (int c = 0; c < arity_; ++c) {
+    index_[static_cast<std::size_t>(c)][tuple[static_cast<std::size_t>(c)]]
+        .push_back(index);
+  }
+  tuples_.push_back(std::move(tuple));
+  return true;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  return present_.count(tuple) > 0;
+}
+
+const std::vector<int>& Relation::TuplesWith(int column, Value value) const {
+  OREW_CHECK(column >= 0 && column < arity_);
+  const auto& column_index = index_[static_cast<std::size_t>(column)];
+  auto it = column_index.find(value);
+  return it == column_index.end() ? EmptyIndexVector() : it->second;
+}
+
+Relation& Database::GetOrCreate(PredicateId predicate, int arity) {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) {
+    it = relations_.emplace(predicate, Relation(arity)).first;
+  }
+  OREW_CHECK(it->second.arity() == arity)
+      << "predicate " << predicate << " used with arity " << arity
+      << " but stored with arity " << it->second.arity();
+  return it->second;
+}
+
+const Relation* Database::Find(PredicateId predicate) const {
+  auto it = relations_.find(predicate);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+bool Database::Insert(PredicateId predicate, Tuple tuple) {
+  return GetOrCreate(predicate, static_cast<int>(tuple.size()))
+      .Insert(std::move(tuple));
+}
+
+int Database::TotalTuples() const {
+  int total = 0;
+  for (const auto& [predicate, relation] : relations_) {
+    total += relation.size();
+  }
+  return total;
+}
+
+std::vector<PredicateId> Database::PredicatesPresent() const {
+  std::vector<PredicateId> predicates;
+  predicates.reserve(relations_.size());
+  for (const auto& [predicate, relation] : relations_) {
+    predicates.push_back(predicate);
+  }
+  return predicates;
+}
+
+std::string Database::ToString(const Vocabulary& vocab) const {
+  std::vector<std::string> lines;
+  for (const auto& [predicate, relation] : relations_) {
+    for (const Tuple& tuple : relation.tuples()) {
+      lines.push_back(StrCat(vocab.PredicateName(predicate),
+                             ontorew::ToString(tuple, vocab)));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return StrJoin(lines, "\n");
+}
+
+}  // namespace ontorew

@@ -1,0 +1,77 @@
+#ifndef ONTOREW_DB_DATABASE_H_
+#define ONTOREW_DB_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "db/value.h"
+#include "logic/vocabulary.h"
+
+// An in-memory relational database: one Relation per predicate, with
+// per-column hash indexes for CQ evaluation. This is the substrate the FO
+// rewriting is evaluated on (the paper's "SQL over the original
+// database"), and the structure the chase materializes into.
+
+namespace ontorew {
+
+class Relation {
+ public:
+  explicit Relation(int arity);
+
+  int arity() const { return arity_; }
+  int size() const { return static_cast<int>(tuples_.size()); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  // Inserts a tuple; returns false if it was already present.
+  bool Insert(Tuple tuple);
+  bool Contains(const Tuple& tuple) const;
+
+  // Indices (into tuples()) of the tuples whose `column` holds `value`.
+  // O(1) hash lookup; returns an empty vector reference when none.
+  const std::vector<int>& TuplesWith(int column, Value value) const;
+
+ private:
+  int arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> present_;
+  // index_[column][value] = tuple indices.
+  std::vector<std::unordered_map<Value, std::vector<int>, ValueHash>> index_;
+};
+
+class Database {
+ public:
+  Database() = default;
+
+  // The relation for `predicate`, created empty (with `arity`) on first
+  // use. Arity mismatches abort.
+  Relation& GetOrCreate(PredicateId predicate, int arity);
+  // nullptr when the predicate has no relation.
+  const Relation* Find(PredicateId predicate) const;
+
+  // Convenience: inserts into GetOrCreate(predicate, tuple.size()).
+  bool Insert(PredicateId predicate, Tuple tuple);
+
+  int TotalTuples() const;
+
+  // Predicates with a (possibly empty) relation, sorted.
+  std::vector<PredicateId> PredicatesPresent() const;
+
+  // Allocates a fresh labeled null (chase use).
+  Value FreshNull() { return Value::Null(next_null_++); }
+  std::int32_t num_nulls() const { return next_null_; }
+
+  // Multi-line listing "r(a, b)" per tuple, sorted, for tests and tools.
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::map<PredicateId, Relation> relations_;
+  std::int32_t next_null_ = 0;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_DB_DATABASE_H_

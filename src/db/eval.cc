@@ -1,0 +1,228 @@
+#include "db/eval.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace ontorew {
+namespace {
+
+// Backtracking matcher. Atoms are ordered greedily at each step: the atom
+// with the most bound positions first (ties: smaller relation), so joins
+// use the per-column indexes as early as possible.
+class Matcher {
+ public:
+  Matcher(const std::vector<Atom>& atoms, const Database& db,
+          const Binding& initial,
+          const std::function<bool(const Binding&)>& callback,
+          EvalStats* stats)
+      : atoms_(atoms), db_(db), callback_(callback), stats_(stats),
+        binding_(initial) {
+    used_.resize(atoms.size(), false);
+  }
+
+  // Returns false if enumeration was stopped by the callback.
+  bool Run() { return Descend(0); }
+
+ private:
+  int CountBound(const Atom& atom) const {
+    int bound = 0;
+    for (Term t : atom.terms()) {
+      if (t.is_constant() || binding_.count(t.id()) > 0) ++bound;
+    }
+    return bound;
+  }
+
+  // Picks the next unused atom index to match.
+  int PickNext() const {
+    int best = -1;
+    int best_bound = -1;
+    long best_size = 0;
+    for (std::size_t i = 0; i < atoms_.size(); ++i) {
+      if (used_[i]) continue;
+      const Relation* relation = db_.Find(atoms_[i].predicate());
+      long size = relation == nullptr ? 0 : relation->size();
+      int bound = CountBound(atoms_[i]);
+      if (best == -1 || bound > best_bound ||
+          (bound == best_bound && size < best_size)) {
+        best = static_cast<int>(i);
+        best_bound = bound;
+        best_size = size;
+      }
+    }
+    return best;
+  }
+
+  // Resolves an atom term to a concrete value if bound.
+  bool ResolveTerm(Term t, Value* out) const {
+    if (t.is_constant()) {
+      *out = Value::Constant(t.id());
+      return true;
+    }
+    auto it = binding_.find(t.id());
+    if (it == binding_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  bool Descend(std::size_t depth) {
+    if (depth == atoms_.size()) {
+      if (stats_ != nullptr) ++stats_->matches;
+      return callback_(binding_);
+    }
+
+    int index = PickNext();
+    OREW_CHECK(index >= 0);
+    const Atom& atom = atoms_[static_cast<std::size_t>(index)];
+    used_[static_cast<std::size_t>(index)] = true;
+
+    bool keep_going = true;
+    const Relation* relation = db_.Find(atom.predicate());
+    if (relation != nullptr &&
+        relation->arity() == atom.arity()) {
+      // Choose the bound column with the smallest posting list, if any.
+      int best_column = -1;
+      std::size_t best_postings = 0;
+      Value best_value;
+      for (int c = 0; c < atom.arity(); ++c) {
+        Value value;
+        if (!ResolveTerm(atom.term(c), &value)) continue;
+        const std::vector<int>& postings = relation->TuplesWith(c, value);
+        if (best_column == -1 || postings.size() < best_postings) {
+          best_column = c;
+          best_postings = postings.size();
+          best_value = value;
+        }
+      }
+
+      auto try_tuple = [&](const Tuple& tuple) {
+        if (stats_ != nullptr) ++stats_->tuples_examined;
+        std::vector<VariableId> newly_bound;
+        bool consistent = true;
+        for (int c = 0; c < atom.arity(); ++c) {
+          Term t = atom.term(c);
+          Value cell = tuple[static_cast<std::size_t>(c)];
+          if (t.is_constant()) {
+            if (Value::Constant(t.id()) != cell) {
+              consistent = false;
+              break;
+            }
+            continue;
+          }
+          auto it = binding_.find(t.id());
+          if (it != binding_.end()) {
+            if (it->second != cell) {
+              consistent = false;
+              break;
+            }
+          } else {
+            binding_.emplace(t.id(), cell);
+            newly_bound.push_back(t.id());
+          }
+        }
+        if (consistent && !Descend(depth + 1)) keep_going = false;
+        for (VariableId v : newly_bound) binding_.erase(v);
+      };
+
+      if (best_column >= 0) {
+        for (int tuple_index : relation->TuplesWith(best_column, best_value)) {
+          if (!keep_going) break;
+          try_tuple(relation->tuples()[static_cast<std::size_t>(tuple_index)]);
+        }
+      } else {
+        for (const Tuple& tuple : relation->tuples()) {
+          if (!keep_going) break;
+          try_tuple(tuple);
+        }
+      }
+    }
+    // Missing relation or arity mismatch: no matches for this atom.
+
+    used_[static_cast<std::size_t>(index)] = false;
+    return keep_going;
+  }
+
+  const std::vector<Atom>& atoms_;
+  const Database& db_;
+  const std::function<bool(const Binding&)>& callback_;
+  EvalStats* stats_;
+  std::vector<bool> used_;
+  Binding binding_;
+};
+
+}  // namespace
+
+void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                  const std::function<bool(const Binding&)>& callback) {
+  Matcher(atoms, db, Binding(), callback, nullptr).Run();
+}
+
+void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                  const Binding& initial,
+                  const std::function<bool(const Binding&)>& callback) {
+  Matcher(atoms, db, initial, callback, nullptr).Run();
+}
+
+void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                  const Binding& initial,
+                  const std::function<bool(const Binding&)>& callback,
+                  EvalStats* stats) {
+  Matcher(atoms, db, initial, callback, stats).Run();
+}
+
+bool HasMatch(const std::vector<Atom>& atoms, const Database& db) {
+  return HasMatch(atoms, db, Binding());
+}
+
+bool HasMatch(const std::vector<Atom>& atoms, const Database& db,
+              const Binding& initial) {
+  bool found = false;
+  ForEachMatch(atoms, db, initial, [&found](const Binding&) {
+    found = true;
+    return false;  // Stop at the first match.
+  });
+  return found;
+}
+
+std::vector<Tuple> Evaluate(const ConjunctiveQuery& cq, const Database& db,
+                            const EvalOptions& options, EvalStats* stats) {
+  std::set<Tuple> answers;
+  ForEachMatch(cq.body(), db, Binding(), [&](const Binding& binding) {
+    Tuple answer;
+    answer.reserve(cq.answer_terms().size());
+    bool has_null = false;
+    for (Term t : cq.answer_terms()) {
+      Value value;
+      if (t.is_constant()) {
+        value = Value::Constant(t.id());
+      } else {
+        auto it = binding.find(t.id());
+        OREW_CHECK(it != binding.end())
+            << "answer variable " << t.id() << " unbound — invalid CQ";
+        value = it->second;
+      }
+      if (value.is_null()) has_null = true;
+      answer.push_back(value);
+    }
+    if (!options.drop_tuples_with_nulls || !has_null) {
+      answers.insert(std::move(answer));
+    }
+    return true;
+  }, stats);
+  return std::vector<Tuple>(answers.begin(), answers.end());
+}
+
+std::vector<Tuple> Evaluate(const UnionOfCqs& ucq, const Database& db,
+                            const EvalOptions& options, EvalStats* stats) {
+  std::set<Tuple> answers;
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    for (Tuple& tuple : Evaluate(cq, db, options, stats)) {
+      answers.insert(std::move(tuple));
+    }
+  }
+  return std::vector<Tuple>(answers.begin(), answers.end());
+}
+
+}  // namespace ontorew

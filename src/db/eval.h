@@ -1,0 +1,73 @@
+#ifndef ONTOREW_DB_EVAL_H_
+#define ONTOREW_DB_EVAL_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "db/value.h"
+#include "logic/atom.h"
+#include "logic/query.h"
+
+// Conjunctive-query evaluation over a Database: index-nested-loop joins
+// with greedy bound-first atom ordering. This is the query processor the
+// FO rewriting is handed to (the paper's AC0 / "plain SQL" stage), and the
+// homomorphism finder the chase uses to locate triggers.
+
+namespace ontorew {
+
+// A homomorphism from query variables to database values.
+using Binding = std::unordered_map<VariableId, Value>;
+
+struct EvalOptions {
+  // Drop answer tuples containing labeled nulls (certain-answer semantics
+  // when evaluating over a chase result).
+  bool drop_tuples_with_nulls = false;
+};
+
+// Execution counters, for plan-quality tests and benchmarks.
+struct EvalStats {
+  // Tuples fetched from relations (after index lookup, before the
+  // consistency check).
+  long long tuples_examined = 0;
+  // Complete homomorphisms found.
+  long long matches = 0;
+};
+
+// Enumerates every homomorphism from `atoms` into `db`. The callback
+// returns false to stop enumeration early. Constants in atoms must match
+// constants in tuples; variables bind consistently across occurrences.
+void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                  const std::function<bool(const Binding&)>& callback);
+
+// As above, with some variables pre-bound (used by the restricted chase to
+// check whether a trigger's head is already satisfied under the frontier
+// binding).
+void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                  const Binding& initial,
+                  const std::function<bool(const Binding&)>& callback);
+
+// As above, also accumulating execution counters into *stats (may be
+// nullptr).
+void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                  const Binding& initial,
+                  const std::function<bool(const Binding&)>& callback,
+                  EvalStats* stats);
+
+// True iff at least one homomorphism exists (extending `initial`).
+bool HasMatch(const std::vector<Atom>& atoms, const Database& db);
+bool HasMatch(const std::vector<Atom>& atoms, const Database& db,
+              const Binding& initial);
+
+// All answer tuples, deduplicated and sorted (deterministic output).
+std::vector<Tuple> Evaluate(const ConjunctiveQuery& cq, const Database& db,
+                            const EvalOptions& options = {},
+                            EvalStats* stats = nullptr);
+std::vector<Tuple> Evaluate(const UnionOfCqs& ucq, const Database& db,
+                            const EvalOptions& options = {},
+                            EvalStats* stats = nullptr);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_DB_EVAL_H_

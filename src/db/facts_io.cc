@@ -1,0 +1,77 @@
+#include "db/facts_io.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "logic/atom.h"
+#include "logic/parser.h"
+
+namespace ontorew {
+
+StatusOr<Database> ParseFacts(std::string_view text, Vocabulary* vocab) {
+  Database db;
+  // Reuse the logic parser: wrap the file as a sequence of atoms by
+  // splitting on statement dots is fragile (constants may contain dots in
+  // quoted strings), so parse line-wise through ParseAtom.
+  std::size_t line_start = 0;
+  int line_number = 0;
+  while (line_start <= text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ++line_number;
+
+    // Strip comments and whitespace.
+    std::size_t comment = line.find_first_of("#%");
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r' || line.back() == '.')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    if (line.empty()) continue;
+
+    StatusOr<Atom> atom = ParseAtom(line, vocab);
+    if (!atom.ok()) {
+      return InvalidArgumentError(StrCat("facts line ", line_number, ": ",
+                                         atom.status().message()));
+    }
+    Tuple tuple;
+    tuple.reserve(atom->terms().size());
+    for (Term t : atom->terms()) {
+      if (!t.is_constant()) {
+        return InvalidArgumentError(
+            StrCat("facts line ", line_number,
+                   ": ground atoms only — found a variable"));
+      }
+      tuple.push_back(Value::Constant(t.id()));
+    }
+    db.Insert(atom->predicate(), std::move(tuple));
+  }
+  return db;
+}
+
+std::string FactsToString(const Database& db, const Vocabulary& vocab) {
+  std::vector<std::string> lines;
+  for (PredicateId p : db.PredicatesPresent()) {
+    const Relation* relation = db.Find(p);
+    for (const Tuple& tuple : relation->tuples()) {
+      std::string line = StrCat(vocab.PredicateName(p), "(");
+      line += StrJoin(tuple, ", ",
+                      [&vocab](std::ostream& os, Value v) {
+                        os << ToString(v, vocab);
+                      });
+      line += ").";
+      lines.push_back(std::move(line));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return StrJoin(lines, "\n");
+}
+
+}  // namespace ontorew

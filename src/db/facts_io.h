@@ -1,0 +1,31 @@
+#ifndef ONTOREW_DB_FACTS_IO_H_
+#define ONTOREW_DB_FACTS_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "db/database.h"
+#include "logic/vocabulary.h"
+
+// Ground-fact files: one ground atom per line, in the same syntax as the
+// TGD format's atoms ('#'/'%' comments, trailing '.' optional):
+//
+//   professor(ada).
+//   teaches(ada, logic101).
+//
+// Used by the CLI examples to load extensional data next to a .tgd
+// ontology.
+
+namespace ontorew {
+
+// Parses ground facts into a database. Variables in facts are an error.
+StatusOr<Database> ParseFacts(std::string_view text, Vocabulary* vocab);
+
+// Renders the database in the same format (sorted, stable). Nulls render
+// as "_:n<i>" and do not round-trip (they are chase artifacts).
+std::string FactsToString(const Database& db, const Vocabulary& vocab);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_DB_FACTS_IO_H_

@@ -1,0 +1,248 @@
+#include "dl/dllite.h"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "logic/atom.h"
+#include "logic/term.h"
+
+namespace ontorew {
+namespace {
+
+// Splits a line into whitespace-separated tokens, stripping '#' comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool IsIdentifier(const std::string& token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Parses one side of an inclusion starting at tokens[*pos]; advances *pos.
+StatusOr<DlBasicConcept> ParseConceptSide(
+    const std::vector<std::string>& tokens, std::size_t* pos, int line) {
+  if (*pos >= tokens.size()) {
+    return InvalidArgumentError(StrCat("line ", line, ": missing concept"));
+  }
+  DlBasicConcept side;
+  if (tokens[*pos] == "exists") {
+    ++*pos;
+    if (*pos >= tokens.size()) {
+      return InvalidArgumentError(
+          StrCat("line ", line, ": 'exists' without a role"));
+    }
+    std::string role = tokens[(*pos)++];
+    if (!role.empty() && role.back() == '-') {
+      side.kind = DlBasicConcept::Kind::kExistsInverseRole;
+      role.pop_back();
+    } else {
+      side.kind = DlBasicConcept::Kind::kExistsRole;
+    }
+    if (!IsIdentifier(role)) {
+      return InvalidArgumentError(
+          StrCat("line ", line, ": bad role name '", role, "'"));
+    }
+    side.name = std::move(role);
+    return side;
+  }
+  std::string name = tokens[(*pos)++];
+  if (!name.empty() && name.back() == '-') {
+    return InvalidArgumentError(
+        StrCat("line ", line,
+               ": inverse marker on a concept name; use 'exists ", name,
+               "' for role projections"));
+  }
+  if (!IsIdentifier(name)) {
+    return InvalidArgumentError(
+        StrCat("line ", line, ": bad concept name '", name, "'"));
+  }
+  side.kind = DlBasicConcept::Kind::kAtomic;
+  side.name = std::move(name);
+  return side;
+}
+
+}  // namespace
+
+StatusOr<std::vector<DlAxiom>> ParseDlLiteAxioms(std::string_view text) {
+  std::vector<DlAxiom> axioms;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+
+    // Find the inclusion sign.
+    std::size_t sign = tokens.size();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i] == "[=") {
+        sign = i;
+        break;
+      }
+    }
+    if (sign == tokens.size()) {
+      return InvalidArgumentError(
+          StrCat("line ", line_number, ": expected '[=' in axiom"));
+    }
+
+    std::vector<std::string> lhs(tokens.begin(), tokens.begin() + sign);
+    std::vector<std::string> rhs(tokens.begin() + sign + 1, tokens.end());
+
+    // Role inclusion: both sides are single bare role tokens and neither
+    // uses 'exists'.
+    bool lhs_existsy = !lhs.empty() && lhs.front() == "exists";
+    bool rhs_existsy = !rhs.empty() && rhs.front() == "exists";
+    bool role_inclusion = !lhs_existsy && !rhs_existsy && lhs.size() == 1 &&
+                          rhs.size() == 1 &&
+                          (lhs.front().back() == '-' ||
+                           rhs.front().back() == '-');
+    // A bare `A [= B` between identifiers could be concepts or roles; the
+    // ambiguity is resolved at translation time by arity bookkeeping, so
+    // here we treat it as a concept inclusion unless an inverse marker
+    // forces a role reading. Users can also write `exists R [= ...` to
+    // force the concept reading of a role's domain.
+
+    DlAxiom axiom;
+    if (role_inclusion) {
+      axiom.is_role_inclusion = true;
+      std::string l = lhs.front();
+      if (l.back() == '-') {
+        axiom.lhs_inverse = true;
+        l.pop_back();
+      }
+      std::string r = rhs.front();
+      if (r.back() == '-') {
+        axiom.rhs_inverse = true;
+        r.pop_back();
+      }
+      if (!IsIdentifier(l) || !IsIdentifier(r)) {
+        return InvalidArgumentError(
+            StrCat("line ", line_number, ": bad role inclusion"));
+      }
+      axiom.lhs_role = std::move(l);
+      axiom.rhs_role = std::move(r);
+    } else {
+      std::size_t pos = 0;
+      OREW_ASSIGN_OR_RETURN(axiom.lhs_concept,
+                            ParseConceptSide(lhs, &pos, line_number));
+      if (pos != lhs.size()) {
+        return InvalidArgumentError(
+            StrCat("line ", line_number, ": trailing tokens on lhs"));
+      }
+      pos = 0;
+      OREW_ASSIGN_OR_RETURN(axiom.rhs_concept,
+                            ParseConceptSide(rhs, &pos, line_number));
+      if (pos != rhs.size()) {
+        return InvalidArgumentError(
+            StrCat("line ", line_number, ": trailing tokens on rhs"));
+      }
+    }
+    axioms.push_back(std::move(axiom));
+  }
+  return axioms;
+}
+
+StatusOr<TgdProgram> TranslateDlLite(const std::vector<DlAxiom>& axioms,
+                                     Vocabulary* vocab) {
+  TgdProgram program;
+  const Term x = Term::Var(vocab->InternVariable("X"));
+  const Term y = Term::Var(vocab->InternVariable("Y"));
+  const Term z = Term::Var(vocab->InternVariable("Z"));
+
+  auto concept_pred = [vocab](const std::string& name) {
+    return vocab->InternPredicate(name, 1);
+  };
+  auto role_pred = [vocab](const std::string& name) {
+    return vocab->InternPredicate(name, 2);
+  };
+
+  for (const DlAxiom& axiom : axioms) {
+    if (axiom.is_role_inclusion) {
+      OREW_ASSIGN_OR_RETURN(PredicateId lhs, role_pred(axiom.lhs_role));
+      OREW_ASSIGN_OR_RETURN(PredicateId rhs, role_pred(axiom.rhs_role));
+      Atom body(lhs, axiom.lhs_inverse ? std::vector<Term>{y, x}
+                                       : std::vector<Term>{x, y});
+      Atom head(rhs, axiom.rhs_inverse ? std::vector<Term>{y, x}
+                                       : std::vector<Term>{x, y});
+      program.Add(Tgd({body}, {head}));
+      continue;
+    }
+
+    // Body atom: X is the member of the lhs concept.
+    Atom body;
+    switch (axiom.lhs_concept.kind) {
+      case DlBasicConcept::Kind::kAtomic: {
+        OREW_ASSIGN_OR_RETURN(PredicateId p,
+                              concept_pred(axiom.lhs_concept.name));
+        body = Atom(p, {x});
+        break;
+      }
+      case DlBasicConcept::Kind::kExistsRole: {
+        OREW_ASSIGN_OR_RETURN(PredicateId p,
+                              role_pred(axiom.lhs_concept.name));
+        body = Atom(p, {x, y});
+        break;
+      }
+      case DlBasicConcept::Kind::kExistsInverseRole: {
+        OREW_ASSIGN_OR_RETURN(PredicateId p,
+                              role_pred(axiom.lhs_concept.name));
+        body = Atom(p, {y, x});
+        break;
+      }
+    }
+    // Head atom: X must be in the rhs concept; fresh Z for existentials.
+    Atom head;
+    switch (axiom.rhs_concept.kind) {
+      case DlBasicConcept::Kind::kAtomic: {
+        OREW_ASSIGN_OR_RETURN(PredicateId p,
+                              concept_pred(axiom.rhs_concept.name));
+        head = Atom(p, {x});
+        break;
+      }
+      case DlBasicConcept::Kind::kExistsRole: {
+        OREW_ASSIGN_OR_RETURN(PredicateId p,
+                              role_pred(axiom.rhs_concept.name));
+        head = Atom(p, {x, z});
+        break;
+      }
+      case DlBasicConcept::Kind::kExistsInverseRole: {
+        OREW_ASSIGN_OR_RETURN(PredicateId p,
+                              role_pred(axiom.rhs_concept.name));
+        head = Atom(p, {z, x});
+        break;
+      }
+    }
+    program.Add(Tgd({body}, {head}));
+  }
+  return program;
+}
+
+StatusOr<TgdProgram> ParseDlLite(std::string_view text, Vocabulary* vocab) {
+  OREW_ASSIGN_OR_RETURN(std::vector<DlAxiom> axioms,
+                        ParseDlLiteAxioms(text));
+  return TranslateDlLite(axioms, vocab);
+}
+
+}  // namespace ontorew

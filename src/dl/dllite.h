@@ -1,0 +1,66 @@
+#ifndef ONTOREW_DL_DLLITE_H_
+#define ONTOREW_DL_DLLITE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/program.h"
+#include "logic/vocabulary.h"
+
+// A DL-Lite_R frontend. The paper (Section 1) cites the DL-Lite family as
+// the prototypical FO-rewritable ontology formalism that its TGD classes
+// generalize; this module makes the connection executable: DL-Lite_R
+// positive inclusions translate into TGDs that are always linear and
+// simple — hence SWR, hence WR (asserted in tests/dllite_test.cc).
+//
+// Axiom syntax (one axiom per line; '#' comments):
+//
+//   Professor [= Faculty              # atomic concept inclusion
+//   Faculty [= exists teaches         # mandatory participation
+//   exists teaches- [= Course         # range via inverse
+//   mentors [= advises                # role inclusion
+//   mentors [= advises-               # role inclusion into an inverse
+//
+// Concepts name unary predicates, roles binary predicates; 'exists R' is
+// the domain of R, 'exists R-' its range. (Negative inclusions, which
+// affect only consistency checking, are out of scope.)
+
+namespace ontorew {
+
+// A basic DL-Lite_R concept: an atomic concept A, or ∃R / ∃R⁻.
+struct DlBasicConcept {
+  enum class Kind { kAtomic, kExistsRole, kExistsInverseRole };
+  Kind kind = Kind::kAtomic;
+  std::string name;  // Concept or role name.
+};
+
+// Either a concept inclusion B1 ⊑ B2 or a role inclusion R1 ⊑ R2 (each
+// side possibly inverse).
+struct DlAxiom {
+  bool is_role_inclusion = false;
+  // Concept inclusion parts.
+  DlBasicConcept lhs_concept;
+  DlBasicConcept rhs_concept;
+  // Role inclusion parts.
+  std::string lhs_role;
+  bool lhs_inverse = false;
+  std::string rhs_role;
+  bool rhs_inverse = false;
+};
+
+// Parses DL-Lite_R axioms.
+StatusOr<std::vector<DlAxiom>> ParseDlLiteAxioms(std::string_view text);
+
+// Translates axioms to TGDs over `vocab`: concepts become unary
+// predicates, roles binary predicates.
+StatusOr<TgdProgram> TranslateDlLite(const std::vector<DlAxiom>& axioms,
+                                     Vocabulary* vocab);
+
+// Parse + translate in one step.
+StatusOr<TgdProgram> ParseDlLite(std::string_view text, Vocabulary* vocab);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_DL_DLLITE_H_

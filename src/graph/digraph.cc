@@ -1,0 +1,278 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace ontorew {
+
+int LabeledDigraph::AddNode() {
+  out_edges_.emplace_back();
+  return num_nodes() - 1;
+}
+
+int LabeledDigraph::AddNodes(int count) {
+  OREW_CHECK(count >= 0);
+  int first = num_nodes();
+  for (int i = 0; i < count; ++i) out_edges_.emplace_back();
+  return first;
+}
+
+int LabeledDigraph::AddEdge(int from, int to, LabelMask labels) {
+  OREW_CHECK(from >= 0 && from < num_nodes());
+  OREW_CHECK(to >= 0 && to < num_nodes());
+  int index = num_edges();
+  edges_.push_back(Edge{from, to, labels});
+  out_edges_[static_cast<std::size_t>(from)].push_back(index);
+  return index;
+}
+
+bool LabeledDigraph::HasEdge(int from, int to, LabelMask labels) const {
+  for (int e : out_edges(from)) {
+    const Edge& edge = edges_[static_cast<std::size_t>(e)];
+    if (edge.to == to && edge.labels == labels) return true;
+  }
+  return false;
+}
+
+SccResult StronglyConnectedComponents(const LabeledDigraph& graph) {
+  // Iterative Tarjan, resilient to deep graphs.
+  const int n = graph.num_nodes();
+  SccResult result;
+  result.component.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  struct Frame {
+    int node;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    call_stack.push_back({root, 0});
+    index[static_cast<std::size_t>(root)] = next_index;
+    lowlink[static_cast<std::size_t>(root)] = next_index;
+    ++next_index;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      int v = frame.node;
+      const std::vector<int>& out = graph.out_edges(v);
+      bool descended = false;
+      while (frame.edge_pos < out.size()) {
+        int w = graph.edge(out[frame.edge_pos]).to;
+        ++frame.edge_pos;
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] = next_index;
+          lowlink[static_cast<std::size_t>(w)] = next_index;
+          ++next_index;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(v)] =
+              std::min(lowlink[static_cast<std::size_t>(v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+      // v is finished.
+      if (lowlink[static_cast<std::size_t>(v)] ==
+          index[static_cast<std::size_t>(v)]) {
+        while (true) {
+          int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          result.component[static_cast<std::size_t>(w)] =
+              result.num_components;
+          if (w == v) break;
+        }
+        ++result.num_components;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        int parent = call_stack.back().node;
+        lowlink[static_cast<std::size_t>(parent)] =
+            std::min(lowlink[static_cast<std::size_t>(parent)],
+                     lowlink[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// BFS over forbidden-free edges restricted to one SCC, returning the edge
+// path from `from` to `to` (empty if from == to).
+std::vector<int> BfsPathWithinScc(const LabeledDigraph& graph,
+                                  const SccResult& scc, LabelMask forbidden,
+                                  int component, int from, int to) {
+  if (from == to) return {};
+  std::vector<int> parent_edge(static_cast<std::size_t>(graph.num_nodes()),
+                               -1);
+  std::deque<int> queue = {from};
+  std::vector<bool> visited(static_cast<std::size_t>(graph.num_nodes()),
+                            false);
+  visited[static_cast<std::size_t>(from)] = true;
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    for (int e : graph.out_edges(v)) {
+      const LabeledDigraph::Edge& edge = graph.edge(e);
+      if ((edge.labels & forbidden) != 0) continue;
+      if (scc.component[static_cast<std::size_t>(edge.to)] != component) {
+        continue;
+      }
+      if (visited[static_cast<std::size_t>(edge.to)]) continue;
+      visited[static_cast<std::size_t>(edge.to)] = true;
+      parent_edge[static_cast<std::size_t>(edge.to)] = e;
+      if (edge.to == to) {
+        std::vector<int> path;
+        int node = to;
+        while (node != from) {
+          int pe = parent_edge[static_cast<std::size_t>(node)];
+          path.push_back(pe);
+          node = graph.edge(pe).from;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(edge.to);
+    }
+  }
+  OREW_CHECK(false) << "no path within SCC — SCC computation inconsistent";
+  return {};
+}
+
+}  // namespace
+
+CycleWitness FindDangerousCycle(const LabeledDigraph& graph,
+                                LabelMask required, LabelMask forbidden) {
+  // Work on the subgraph without forbidden edges. Rather than materialize
+  // it, run SCC on a filtered copy.
+  LabeledDigraph filtered;
+  filtered.AddNodes(graph.num_nodes());
+  std::vector<int> original_edge;  // filtered edge -> original edge index
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const LabeledDigraph::Edge& edge = graph.edge(e);
+    if ((edge.labels & forbidden) != 0) continue;
+    filtered.AddEdge(edge.from, edge.to, edge.labels);
+    original_edge.push_back(e);
+  }
+  SccResult scc = StronglyConnectedComponents(filtered);
+
+  // Collect, per SCC, the union of intra-SCC edge labels and one
+  // representative edge per label bit.
+  std::vector<LabelMask> scc_labels(
+      static_cast<std::size_t>(scc.num_components), 0);
+  std::vector<bool> scc_has_cycle(static_cast<std::size_t>(scc.num_components),
+                                  false);
+  for (int e = 0; e < filtered.num_edges(); ++e) {
+    const LabeledDigraph::Edge& edge = filtered.edge(e);
+    int cf = scc.component[static_cast<std::size_t>(edge.from)];
+    int ct = scc.component[static_cast<std::size_t>(edge.to)];
+    if (cf != ct) continue;
+    // Intra-SCC edge: always part of some closed walk (including
+    // self-loops, where from == to).
+    scc_labels[static_cast<std::size_t>(cf)] |= edge.labels;
+    scc_has_cycle[static_cast<std::size_t>(cf)] = true;
+  }
+
+  int dangerous_component = -1;
+  for (int c = 0; c < scc.num_components; ++c) {
+    if (scc_has_cycle[static_cast<std::size_t>(c)] &&
+        (scc_labels[static_cast<std::size_t>(c)] & required) == required) {
+      dangerous_component = c;
+      break;
+    }
+  }
+  if (dangerous_component == -1) return CycleWitness{};
+
+  // Build a witness closed walk: pick one representative intra-SCC edge for
+  // each required label bit (falling back to any intra-SCC edge if
+  // required == 0), then stitch them together with BFS paths.
+  std::vector<int> chosen;  // filtered edge indices
+  LabelMask remaining = required;
+  for (int e = 0; e < filtered.num_edges(); ++e) {
+    const LabeledDigraph::Edge& edge = filtered.edge(e);
+    int cf = scc.component[static_cast<std::size_t>(edge.from)];
+    int ct = scc.component[static_cast<std::size_t>(edge.to)];
+    if (cf != dangerous_component || ct != dangerous_component) continue;
+    if (chosen.empty() && required == 0) {
+      chosen.push_back(e);
+      break;
+    }
+    if ((edge.labels & remaining) != 0) {
+      chosen.push_back(e);
+      remaining &= static_cast<LabelMask>(~edge.labels);
+      if (remaining == 0) break;
+    }
+  }
+  OREW_CHECK(!chosen.empty());
+
+  CycleWitness witness;
+  witness.found = true;
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    const LabeledDigraph::Edge& this_edge =
+        filtered.edge(chosen[i]);
+    witness.edges.push_back(original_edge[static_cast<std::size_t>(
+        chosen[i])]);
+    const LabeledDigraph::Edge& next_edge =
+        filtered.edge(chosen[(i + 1) % chosen.size()]);
+    std::vector<int> path =
+        BfsPathWithinScc(filtered, scc, forbidden, dangerous_component,
+                         this_edge.to, next_edge.from);
+    for (int e : path) {
+      witness.edges.push_back(original_edge[static_cast<std::size_t>(e)]);
+    }
+  }
+  return witness;
+}
+
+bool HasDangerousCycle(const LabeledDigraph& graph, LabelMask required,
+                       LabelMask forbidden) {
+  return FindDangerousCycle(graph, required, forbidden).found;
+}
+
+std::string ToDot(const LabeledDigraph& graph,
+                  const std::vector<std::string>& node_names,
+                  const std::vector<std::pair<LabelMask, std::string>>&
+                      label_legend) {
+  std::string dot = "digraph G {\n";
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    std::string name = v < static_cast<int>(node_names.size())
+                           ? node_names[static_cast<std::size_t>(v)]
+                           : StrCat("n", v);
+    dot += StrCat("  n", v, " [label=\"", name, "\"];\n");
+  }
+  for (const LabeledDigraph::Edge& edge : graph.edges()) {
+    std::vector<std::string> parts;
+    for (const auto& [mask, name] : label_legend) {
+      if ((edge.labels & mask) != 0) parts.push_back(name);
+    }
+    dot += StrCat("  n", edge.from, " -> n", edge.to, " [label=\"",
+                  StrJoin(parts, ","), "\"];\n");
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace ontorew

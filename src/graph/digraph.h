@@ -1,0 +1,93 @@
+#ifndef ONTOREW_GRAPH_DIGRAPH_H_
+#define ONTOREW_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// A directed multigraph with bitmask edge labels — the substrate shared by
+// the position graph, the P-node graph, the graph of rule dependencies and
+// the weak-acyclicity dependency graph. Parallel edges are kept distinct so
+// diagnostics can point at the exact rule application an edge came from.
+
+namespace ontorew {
+
+using LabelMask = std::uint8_t;
+
+class LabeledDigraph {
+ public:
+  struct Edge {
+    int from;
+    int to;
+    LabelMask labels;
+  };
+
+  LabeledDigraph() = default;
+
+  // Adds a node and returns its index.
+  int AddNode();
+  // Adds `count` nodes, returning the index of the first.
+  int AddNodes(int count);
+
+  // Adds an edge and returns its index. Self-loops allowed.
+  int AddEdge(int from, int to, LabelMask labels);
+
+  int num_nodes() const { return static_cast<int>(out_edges_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const Edge& edge(int e) const { return edges_[static_cast<std::size_t>(e)]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  // Indices of edges leaving `node`.
+  const std::vector<int>& out_edges(int node) const {
+    return out_edges_[static_cast<std::size_t>(node)];
+  }
+
+  // True if an edge from->to with exactly these labels exists.
+  bool HasEdge(int from, int to, LabelMask labels) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_edges_;
+};
+
+// Condensation: strongly connected components via iterative Tarjan.
+// component[node] is the SCC index; SCC indices are in reverse topological
+// order of the condensation (Tarjan property).
+struct SccResult {
+  std::vector<int> component;
+  int num_components = 0;
+};
+
+SccResult StronglyConnectedComponents(const LabeledDigraph& graph);
+
+// Analysis of dangerous cycles. A *cycle* is read as a closed walk (the
+// standard reading for dependency-graph acyclicity conditions): a closed
+// walk whose edges jointly carry every label in `required` and no edge of
+// which carries a label in `forbidden` exists iff some SCC of the graph
+// restricted to forbidden-free edges has intra-SCC edges jointly covering
+// `required`.
+struct CycleWitness {
+  bool found = false;
+  // Edge indices of a witnessing closed walk (in traversal order); empty
+  // when !found.
+  std::vector<int> edges;
+};
+
+// Returns a witnessing closed walk for the dangerous-cycle condition, or
+// found=false.
+CycleWitness FindDangerousCycle(const LabeledDigraph& graph,
+                                LabelMask required, LabelMask forbidden);
+
+// Convenience: true iff a dangerous cycle exists.
+bool HasDangerousCycle(const LabeledDigraph& graph, LabelMask required,
+                       LabelMask forbidden);
+
+// Emits the graph in Graphviz DOT syntax. node_names[i] labels node i;
+// label_names(mask) renders an edge label set, e.g. "m,s".
+std::string ToDot(const LabeledDigraph& graph,
+                  const std::vector<std::string>& node_names,
+                  const std::vector<std::pair<LabelMask, std::string>>&
+                      label_legend);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_GRAPH_DIGRAPH_H_

@@ -1,0 +1,59 @@
+#include "logic/atom.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace ontorew {
+
+bool Atom::ContainsTerm(Term t) const {
+  return std::find(terms_.begin(), terms_.end(), t) != terms_.end();
+}
+
+int Atom::CountTerm(Term t) const {
+  return static_cast<int>(std::count(terms_.begin(), terms_.end(), t));
+}
+
+void Atom::AppendVariables(std::vector<VariableId>* out) const {
+  for (Term t : terms_) {
+    if (t.is_variable()) out->push_back(t.id());
+  }
+}
+
+bool Atom::HasRepeatedVariable() const {
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (!terms_[i].is_variable()) continue;
+    for (std::size_t j = i + 1; j < terms_.size(); ++j) {
+      if (terms_[j] == terms_[i]) return true;
+    }
+  }
+  return false;
+}
+
+bool Atom::HasConstant() const {
+  return std::any_of(terms_.begin(), terms_.end(),
+                     [](Term t) { return t.is_constant(); });
+}
+
+std::size_t Atom::Hash() const {
+  std::size_t h = static_cast<std::size_t>(predicate_) * 0x9e3779b97f4a7c15ULL;
+  for (Term t : terms_) {
+    h ^= t.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::vector<VariableId> DistinctVariables(const std::vector<Atom>& atoms) {
+  std::vector<VariableId> result;
+  for (const Atom& atom : atoms) {
+    for (Term t : atom.terms()) {
+      if (!t.is_variable()) continue;
+      if (std::find(result.begin(), result.end(), t.id()) == result.end()) {
+        result.push_back(t.id());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ontorew

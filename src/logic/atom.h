@@ -1,0 +1,65 @@
+#ifndef ONTOREW_LOGIC_ATOM_H_
+#define ONTOREW_LOGIC_ATOM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "logic/term.h"
+#include "logic/vocabulary.h"
+
+// An atom r(t1, ..., tk): a predicate id plus a vector of terms.
+
+namespace ontorew {
+
+class Atom {
+ public:
+  Atom() : predicate_(-1) {}
+  Atom(PredicateId predicate, std::vector<Term> terms)
+      : predicate_(predicate), terms_(std::move(terms)) {}
+
+  PredicateId predicate() const { return predicate_; }
+  const std::vector<Term>& terms() const { return terms_; }
+  std::vector<Term>& mutable_terms() { return terms_; }
+  int arity() const { return static_cast<int>(terms_.size()); }
+  Term term(int i) const { return terms_[static_cast<std::size_t>(i)]; }
+
+  bool ContainsTerm(Term t) const;
+  bool ContainsVariable(VariableId v) const {
+    return ContainsTerm(Term::Var(v));
+  }
+  // Number of positions at which `t` occurs.
+  int CountTerm(Term t) const;
+  // Appends each variable occurring in the atom (with duplicates) in
+  // position order.
+  void AppendVariables(std::vector<VariableId>* out) const;
+  // True if some variable occurs at two or more positions.
+  bool HasRepeatedVariable() const;
+  bool HasConstant() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate_ == b.predicate_ && a.terms_ == b.terms_;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.predicate_ != b.predicate_) return a.predicate_ < b.predicate_;
+    return a.terms_ < b.terms_;
+  }
+
+  std::size_t Hash() const;
+
+ private:
+  PredicateId predicate_;
+  std::vector<Term> terms_;
+};
+
+struct AtomHash {
+  std::size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+// Collects the distinct variables of a sequence of atoms in order of first
+// occurrence.
+std::vector<VariableId> DistinctVariables(const std::vector<Atom>& atoms);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_ATOM_H_

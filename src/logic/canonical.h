@@ -1,0 +1,41 @@
+#ifndef ONTOREW_LOGIC_CANONICAL_H_
+#define ONTOREW_LOGIC_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/atom.h"
+#include "logic/query.h"
+#include "logic/vocabulary.h"
+
+// Canonicalization of conjunctive queries modulo variable renaming (and,
+// heuristically, atom reordering). Used to deduplicate CQs produced by the
+// rewriting engine.
+//
+// Exact CQ canonicalization is graph-isomorphism-hard; we use an
+// iterative-refinement heuristic: atoms are sorted by renaming-invariant
+// keys, variable "colors" are refined from the sort order, and the process
+// repeats until stable. The result is deterministic and invariant under
+// variable renaming of the input; two non-isomorphic CQs never collide.
+// Isomorphic CQs collide in all but adversarial symmetric cases, which the
+// containment-based minimizer (rewriting/minimize.h) cleans up afterwards.
+
+namespace ontorew {
+
+// Renames the variables of `cq` to canonical ids: answer variables become
+// 0..arity-1 (in answer order), existential variables continue from arity
+// in order of first occurrence in the canonical atom order. Atom order is
+// normalized as described above.
+ConjunctiveQuery CanonicalizeCq(const ConjunctiveQuery& cq);
+
+// A deterministic string key for the canonicalized CQ; equal keys imply
+// isomorphic CQs. Suitable as a hash-map key.
+std::string CanonicalCqKey(const ConjunctiveQuery& cq);
+
+// Renames the variables of `atoms` by first occurrence to 0, 1, 2, ...
+// without reordering atoms. Returns the renamed copy.
+std::vector<Atom> RenameByFirstOccurrence(const std::vector<Atom>& atoms);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_CANONICAL_H_

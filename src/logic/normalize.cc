@@ -1,0 +1,49 @@
+#include "logic/normalize.h"
+
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace ontorew {
+
+TgdProgram NormalizeToSingleHead(const TgdProgram& program,
+                                 Vocabulary* vocab) {
+  TgdProgram result;
+  int aux_counter = 0;
+  for (const Tgd& tgd : program.tgds()) {
+    if (tgd.head().size() == 1) {
+      result.Add(tgd);
+      continue;
+    }
+    // Arguments of the auxiliary predicate: the distinguished variables
+    // followed by the existential head variables (each exactly once).
+    std::vector<Term> aux_args;
+    for (VariableId v : tgd.DistinguishedVariables()) {
+      aux_args.push_back(Term::Var(v));
+    }
+    for (VariableId v : tgd.ExistentialHeadVariables()) {
+      aux_args.push_back(Term::Var(v));
+    }
+    std::string aux_name;
+    PredicateId aux = -1;
+    // Find a fresh predicate name (the vocabulary may already contain
+    // auxiliaries from a previous normalization).
+    while (true) {
+      aux_name = StrCat("_aux", aux_counter++);
+      if (vocab->FindPredicate(aux_name) < 0) {
+        aux = vocab->MustPredicate(aux_name,
+                                   static_cast<int>(aux_args.size()));
+        break;
+      }
+    }
+    Atom aux_atom(aux, aux_args);
+    result.Add(Tgd(tgd.body(), {aux_atom}));
+    for (const Atom& head : tgd.head()) {
+      result.Add(Tgd({aux_atom}, {head}));
+    }
+  }
+  return result;
+}
+
+}  // namespace ontorew

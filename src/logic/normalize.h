@@ -1,0 +1,33 @@
+#ifndef ONTOREW_LOGIC_NORMALIZE_H_
+#define ONTOREW_LOGIC_NORMALIZE_H_
+
+#include "logic/program.h"
+#include "logic/vocabulary.h"
+
+// Single-head normalization of multi-head TGDs. The paper's WR machinery
+// and the rewriting engine cover single-head TGDs (the paper's first
+// generalization step keeps "(iii) the head contains a single atom"); a
+// multi-head TGD
+//
+//   body -> h_1, ..., h_m
+//
+// is replaced by the standard auxiliary-predicate translation
+//
+//   body        -> aux(x, y)          (x frontier, y existential head vars)
+//   aux(x, y)   -> h_i                for each i
+//
+// which preserves certain answers for every query over the original
+// signature (the auxiliary atom functions as the Skolem record of one head
+// instantiation, keeping the shared existentials y joined across the h_i).
+
+namespace ontorew {
+
+// Returns an equivalent (w.r.t. queries over the original predicates)
+// single-head program. Single-head rules pass through unchanged; each
+// multi-head rule introduces one fresh predicate "_aux<i>" in `vocab`.
+TgdProgram NormalizeToSingleHead(const TgdProgram& program,
+                                 Vocabulary* vocab);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_NORMALIZE_H_

@@ -1,0 +1,371 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace ontorew {
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kString,
+  kInteger,
+  kLParen,
+  kRParen,
+  kComma,
+  kArrow,      // ->
+  kTurnstile,  // :-
+  kDot,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<Token> Next() {
+    SkipWhitespaceAndComments();
+    if (pos_ >= text_.size()) return Token{TokenKind::kEnd, "", line_};
+    char c = text_[pos_];
+    if (c == '(') return Single(TokenKind::kLParen);
+    if (c == ')') return Single(TokenKind::kRParen);
+    if (c == ',') return Single(TokenKind::kComma);
+    if (c == '.') return Single(TokenKind::kDot);
+    if (c == '-' && Peek(1) == '>') {
+      pos_ += 2;
+      return Token{TokenKind::kArrow, "->", line_};
+    }
+    if (c == ':' && Peek(1) == '-') {
+      pos_ += 2;
+      return Token{TokenKind::kTurnstile, ":-", line_};
+    }
+    if (c == '"') return LexString();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexInteger();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentifier();
+    }
+    return InvalidArgumentError(
+        StrCat("line ", line_, ": unexpected character '", c, "'"));
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  Token Single(TokenKind kind) {
+    Token token{kind, std::string(1, text_[pos_]), line_};
+    ++pos_;
+    return token;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' || c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  StatusOr<Token> LexString() {
+    std::size_t start = pos_;
+    ++pos_;  // Opening quote.
+    std::string value = "\"";
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') {
+        return InvalidArgumentError(
+            StrCat("line ", line_, ": unterminated string literal"));
+      }
+      value += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError(
+          StrCat("line ", line_, ": unterminated string literal"));
+    }
+    ++pos_;  // Closing quote.
+    value += '"';
+    (void)start;
+    return Token{TokenKind::kString, value, line_};
+  }
+
+  StatusOr<Token> LexInteger() {
+    std::string value;
+    if (text_[pos_] == '-') value += text_[pos_++];
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value += text_[pos_++];
+    }
+    return Token{TokenKind::kInteger, value, line_};
+  }
+
+  StatusOr<Token> LexIdentifier() {
+    std::string value;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      value += text_[pos_++];
+    }
+    return Token{TokenKind::kIdentifier, value, line_};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, Vocabulary* vocab)
+      : lexer_(text), vocab_(vocab) {}
+
+  Status Init() { return Advance(); }
+
+  StatusOr<ParsedFile> ParseFileBody() {
+    ParsedFile file;
+    while (current_.kind != TokenKind::kEnd) {
+      OREW_ASSIGN_OR_RETURN(Statement statement, ParseStatement());
+      if (statement.is_query) {
+        file.queries.push_back(
+            {std::move(statement.query_name), std::move(statement.query)});
+      } else {
+        file.tgds.push_back(std::move(statement.tgd));
+      }
+    }
+    return file;
+  }
+
+  struct Statement {
+    bool is_query = false;
+    Tgd tgd;
+    std::string query_name;
+    ConjunctiveQuery query;
+  };
+
+  StatusOr<Statement> ParseStatement() {
+    OREW_ASSIGN_OR_RETURN(RawAtom first, ParseRawAtom());
+    Statement statement;
+    if (current_.kind == TokenKind::kTurnstile) {
+      // Query: the head predicate is a query name, not a schema predicate.
+      OREW_RETURN_IF_ERROR(Advance());
+      OREW_ASSIGN_OR_RETURN(std::vector<Atom> body, ParseAtomList());
+      OREW_RETURN_IF_ERROR(ConsumeStatementEnd());
+      statement.is_query = true;
+      statement.query_name = first.name;
+      // Head terms may be variables (answer variables, which must occur
+      // in the body) or constants (fixed answer columns — used e.g. by
+      // OBDA mapping assertions).
+      statement.query =
+          ConjunctiveQuery(std::move(first.terms), std::move(body));
+      OREW_RETURN_IF_ERROR(statement.query.Validate());
+      return statement;
+    }
+    OREW_ASSIGN_OR_RETURN(Atom first_atom, InternAtom(std::move(first)));
+    // TGD: continue the body atom list.
+    std::vector<Atom> body = {std::move(first_atom)};
+    while (current_.kind == TokenKind::kComma) {
+      OREW_RETURN_IF_ERROR(Advance());
+      OREW_ASSIGN_OR_RETURN(Atom atom, ParseOneAtom());
+      body.push_back(std::move(atom));
+    }
+    if (current_.kind != TokenKind::kArrow) {
+      return InvalidArgumentError(
+          StrCat("line ", current_.line, ": expected '->' or ':-', found '",
+                 current_.text, "'"));
+    }
+    OREW_RETURN_IF_ERROR(Advance());
+    OREW_ASSIGN_OR_RETURN(std::vector<Atom> head, ParseAtomList());
+    OREW_RETURN_IF_ERROR(ConsumeStatementEnd());
+    statement.tgd = Tgd(std::move(body), std::move(head));
+    OREW_RETURN_IF_ERROR(statement.tgd.Validate());
+    return statement;
+  }
+
+  StatusOr<std::vector<Atom>> ParseAtomList() {
+    std::vector<Atom> atoms;
+    OREW_ASSIGN_OR_RETURN(Atom first, ParseOneAtom());
+    atoms.push_back(std::move(first));
+    while (current_.kind == TokenKind::kComma) {
+      OREW_RETURN_IF_ERROR(Advance());
+      OREW_ASSIGN_OR_RETURN(Atom atom, ParseOneAtom());
+      atoms.push_back(std::move(atom));
+    }
+    return atoms;
+  }
+
+  struct RawAtom {
+    std::string name;
+    std::vector<Term> terms;
+  };
+
+  StatusOr<RawAtom> ParseRawAtom() {
+    if (current_.kind != TokenKind::kIdentifier) {
+      return InvalidArgumentError(
+          StrCat("line ", current_.line, ": expected predicate name, found '",
+                 current_.text, "'"));
+    }
+    std::string name = current_.text;
+    int line = current_.line;
+    OREW_RETURN_IF_ERROR(Advance());
+    if (current_.kind != TokenKind::kLParen) {
+      return InvalidArgumentError(StrCat("line ", line, ": expected '(' after ",
+                                         "predicate '", name, "'"));
+    }
+    OREW_RETURN_IF_ERROR(Advance());
+    std::vector<Term> terms;
+    if (current_.kind != TokenKind::kRParen) {
+      while (true) {
+        OREW_ASSIGN_OR_RETURN(Term term, ParseTerm());
+        terms.push_back(term);
+        if (current_.kind == TokenKind::kComma) {
+          OREW_RETURN_IF_ERROR(Advance());
+          continue;
+        }
+        break;
+      }
+    }
+    if (current_.kind != TokenKind::kRParen) {
+      return InvalidArgumentError(
+          StrCat("line ", current_.line, ": expected ')' in atom '", name,
+                 "', found '", current_.text, "'"));
+    }
+    OREW_RETURN_IF_ERROR(Advance());
+    return RawAtom{std::move(name), std::move(terms)};
+  }
+
+  StatusOr<Atom> InternAtom(RawAtom raw) {
+    OREW_ASSIGN_OR_RETURN(
+        PredicateId pred,
+        vocab_->InternPredicate(raw.name,
+                                static_cast<int>(raw.terms.size())));
+    return Atom(pred, std::move(raw.terms));
+  }
+
+  StatusOr<Atom> ParseOneAtom() {
+    OREW_ASSIGN_OR_RETURN(RawAtom raw, ParseRawAtom());
+    return InternAtom(std::move(raw));
+  }
+
+  StatusOr<Term> ParseTerm() {
+    switch (current_.kind) {
+      case TokenKind::kIdentifier: {
+        char first = current_.text[0];
+        Term term;
+        if (std::isupper(static_cast<unsigned char>(first)) || first == '_') {
+          term = Term::Var(vocab_->InternVariable(current_.text));
+        } else {
+          term = Term::Const(vocab_->InternConstant(current_.text));
+        }
+        OREW_RETURN_IF_ERROR(Advance());
+        return term;
+      }
+      case TokenKind::kString:
+      case TokenKind::kInteger: {
+        Term term = Term::Const(vocab_->InternConstant(current_.text));
+        OREW_RETURN_IF_ERROR(Advance());
+        return term;
+      }
+      default:
+        return InvalidArgumentError(StrCat("line ", current_.line,
+                                           ": expected term, found '",
+                                           current_.text, "'"));
+    }
+  }
+
+  Status ConsumeStatementEnd() {
+    if (current_.kind == TokenKind::kDot) return Advance();
+    if (current_.kind == TokenKind::kEnd) return Status::Ok();
+    return InvalidArgumentError(StrCat("line ", current_.line,
+                                       ": expected '.', found '",
+                                       current_.text, "'"));
+  }
+
+  Status ExpectEnd() const {
+    if (current_.kind != TokenKind::kEnd) {
+      return InvalidArgumentError(StrCat("line ", current_.line,
+                                         ": unexpected trailing input '",
+                                         current_.text, "'"));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Advance() {
+    OREW_ASSIGN_OR_RETURN(current_, lexer_.Next());
+    return Status::Ok();
+  }
+
+  Lexer lexer_;
+  Vocabulary* vocab_;
+  Token current_{TokenKind::kEnd, "", 0};
+};
+
+}  // namespace
+
+StatusOr<ParsedFile> ParseFile(std::string_view text, Vocabulary* vocab) {
+  Parser parser(text, vocab);
+  OREW_RETURN_IF_ERROR(parser.Init());
+  return parser.ParseFileBody();
+}
+
+StatusOr<TgdProgram> ParseProgram(std::string_view text, Vocabulary* vocab) {
+  OREW_ASSIGN_OR_RETURN(ParsedFile file, ParseFile(text, vocab));
+  if (!file.queries.empty()) {
+    return InvalidArgumentError("expected only TGDs but found a query");
+  }
+  return TgdProgram(std::move(file.tgds));
+}
+
+StatusOr<Tgd> ParseTgd(std::string_view text, Vocabulary* vocab) {
+  Parser parser(text, vocab);
+  OREW_RETURN_IF_ERROR(parser.Init());
+  OREW_ASSIGN_OR_RETURN(Parser::Statement statement, parser.ParseStatement());
+  OREW_RETURN_IF_ERROR(parser.ExpectEnd());
+  if (statement.is_query) {
+    return InvalidArgumentError("expected a TGD but found a query");
+  }
+  return statement.tgd;
+}
+
+StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                      Vocabulary* vocab) {
+  Parser parser(text, vocab);
+  OREW_RETURN_IF_ERROR(parser.Init());
+  OREW_ASSIGN_OR_RETURN(Parser::Statement statement, parser.ParseStatement());
+  OREW_RETURN_IF_ERROR(parser.ExpectEnd());
+  if (!statement.is_query) {
+    return InvalidArgumentError("expected a query but found a TGD");
+  }
+  return statement.query;
+}
+
+StatusOr<Atom> ParseAtom(std::string_view text, Vocabulary* vocab) {
+  Parser parser(text, vocab);
+  OREW_RETURN_IF_ERROR(parser.Init());
+  OREW_ASSIGN_OR_RETURN(Atom atom, parser.ParseOneAtom());
+  OREW_RETURN_IF_ERROR(parser.ExpectEnd());
+  return atom;
+}
+
+}  // namespace ontorew

@@ -1,0 +1,55 @@
+#ifndef ONTOREW_LOGIC_PARSER_H_
+#define ONTOREW_LOGIC_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/atom.h"
+#include "logic/program.h"
+#include "logic/query.h"
+#include "logic/tgd.h"
+#include "logic/vocabulary.h"
+
+// Text format for TGD programs and queries (see DESIGN.md, Section 6):
+//
+//   # TGDs use '->', queries use ':-', statements end with '.'.
+//   s(Y1,Y2,Y3), t(Y4) -> r(Y1,Y3).
+//   q(X) :- r(X, Y), person("alice", X).
+//
+// Identifiers starting with an upper-case letter or '_' are variables;
+// lower-case identifiers, integers and double-quoted strings are constants.
+// Comments run from '#' or '%' to end of line.
+
+namespace ontorew {
+
+struct NamedQuery {
+  std::string name;
+  ConjunctiveQuery query;
+};
+
+struct ParsedFile {
+  std::vector<Tgd> tgds;
+  std::vector<NamedQuery> queries;
+};
+
+// Parses a whole file of TGD and query statements.
+StatusOr<ParsedFile> ParseFile(std::string_view text, Vocabulary* vocab);
+
+// Parses a file expected to contain only TGDs.
+StatusOr<TgdProgram> ParseProgram(std::string_view text, Vocabulary* vocab);
+
+// Parses a single TGD statement (trailing '.' optional).
+StatusOr<Tgd> ParseTgd(std::string_view text, Vocabulary* vocab);
+
+// Parses a single query statement (trailing '.' optional).
+StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                      Vocabulary* vocab);
+
+// Parses a single atom, e.g. "r(X, \"a\")".
+StatusOr<Atom> ParseAtom(std::string_view text, Vocabulary* vocab);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_PARSER_H_

@@ -1,0 +1,65 @@
+#include "logic/printer.h"
+
+#include <string>
+
+#include "base/strings.h"
+
+namespace ontorew {
+
+std::string ToString(Term term, const Vocabulary& vocab) {
+  return term.is_constant() ? vocab.ConstantName(term.id())
+                            : vocab.VariableName(term.id());
+}
+
+std::string ToString(const Atom& atom, const Vocabulary& vocab) {
+  std::string result = StrCat(vocab.PredicateName(atom.predicate()), "(");
+  result += StrJoin(atom.terms(), ", ", [&vocab](std::ostream& os, Term t) {
+    os << ToString(t, vocab);
+  });
+  result += ")";
+  return result;
+}
+
+namespace {
+std::string AtomsToString(const std::vector<Atom>& atoms,
+                          const Vocabulary& vocab) {
+  return StrJoin(atoms, ", ", [&vocab](std::ostream& os, const Atom& a) {
+    os << ToString(a, vocab);
+  });
+}
+}  // namespace
+
+std::string ToString(const Tgd& tgd, const Vocabulary& vocab) {
+  return StrCat(AtomsToString(tgd.body(), vocab), " -> ",
+                AtomsToString(tgd.head(), vocab), ".");
+}
+
+std::string ToString(const TgdProgram& program, const Vocabulary& vocab) {
+  return StrJoin(program.tgds(), "\n",
+                 [&vocab](std::ostream& os, const Tgd& tgd) {
+                   os << ToString(tgd, vocab);
+                 });
+}
+
+std::string ToString(const ConjunctiveQuery& cq, const Vocabulary& vocab,
+                     const std::string& name) {
+  std::string result = StrCat(name, "(");
+  result += StrJoin(cq.answer_terms(), ", ",
+                    [&vocab](std::ostream& os, Term t) {
+                      os << ToString(t, vocab);
+                    });
+  result += ") :- ";
+  result += AtomsToString(cq.body(), vocab);
+  result += ".";
+  return result;
+}
+
+std::string ToString(const UnionOfCqs& ucq, const Vocabulary& vocab,
+                     const std::string& name) {
+  return StrJoin(ucq.disjuncts(), "\n",
+                 [&vocab, &name](std::ostream& os, const ConjunctiveQuery& cq) {
+                   os << ToString(cq, vocab, name);
+                 });
+}
+
+}  // namespace ontorew

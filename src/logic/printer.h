@@ -1,0 +1,30 @@
+#ifndef ONTOREW_LOGIC_PRINTER_H_
+#define ONTOREW_LOGIC_PRINTER_H_
+
+#include <string>
+
+#include "logic/atom.h"
+#include "logic/program.h"
+#include "logic/query.h"
+#include "logic/tgd.h"
+#include "logic/term.h"
+#include "logic/vocabulary.h"
+
+// Pretty-printing of logical objects back into the parser's text format.
+// Printing then re-parsing is the identity (round-trip tested).
+
+namespace ontorew {
+
+std::string ToString(Term term, const Vocabulary& vocab);
+std::string ToString(const Atom& atom, const Vocabulary& vocab);
+std::string ToString(const Tgd& tgd, const Vocabulary& vocab);
+std::string ToString(const TgdProgram& program, const Vocabulary& vocab);
+// Prints "q(X, Y) :- body" using `name` as the query predicate.
+std::string ToString(const ConjunctiveQuery& cq, const Vocabulary& vocab,
+                     const std::string& name = "q");
+std::string ToString(const UnionOfCqs& ucq, const Vocabulary& vocab,
+                     const std::string& name = "q");
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_PRINTER_H_

@@ -1,0 +1,81 @@
+#include "logic/program.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ontorew {
+namespace {
+
+void CollectFromAtoms(const std::vector<Atom>& atoms,
+                      std::vector<PredicateId>* preds,
+                      std::vector<ConstantId>* consts, VariableId* max_var,
+                      int* max_arity) {
+  for (const Atom& atom : atoms) {
+    if (preds != nullptr) preds->push_back(atom.predicate());
+    if (max_arity != nullptr) *max_arity = std::max(*max_arity, atom.arity());
+    for (Term t : atom.terms()) {
+      if (t.is_constant()) {
+        if (consts != nullptr) consts->push_back(t.id());
+      } else if (max_var != nullptr) {
+        *max_var = std::max(*max_var, t.id());
+      }
+    }
+  }
+}
+
+void SortUnique(std::vector<std::int32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+bool TgdProgram::IsSimple() const {
+  return std::all_of(tgds_.begin(), tgds_.end(),
+                     [](const Tgd& t) { return t.IsSimple(); });
+}
+
+bool TgdProgram::IsSingleHead() const {
+  return std::all_of(tgds_.begin(), tgds_.end(),
+                     [](const Tgd& t) { return t.head().size() == 1; });
+}
+
+int TgdProgram::MaxArity() const {
+  int max_arity = 0;
+  for (const Tgd& tgd : tgds_) {
+    CollectFromAtoms(tgd.body(), nullptr, nullptr, nullptr, &max_arity);
+    CollectFromAtoms(tgd.head(), nullptr, nullptr, nullptr, &max_arity);
+  }
+  return max_arity;
+}
+
+std::vector<PredicateId> TgdProgram::Predicates() const {
+  std::vector<PredicateId> preds;
+  for (const Tgd& tgd : tgds_) {
+    CollectFromAtoms(tgd.body(), &preds, nullptr, nullptr, nullptr);
+    CollectFromAtoms(tgd.head(), &preds, nullptr, nullptr, nullptr);
+  }
+  SortUnique(&preds);
+  return preds;
+}
+
+std::vector<ConstantId> TgdProgram::Constants() const {
+  std::vector<ConstantId> consts;
+  for (const Tgd& tgd : tgds_) {
+    CollectFromAtoms(tgd.body(), nullptr, &consts, nullptr, nullptr);
+    CollectFromAtoms(tgd.head(), nullptr, &consts, nullptr, nullptr);
+  }
+  SortUnique(&consts);
+  return consts;
+}
+
+VariableId TgdProgram::MaxVariableId() const {
+  VariableId max_var = -1;
+  for (const Tgd& tgd : tgds_) {
+    CollectFromAtoms(tgd.body(), nullptr, nullptr, &max_var, nullptr);
+    CollectFromAtoms(tgd.head(), nullptr, nullptr, &max_var, nullptr);
+  }
+  return max_var;
+}
+
+}  // namespace ontorew

@@ -1,0 +1,50 @@
+#ifndef ONTOREW_LOGIC_PROGRAM_H_
+#define ONTOREW_LOGIC_PROGRAM_H_
+
+#include <vector>
+
+#include "logic/tgd.h"
+#include "logic/vocabulary.h"
+
+// A TGD program (a finite set of TGDs) — the "ontology" of the paper.
+
+namespace ontorew {
+
+class TgdProgram {
+ public:
+  TgdProgram() = default;
+  explicit TgdProgram(std::vector<Tgd> tgds) : tgds_(std::move(tgds)) {}
+
+  const std::vector<Tgd>& tgds() const { return tgds_; }
+  int size() const { return static_cast<int>(tgds_.size()); }
+  const Tgd& tgd(int i) const { return tgds_[static_cast<std::size_t>(i)]; }
+
+  void Add(Tgd tgd) { tgds_.push_back(std::move(tgd)); }
+
+  // True iff every TGD is simple (paper, Section 5).
+  bool IsSimple() const;
+
+  // True iff every TGD has a single head atom.
+  bool IsSingleHead() const;
+
+  // Maximum arity over all predicates occurring in the program (the k of
+  // the P-atom alphabet X_P = {z, x1, ..., xk}). 0 for an empty program.
+  int MaxArity() const;
+
+  // Distinct predicate ids occurring anywhere, sorted.
+  std::vector<PredicateId> Predicates() const;
+
+  // Distinct constants occurring anywhere, sorted.
+  std::vector<ConstantId> Constants() const;
+
+  // Largest variable id occurring in any TGD, or -1 if none. Algorithms
+  // allocating scratch variables start above this.
+  VariableId MaxVariableId() const;
+
+ private:
+  std::vector<Tgd> tgds_;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_PROGRAM_H_

@@ -1,0 +1,81 @@
+#include "logic/query.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace ontorew {
+
+ConjunctiveQuery::ConjunctiveQuery(
+    const std::vector<VariableId>& answer_variables, std::vector<Atom> body)
+    : body_(std::move(body)) {
+  answer_terms_.reserve(answer_variables.size());
+  for (VariableId v : answer_variables) answer_terms_.push_back(Term::Var(v));
+}
+
+std::vector<VariableId> ConjunctiveQuery::AnswerVariables() const {
+  std::vector<VariableId> result;
+  for (Term t : answer_terms_) {
+    if (t.is_variable() &&
+        std::find(result.begin(), result.end(), t.id()) == result.end()) {
+      result.push_back(t.id());
+    }
+  }
+  return result;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  if (body_.empty()) return InvalidArgumentError("CQ with empty body");
+  for (VariableId v : AnswerVariables()) {
+    bool found = std::any_of(body_.begin(), body_.end(), [v](const Atom& a) {
+      return a.ContainsVariable(v);
+    });
+    if (!found) {
+      return InvalidArgumentError(
+          StrCat("answer variable ", v, " does not occur in the query body"));
+    }
+  }
+  return Status::Ok();
+}
+
+bool ConjunctiveQuery::IsAnswerVariable(VariableId v) const {
+  return std::find(answer_terms_.begin(), answer_terms_.end(), Term::Var(v)) !=
+         answer_terms_.end();
+}
+
+std::vector<VariableId> ConjunctiveQuery::ExistentialVariables() const {
+  std::vector<VariableId> result;
+  for (VariableId v : DistinctVariables(body_)) {
+    if (!IsAnswerVariable(v)) result.push_back(v);
+  }
+  return result;
+}
+
+int ConjunctiveQuery::CountVariableOccurrences(VariableId v) const {
+  int count = 0;
+  for (const Atom& atom : body_) count += atom.CountTerm(Term::Var(v));
+  return count;
+}
+
+bool ConjunctiveQuery::IsUnbound(VariableId v) const {
+  return !IsAnswerVariable(v) && CountVariableOccurrences(v) == 1;
+}
+
+Status UnionOfCqs::Validate() const {
+  if (disjuncts_.empty()) return InvalidArgumentError("empty UCQ");
+  for (const ConjunctiveQuery& cq : disjuncts_) {
+    OREW_RETURN_IF_ERROR(cq.Validate());
+    if (cq.arity() != disjuncts_.front().arity()) {
+      return InvalidArgumentError("UCQ disjuncts with different arities");
+    }
+  }
+  return Status::Ok();
+}
+
+int UnionOfCqs::arity() const {
+  return disjuncts_.empty() ? 0 : disjuncts_.front().arity();
+}
+
+}  // namespace ontorew

@@ -1,0 +1,92 @@
+#ifndef ONTOREW_LOGIC_QUERY_H_
+#define ONTOREW_LOGIC_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/atom.h"
+#include "logic/term.h"
+#include "logic/vocabulary.h"
+
+// Conjunctive queries and unions thereof (paper, Section 3):
+//
+//   q(x) :- a_1, ..., a_n
+//
+// The answer (head) positions are *terms*: usually the distinguished
+// variables of the query, but the rewriting engine can specialize an
+// answer variable to a constant (when it unifies with a constant in a TGD
+// head), so constants are allowed in answer position. Body variables that
+// are not answer variables are the existential variables of the query.
+
+namespace ontorew {
+
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::vector<Term> answer_terms, std::vector<Atom> body)
+      : answer_terms_(std::move(answer_terms)), body_(std::move(body)) {}
+  // Convenience: all-variable answer tuple.
+  ConjunctiveQuery(const std::vector<VariableId>& answer_variables,
+                   std::vector<Atom> body);
+
+  const std::vector<Term>& answer_terms() const { return answer_terms_; }
+  const std::vector<Atom>& body() const { return body_; }
+  int arity() const { return static_cast<int>(answer_terms_.size()); }
+
+  // The distinct variables among the answer terms.
+  std::vector<VariableId> AnswerVariables() const;
+
+  // Checks that every answer variable occurs in the body and the body is
+  // non-empty.
+  Status Validate() const;
+
+  bool IsAnswerVariable(VariableId v) const;
+
+  // Existential variables of the query (body variables that are not answer
+  // variables), in order of first occurrence.
+  std::vector<VariableId> ExistentialVariables() const;
+
+  // Number of occurrences of `v` across all body atoms.
+  int CountVariableOccurrences(VariableId v) const;
+
+  // A body variable is *unbound* in the rewriting sense iff it is
+  // existential and occurs exactly once in the body: only such variables
+  // may be absorbed by an existential head variable of a TGD.
+  bool IsUnbound(VariableId v) const;
+
+  friend bool operator==(const ConjunctiveQuery& a,
+                         const ConjunctiveQuery& b) {
+    return a.answer_terms_ == b.answer_terms_ && a.body_ == b.body_;
+  }
+
+ private:
+  std::vector<Term> answer_terms_;
+  std::vector<Atom> body_;
+};
+
+// A union of conjunctive queries of the same arity.
+class UnionOfCqs {
+ public:
+  UnionOfCqs() = default;
+  explicit UnionOfCqs(std::vector<ConjunctiveQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+  // Convenience: a UCQ with a single disjunct.
+  explicit UnionOfCqs(ConjunctiveQuery cq) { Add(std::move(cq)); }
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  int size() const { return static_cast<int>(disjuncts_.size()); }
+  void Add(ConjunctiveQuery cq) { disjuncts_.push_back(std::move(cq)); }
+
+  // Checks non-emptiness, per-CQ validity and uniform arity.
+  Status Validate() const;
+
+  int arity() const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_QUERY_H_

@@ -1,0 +1,45 @@
+#include "logic/substitution.h"
+
+#include <vector>
+
+#include "base/logging.h"
+
+namespace ontorew {
+
+void Substitution::Bind(VariableId v, Term t) {
+  OREW_CHECK(!IsBound(v)) << "variable " << v << " bound twice";
+  OREW_CHECK(t != Term::Var(v)) << "binding variable to itself";
+  map_.emplace(v, t);
+}
+
+Term Substitution::Resolve(Term t) const {
+  while (t.is_variable()) {
+    auto it = map_.find(t.id());
+    if (it == map_.end()) return t;
+    t = it->second;
+  }
+  return t;
+}
+
+Atom Substitution::Apply(const Atom& atom) const {
+  std::vector<Term> terms;
+  terms.reserve(atom.terms().size());
+  for (Term t : atom.terms()) terms.push_back(Resolve(t));
+  return Atom(atom.predicate(), std::move(terms));
+}
+
+std::vector<Atom> Substitution::Apply(const std::vector<Atom>& atoms) const {
+  std::vector<Atom> result;
+  result.reserve(atoms.size());
+  for (const Atom& atom : atoms) result.push_back(Apply(atom));
+  return result;
+}
+
+std::vector<VariableId> Substitution::Domain() const {
+  std::vector<VariableId> domain;
+  domain.reserve(map_.size());
+  for (const auto& [v, t] : map_) domain.push_back(v);
+  return domain;
+}
+
+}  // namespace ontorew

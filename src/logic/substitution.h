@@ -1,0 +1,45 @@
+#ifndef ONTOREW_LOGIC_SUBSTITUTION_H_
+#define ONTOREW_LOGIC_SUBSTITUTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "logic/atom.h"
+#include "logic/term.h"
+#include "logic/vocabulary.h"
+
+// A substitution maps variables to terms. Bindings may form variable →
+// variable chains (as produced by unification); Resolve follows chains to a
+// fixpoint, and Apply uses resolved values.
+
+namespace ontorew {
+
+class Substitution {
+ public:
+  Substitution() = default;
+
+  bool empty() const { return map_.empty(); }
+  std::size_t size() const { return map_.size(); }
+
+  // Binds v to t. v must not already be bound.
+  void Bind(VariableId v, Term t);
+
+  bool IsBound(VariableId v) const { return map_.count(v) > 0; }
+
+  // Follows binding chains: returns the final value `t` maps to. For an
+  // unbound variable or a constant, returns the term itself.
+  Term Resolve(Term t) const;
+
+  Atom Apply(const Atom& atom) const;
+  std::vector<Atom> Apply(const std::vector<Atom>& atoms) const;
+
+  // The bound variables, unordered.
+  std::vector<VariableId> Domain() const;
+
+ private:
+  std::unordered_map<VariableId, Term> map_;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_SUBSTITUTION_H_

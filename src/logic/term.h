@@ -1,0 +1,63 @@
+#ifndef ONTOREW_LOGIC_TERM_H_
+#define ONTOREW_LOGIC_TERM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "logic/vocabulary.h"
+
+// A term of the (function-free) logic: a variable or a constant, each
+// identified by a dense integer id from a Vocabulary. Terms are small value
+// types; all the symbolic algorithms operate on them by value.
+
+namespace ontorew {
+
+enum class TermKind : std::uint8_t { kVariable = 0, kConstant = 1 };
+
+class Term {
+ public:
+  // Default-constructed terms are variable 0; prefer the factories.
+  Term() : kind_(TermKind::kVariable), id_(0) {}
+
+  static Term Var(VariableId id) { return Term(TermKind::kVariable, id); }
+  static Term Const(ConstantId id) { return Term(TermKind::kConstant, id); }
+
+  TermKind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == TermKind::kVariable; }
+  bool is_constant() const { return kind_ == TermKind::kConstant; }
+  std::int32_t id() const { return id_; }
+
+  friend bool operator==(Term a, Term b) {
+    return a.kind_ == b.kind_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(Term a, Term b) { return !(a == b); }
+  // Orders variables before constants, then by id; used for canonical
+  // sorted containers.
+  friend bool operator<(Term a, Term b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.id_ < b.id_;
+  }
+
+  // 64-bit mixing hash; distinct for distinct (kind, id) pairs.
+  std::size_t Hash() const {
+    std::uint64_t v = (static_cast<std::uint64_t>(kind_) << 32) |
+                      static_cast<std::uint32_t>(id_);
+    v *= 0x9e3779b97f4a7c15ULL;
+    v ^= v >> 29;
+    return static_cast<std::size_t>(v);
+  }
+
+ private:
+  Term(TermKind kind, std::int32_t id) : kind_(kind), id_(id) {}
+
+  TermKind kind_;
+  std::int32_t id_;
+};
+
+struct TermHash {
+  std::size_t operator()(Term t) const { return t.Hash(); }
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_TERM_H_

@@ -1,0 +1,77 @@
+#include "logic/tgd.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ontorew {
+namespace {
+
+bool Contains(const std::vector<VariableId>& vars, VariableId v) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+}  // namespace
+
+Status Tgd::Validate() const {
+  if (body_.empty()) return InvalidArgumentError("TGD with empty body");
+  if (head_.empty()) return InvalidArgumentError("TGD with empty head");
+  return Status::Ok();
+}
+
+std::vector<VariableId> Tgd::BodyVariables() const {
+  return DistinctVariables(body_);
+}
+
+std::vector<VariableId> Tgd::HeadVariables() const {
+  return DistinctVariables(head_);
+}
+
+std::vector<VariableId> Tgd::DistinguishedVariables() const {
+  std::vector<VariableId> head_vars = HeadVariables();
+  std::vector<VariableId> result;
+  for (VariableId v : BodyVariables()) {
+    if (Contains(head_vars, v)) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<VariableId> Tgd::ExistentialBodyVariables() const {
+  std::vector<VariableId> head_vars = HeadVariables();
+  std::vector<VariableId> result;
+  for (VariableId v : BodyVariables()) {
+    if (!Contains(head_vars, v)) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<VariableId> Tgd::ExistentialHeadVariables() const {
+  std::vector<VariableId> body_vars = BodyVariables();
+  std::vector<VariableId> result;
+  for (VariableId v : HeadVariables()) {
+    if (!Contains(body_vars, v)) result.push_back(v);
+  }
+  return result;
+}
+
+bool Tgd::IsDistinguished(VariableId v) const {
+  return Contains(BodyVariables(), v) && Contains(HeadVariables(), v);
+}
+
+bool Tgd::IsExistentialHeadVariable(VariableId v) const {
+  return Contains(HeadVariables(), v) && !Contains(BodyVariables(), v);
+}
+
+bool Tgd::IsSimple() const {
+  if (head_.size() != 1) return false;
+  for (const Atom& atom : body_) {
+    if (atom.HasRepeatedVariable() || atom.HasConstant()) return false;
+  }
+  for (const Atom& atom : head_) {
+    if (atom.HasRepeatedVariable() || atom.HasConstant()) return false;
+  }
+  return true;
+}
+
+}  // namespace ontorew

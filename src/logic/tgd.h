@@ -1,0 +1,62 @@
+#ifndef ONTOREW_LOGIC_TGD_H_
+#define ONTOREW_LOGIC_TGD_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "logic/atom.h"
+#include "logic/vocabulary.h"
+
+// A tuple-generating dependency (TGD / existential rule)
+//
+//   body_1, ..., body_n  ->  head_1, ..., head_m        (n, m >= 1)
+//
+// read as  forall x. body -> exists y. head, where x are all body
+// variables and y the head-only ("existential head") variables.
+//
+// Terminology (following the paper, Section 3):
+//   * distinguished (frontier) variables: occur in both body and head;
+//   * existential body variables: occur only in the body;
+//   * existential head variables: occur only in the head.
+
+namespace ontorew {
+
+class Tgd {
+ public:
+  Tgd() = default;
+  Tgd(std::vector<Atom> body, std::vector<Atom> head)
+      : body_(std::move(body)), head_(std::move(head)) {}
+
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<Atom>& head() const { return head_; }
+
+  // Validates shape: non-empty body and head.
+  Status Validate() const;
+
+  // In order of first occurrence.
+  std::vector<VariableId> BodyVariables() const;
+  std::vector<VariableId> HeadVariables() const;
+  std::vector<VariableId> DistinguishedVariables() const;
+  std::vector<VariableId> ExistentialBodyVariables() const;
+  std::vector<VariableId> ExistentialHeadVariables() const;
+
+  bool IsDistinguished(VariableId v) const;
+  bool IsExistentialHeadVariable(VariableId v) const;
+
+  // A TGD is "simple" (paper, Section 5) iff (i) no atom contains a
+  // repeated variable, (ii) no constants occur, and (iii) the head is a
+  // single atom.
+  bool IsSimple() const;
+
+  friend bool operator==(const Tgd& a, const Tgd& b) {
+    return a.body_ == b.body_ && a.head_ == b.head_;
+  }
+
+ private:
+  std::vector<Atom> body_;
+  std::vector<Atom> head_;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_TGD_H_

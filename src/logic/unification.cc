@@ -1,0 +1,38 @@
+#include "logic/unification.h"
+
+#include <cstddef>
+#include <optional>
+
+namespace ontorew {
+
+bool UnifyTerms(Term a, Term b, Substitution* subst) {
+  a = subst->Resolve(a);
+  b = subst->Resolve(b);
+  if (a == b) return true;
+  if (a.is_variable()) {
+    subst->Bind(a.id(), b);
+    return true;
+  }
+  if (b.is_variable()) {
+    subst->Bind(b.id(), a);
+    return true;
+  }
+  return false;  // Two distinct constants.
+}
+
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst) {
+  if (a.predicate() != b.predicate()) return false;
+  if (a.arity() != b.arity()) return false;
+  for (int i = 0; i < a.arity(); ++i) {
+    if (!UnifyTerms(a.term(i), b.term(i), subst)) return false;
+  }
+  return true;
+}
+
+std::optional<Substitution> MostGeneralUnifier(const Atom& a, const Atom& b) {
+  Substitution subst;
+  if (!UnifyAtoms(a, b, &subst)) return std::nullopt;
+  return subst;
+}
+
+}  // namespace ontorew

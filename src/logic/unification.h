@@ -1,0 +1,31 @@
+#ifndef ONTOREW_LOGIC_UNIFICATION_H_
+#define ONTOREW_LOGIC_UNIFICATION_H_
+
+#include <optional>
+
+#include "logic/atom.h"
+#include "logic/substitution.h"
+#include "logic/term.h"
+
+// Most-general unification for the function-free logic. Terms are flat, so
+// unification is a single pass over argument pairs with chain resolution;
+// no occurs check is needed.
+
+namespace ontorew {
+
+// Extends `subst` so that Resolve(a) == Resolve(b); returns false (leaving
+// `subst` in a partially-extended state) if the terms do not unify. Callers
+// that need rollback should unify into a scratch copy.
+bool UnifyTerms(Term a, Term b, Substitution* subst);
+
+// Unifies two atoms (same predicate, argument-wise). Extends `subst`.
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst);
+
+// Returns the MGU of two atoms, or nullopt. The atoms are assumed to have
+// disjoint variables if caller semantics require it; this function simply
+// unifies whatever it is given.
+std::optional<Substitution> MostGeneralUnifier(const Atom& a, const Atom& b);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_UNIFICATION_H_

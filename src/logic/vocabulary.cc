@@ -1,0 +1,73 @@
+#include "logic/vocabulary.h"
+
+#include <string>
+#include <string_view>
+
+#include "base/logging.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace ontorew {
+
+StatusOr<PredicateId> Vocabulary::InternPredicate(std::string_view name,
+                                                  int arity) {
+  OREW_CHECK(arity >= 0);
+  PredicateId existing = predicates_.Find(name);
+  if (existing >= 0) {
+    if (arities_[static_cast<std::size_t>(existing)] != arity) {
+      return InvalidArgumentError(
+          StrCat("predicate ", name, " used with arity ", arity,
+                 " but previously declared with arity ",
+                 arities_[static_cast<std::size_t>(existing)]));
+    }
+    return existing;
+  }
+  PredicateId id = predicates_.Intern(name);
+  arities_.push_back(arity);
+  return id;
+}
+
+PredicateId Vocabulary::MustPredicate(std::string_view name, int arity) {
+  StatusOr<PredicateId> result = InternPredicate(name, arity);
+  OREW_CHECK(result.ok()) << result.status();
+  return *result;
+}
+
+PredicateId Vocabulary::FindPredicate(std::string_view name) const {
+  return predicates_.Find(name);
+}
+
+ConstantId Vocabulary::InternConstant(std::string_view name) {
+  return constants_.Intern(name);
+}
+
+VariableId Vocabulary::InternVariable(std::string_view name) {
+  return variables_.Intern(name);
+}
+
+VariableId Vocabulary::FreshVariable() {
+  while (true) {
+    std::string name = StrCat("_f", fresh_counter_++);
+    if (variables_.Find(name) < 0) return variables_.Intern(name);
+  }
+}
+
+const std::string& Vocabulary::PredicateName(PredicateId id) const {
+  return predicates_.NameOf(id);
+}
+
+int Vocabulary::PredicateArity(PredicateId id) const {
+  OREW_CHECK(id >= 0 && id < num_predicates());
+  return arities_[static_cast<std::size_t>(id)];
+}
+
+const std::string& Vocabulary::ConstantName(ConstantId id) const {
+  return constants_.NameOf(id);
+}
+
+std::string Vocabulary::VariableName(VariableId id) const {
+  if (id >= 0 && id < num_variables()) return variables_.NameOf(id);
+  return StrCat("_v", id);
+}
+
+}  // namespace ontorew

@@ -1,0 +1,67 @@
+#ifndef ONTOREW_LOGIC_VOCABULARY_H_
+#define ONTOREW_LOGIC_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/status.h"
+
+// The shared symbol context for a logical theory: predicate symbols (with
+// arities), constant symbols and variable names. All logical objects
+// (terms, atoms, TGDs, queries, databases) store only dense integer ids;
+// a Vocabulary is needed to parse and to print them.
+
+namespace ontorew {
+
+using PredicateId = std::int32_t;
+using VariableId = std::int32_t;
+using ConstantId = std::int32_t;
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+  Vocabulary(const Vocabulary&) = default;
+  Vocabulary& operator=(const Vocabulary&) = default;
+
+  // Registers a predicate symbol. Re-registering with the same arity
+  // returns the existing id; a conflicting arity is an error.
+  StatusOr<PredicateId> InternPredicate(std::string_view name, int arity);
+
+  // As above but aborts on arity conflict; for programmatic construction.
+  PredicateId MustPredicate(std::string_view name, int arity);
+
+  // Returns the id of a registered predicate, or -1.
+  PredicateId FindPredicate(std::string_view name) const;
+
+  ConstantId InternConstant(std::string_view name);
+  VariableId InternVariable(std::string_view name);
+
+  // A fresh variable never returned before from this vocabulary; its name
+  // is "_f<n>".
+  VariableId FreshVariable();
+
+  const std::string& PredicateName(PredicateId id) const;
+  int PredicateArity(PredicateId id) const;
+  const std::string& ConstantName(ConstantId id) const;
+  // Variable ids beyond the interned range (used internally by algorithms
+  // that allocate scratch variables) print as "_v<id>".
+  std::string VariableName(VariableId id) const;
+
+  PredicateId num_predicates() const { return predicates_.size(); }
+  ConstantId num_constants() const { return constants_.size(); }
+  VariableId num_variables() const { return variables_.size(); }
+
+ private:
+  Interner predicates_;
+  std::vector<int> arities_;
+  Interner constants_;
+  Interner variables_;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_LOGIC_VOCABULARY_H_

@@ -1,0 +1,93 @@
+#include "obda/consistency.h"
+
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "db/eval.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "rewriting/rewriter.h"
+
+namespace ontorew {
+
+StatusOr<std::vector<DenialConstraint>> ParseDenials(std::string_view text,
+                                                     Vocabulary* vocab) {
+  // Reuse the query parser: rewrite each "!- body." line into an internal
+  // boolean query "_denial() :- body." and collect the bodies.
+  std::string transformed;
+  std::size_t line_start = 0;
+  while (line_start <= text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string line(text.substr(line_start, line_end - line_start));
+    line_start = line_end + 1;
+    std::size_t comment = line.find_first_of("#%");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    line = line.substr(first);
+    if (line.rfind("!-", 0) != 0) {
+      return InvalidArgumentError(
+          StrCat("denial lines start with '!-': '", line, "'"));
+    }
+    transformed += "_denial() :- ";
+    transformed += line.substr(2);
+    transformed += "\n";
+  }
+
+  OREW_ASSIGN_OR_RETURN(ParsedFile file, ParseFile(transformed, vocab));
+  std::vector<DenialConstraint> denials;
+  denials.reserve(file.queries.size());
+  for (NamedQuery& named : file.queries) {
+    denials.push_back(DenialConstraint{std::move(named.query).body()});
+  }
+  return denials;
+}
+
+StatusOr<ConsistencyReport> CheckConsistency(
+    const TgdProgram& program, const std::vector<DenialConstraint>& denials,
+    const Database& db, const Vocabulary& vocab) {
+  ConsistencyReport report;
+  for (std::size_t i = 0; i < denials.size(); ++i) {
+    const DenialConstraint& denial = denials[i];
+    // The denial fires iff the boolean CQ over its body is certain.
+    ConjunctiveQuery boolean(std::vector<Term>{}, denial.body);
+    OREW_RETURN_IF_ERROR(boolean.Validate());
+    OREW_ASSIGN_OR_RETURN(RewriteResult rewriting,
+                          RewriteCq(boolean, program));
+    // Find one witnessing disjunct + match for the report.
+    bool violated = false;
+    std::string witness;
+    for (const ConjunctiveQuery& disjunct : rewriting.ucq.disjuncts()) {
+      ForEachMatch(disjunct.body(), db, [&](const Binding& binding) {
+        violated = true;
+        std::vector<std::string> facts;
+        for (const Atom& atom : disjunct.body()) {
+          std::string fact =
+              StrCat(vocab.PredicateName(atom.predicate()), "(");
+          fact += StrJoin(atom.terms(), ", ",
+                          [&](std::ostream& os, Term t) {
+                            os << (t.is_constant()
+                                       ? ToString(Value::Constant(t.id()),
+                                                  vocab)
+                                       : ToString(binding.at(t.id()), vocab));
+                          });
+          fact += ")";
+          facts.push_back(std::move(fact));
+        }
+        witness = StrJoin(facts, ", ");
+        return false;  // One witness is enough.
+      });
+      if (violated) break;
+    }
+    if (violated) {
+      report.consistent = false;
+      report.violated.push_back(static_cast<int>(i));
+      report.witnesses.push_back(std::move(witness));
+    }
+  }
+  return report;
+}
+
+}  // namespace ontorew

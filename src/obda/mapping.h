@@ -1,0 +1,81 @@
+#ifndef ONTOREW_OBDA_MAPPING_H_
+#define ONTOREW_OBDA_MAPPING_H_
+
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/program.h"
+#include "logic/query.h"
+#include "logic/vocabulary.h"
+
+// GAV mapping assertions — the "additional layer of information between
+// the ontology and the data sources" of the paper's introduction
+// (reference [14], Poggi et al., "Linking data to ontologies"). Each
+// assertion defines an ontology predicate by a conjunctive query over the
+// source schema:
+//
+//   professor(X) :- emp(X, D), dept(D, "research").
+//
+// (the same text syntax as queries; the query name is the target
+// predicate). Query answering over the virtual OBDA system composes two
+// rewritings: the ontology rewriting (rewriting/rewriter.h) followed by
+// the *unfolding* below, producing a UCQ over the sources only.
+
+namespace ontorew {
+
+struct MappingAssertion {
+  PredicateId target = -1;
+  // Head terms of the definition (usually distinct variables); unified
+  // with the atom being unfolded.
+  std::vector<Term> head_terms;
+  // The source-side body.
+  std::vector<Atom> body;
+};
+
+class MappingSet {
+ public:
+  MappingSet() = default;
+
+  // Validates: head arity matches the target predicate, every head
+  // variable occurs in the body (safety).
+  Status Add(MappingAssertion assertion, const Vocabulary& vocab);
+
+  const std::vector<MappingAssertion>& assertions() const {
+    return assertions_;
+  }
+  // Assertion indices defining `predicate`.
+  std::vector<int> DefinitionsOf(PredicateId predicate) const;
+  bool HasDefinition(PredicateId predicate) const {
+    return definitions_.count(predicate) > 0;
+  }
+
+ private:
+  std::vector<MappingAssertion> assertions_;
+  std::map<PredicateId, std::vector<int>> definitions_;
+};
+
+// Parses a mapping file: statements of the form "target(...) :- body."
+// Targets must be registered (or registrable) predicates in `vocab`.
+StatusOr<MappingSet> ParseMappings(std::string_view text, Vocabulary* vocab);
+
+struct UnfoldOptions {
+  // When an atom's predicate has no mapping: error out (strict virtual
+  // OBDA) or keep the atom as-is (mixed materialized/virtual sources).
+  bool keep_unmapped_atoms = false;
+  // Cap on the number of produced CQs (the unfolding multiplies choices).
+  int max_cqs = 100000;
+};
+
+// Unfolds every disjunct of `ucq` through the mappings: each ontology
+// atom is replaced by the body of one of its definitions (one output CQ
+// per combination of choices), with the definition's variables renamed
+// apart and unified against the atom's arguments.
+StatusOr<UnionOfCqs> UnfoldUcq(const UnionOfCqs& ucq,
+                               const MappingSet& mappings, Vocabulary* vocab,
+                               const UnfoldOptions& options = {});
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_OBDA_MAPPING_H_

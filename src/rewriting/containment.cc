@@ -1,0 +1,135 @@
+#include "rewriting/containment.h"
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/atom.h"
+#include "logic/term.h"
+
+namespace ontorew {
+namespace {
+
+// Backtracking search for a homomorphism general -> specific.
+class HomomorphismFinder {
+ public:
+  HomomorphismFinder(const ConjunctiveQuery& general,
+                     const ConjunctiveQuery& specific)
+      : general_(general), specific_(specific) {}
+
+  bool Find() {
+    // Seed the mapping with the answer-term constraints.
+    if (general_.answer_terms().size() != specific_.answer_terms().size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < general_.answer_terms().size(); ++i) {
+      Term g = general_.answer_terms()[i];
+      Term s = specific_.answer_terms()[i];
+      if (g.is_constant()) {
+        if (g != s) return false;
+        continue;
+      }
+      if (!BindVar(g.id(), s)) return false;
+    }
+    return MatchAtom(0);
+  }
+
+ private:
+  bool BindVar(VariableId v, Term target) {
+    auto it = mapping_.find(v);
+    if (it != mapping_.end()) return it->second == target;
+    mapping_.emplace(v, target);
+    trail_.push_back(v);
+    return true;
+  }
+
+  bool MatchAtom(std::size_t index) {
+    if (index == general_.body().size()) return true;
+    const Atom& g = general_.body()[index];
+    for (const Atom& s : specific_.body()) {
+      if (s.predicate() != g.predicate() || s.arity() != g.arity()) continue;
+      std::size_t trail_mark = trail_.size();
+      bool ok = true;
+      for (int i = 0; i < g.arity() && ok; ++i) {
+        Term gt = g.term(i);
+        Term st = s.term(i);
+        if (gt.is_constant()) {
+          ok = (gt == st);
+        } else {
+          ok = BindVar(gt.id(), st);
+        }
+      }
+      if (ok && MatchAtom(index + 1)) return true;
+      while (trail_.size() > trail_mark) {
+        mapping_.erase(trail_.back());
+        trail_.pop_back();
+      }
+    }
+    return false;
+  }
+
+  const ConjunctiveQuery& general_;
+  const ConjunctiveQuery& specific_;
+  std::unordered_map<VariableId, Term> mapping_;
+  std::vector<VariableId> trail_;
+};
+
+}  // namespace
+
+bool CqSubsumes(const ConjunctiveQuery& general,
+                const ConjunctiveQuery& specific) {
+  return HomomorphismFinder(general, specific).Find();
+}
+
+bool CqEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return CqSubsumes(a, b) && CqSubsumes(b, a);
+}
+
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq) {
+  ConjunctiveQuery current = cq;
+  bool changed = true;
+  while (changed && current.body().size() > 1) {
+    changed = false;
+    for (std::size_t drop = 0; drop < current.body().size(); ++drop) {
+      std::vector<Atom> smaller_body;
+      smaller_body.reserve(current.body().size() - 1);
+      for (std::size_t i = 0; i < current.body().size(); ++i) {
+        if (i != drop) smaller_body.push_back(current.body()[i]);
+      }
+      ConjunctiveQuery candidate(current.answer_terms(),
+                                 std::move(smaller_body));
+      if (!candidate.Validate().ok()) continue;  // Lost an answer variable.
+      // Dropping an atom relaxes the query; it stays equivalent iff
+      // ans(candidate) ⊆ ans(current), i.e. current maps into candidate.
+      if (CqSubsumes(current, candidate)) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+UnionOfCqs MinimizeUcq(const UnionOfCqs& ucq) {
+  std::vector<ConjunctiveQuery> minimized;
+  minimized.reserve(ucq.disjuncts().size());
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    minimized.push_back(MinimizeCq(cq));
+  }
+  std::vector<bool> dead(minimized.size(), false);
+  for (std::size_t i = 0; i < minimized.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < minimized.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (CqSubsumes(minimized[i], minimized[j])) dead[j] = true;
+    }
+  }
+  UnionOfCqs result;
+  for (std::size_t i = 0; i < minimized.size(); ++i) {
+    if (!dead[i]) result.Add(std::move(minimized[i]));
+  }
+  return result;
+}
+
+}  // namespace ontorew

@@ -1,0 +1,32 @@
+#ifndef ONTOREW_REWRITING_CONTAINMENT_H_
+#define ONTOREW_REWRITING_CONTAINMENT_H_
+
+#include "logic/query.h"
+
+// Conjunctive-query containment via homomorphisms (Chandra–Merkurio:
+// NP-complete in general, fine at rewriting sizes). Used to minimize the
+// UCQs produced by the rewriting engine.
+
+namespace ontorew {
+
+// True iff there is a homomorphism from `general` into `specific` that
+// maps general's answer terms positionally onto specific's. Then every
+// answer of `specific` is an answer of `general` on every database
+// (ans(specific) ⊆ ans(general)), i.e. `specific` is redundant next to
+// `general` inside a union.
+bool CqSubsumes(const ConjunctiveQuery& general,
+                const ConjunctiveQuery& specific);
+
+// Containment in both directions.
+bool CqEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+// Removes redundant body atoms (retraction to a core-like minimal
+// equivalent CQ).
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq);
+
+// Minimizes each disjunct and removes disjuncts subsumed by another.
+UnionOfCqs MinimizeUcq(const UnionOfCqs& ucq);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_REWRITING_CONTAINMENT_H_

@@ -1,0 +1,239 @@
+#include "rewriting/rewriter.h"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "base/strings.h"
+#include "logic/canonical.h"
+#include "logic/substitution.h"
+#include "logic/unification.h"
+#include "rewriting/containment.h"
+
+namespace ontorew {
+namespace {
+
+// Rule variables are renamed into an id space disjoint from canonical CQ
+// variables (which are small, starting at 0).
+constexpr VariableId kRuleVarBase = 1 << 20;
+
+struct PreparedRule {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<VariableId> head_variables;
+  std::vector<VariableId> existential_head;
+};
+
+PreparedRule PrepareRule(const Tgd& tgd) {
+  std::unordered_map<VariableId, VariableId> rename;
+  auto rename_atom = [&rename](const Atom& atom) {
+    std::vector<Term> terms;
+    terms.reserve(atom.terms().size());
+    for (Term t : atom.terms()) {
+      if (t.is_constant()) {
+        terms.push_back(t);
+        continue;
+      }
+      auto [it, inserted] = rename.emplace(
+          t.id(), kRuleVarBase + static_cast<VariableId>(rename.size()));
+      terms.push_back(Term::Var(it->second));
+    }
+    return Atom(atom.predicate(), std::move(terms));
+  };
+  PreparedRule rule;
+  rule.head = rename_atom(tgd.head().front());
+  for (const Atom& beta : tgd.body()) rule.body.push_back(rename_atom(beta));
+  for (VariableId v : tgd.HeadVariables()) {
+    rule.head_variables.push_back(rename.at(v));
+  }
+  for (VariableId v : tgd.ExistentialHeadVariables()) {
+    rule.existential_head.push_back(rename.at(v));
+  }
+  return rule;
+}
+
+int CountResolvedOccurrences(const Atom& atom, const Substitution& subst,
+                             Term value) {
+  int count = 0;
+  for (Term t : atom.terms()) {
+    if (subst.Resolve(t) == value) ++count;
+  }
+  return count;
+}
+
+// The rewriting-step applicability test: every existential head variable
+// of the rule must absorb an unbound query term.
+bool IsApplicable(const ConjunctiveQuery& g, const PreparedRule& rule,
+                  const Substitution& subst) {
+  for (VariableId y : rule.existential_head) {
+    Term ty = subst.Resolve(Term::Var(y));
+    if (ty.is_constant()) return false;
+    for (VariableId h : rule.head_variables) {
+      if (h == y) continue;
+      if (subst.Resolve(Term::Var(h)) == ty) return false;
+    }
+    int occurrences = 0;
+    for (const Atom& atom : g.body()) {
+      occurrences += CountResolvedOccurrences(atom, subst, ty);
+    }
+    if (occurrences != 1) return false;
+    for (Term answer : g.answer_terms()) {
+      if (answer.is_variable() && subst.Resolve(answer) == ty) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Term> ApplyToAnswer(const std::vector<Term>& answer_terms,
+                                const Substitution& subst) {
+  std::vector<Term> result;
+  result.reserve(answer_terms.size());
+  for (Term t : answer_terms) {
+    result.push_back(t.is_constant() ? t : subst.Resolve(t));
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<RewriteResult> RewriteUcq(const UnionOfCqs& query,
+                                   const TgdProgram& program,
+                                   const RewriterOptions& options) {
+  if (!program.IsSingleHead()) {
+    return FailedPreconditionError(
+        "the rewriting engine covers single-head TGDs; normalize multi-head "
+        "TGDs first");
+  }
+  OREW_RETURN_IF_ERROR(query.Validate());
+
+  std::vector<PreparedRule> rules;
+  rules.reserve(program.tgds().size());
+  for (const Tgd& tgd : program.tgds()) rules.push_back(PrepareRule(tgd));
+
+  RewriteResult result;
+  std::unordered_set<std::string> seen;
+  std::vector<ConjunctiveQuery> generated;
+  std::deque<int> worklist;
+
+  std::vector<CqDerivation> derivations;
+  auto add_cq = [&seen, &generated, &worklist, &derivations,
+                 &options](const ConjunctiveQuery& cq,
+                           const CqDerivation& derivation) {
+    // Minimize before deduplication: backward application of a recursive
+    // rule re-derives atoms that are homomorphically redundant (e.g. the
+    // r -> s -> v -> r loop of PaperExample1 re-adds q(Y) and a fresh
+    // t(Z) on every pass). Raw saturation would therefore diverge even on
+    // FO-rewritable inputs; saturating equivalence-class representatives
+    // (as PerfectRef/Rapid do) restores termination and preserves the
+    // union's semantics.
+    ConjunctiveQuery canonical = CanonicalizeCq(
+        options.reduce_intermediate ? MinimizeCq(cq) : cq);
+    std::string key = CanonicalCqKey(canonical);
+    if (!seen.insert(std::move(key)).second) return;
+    generated.push_back(std::move(canonical));
+    derivations.push_back(derivation);
+    worklist.push_back(static_cast<int>(generated.size()) - 1);
+  };
+
+  for (const ConjunctiveQuery& cq : query.disjuncts()) {
+    add_cq(cq, CqDerivation{});
+  }
+
+  while (!worklist.empty()) {
+    if (static_cast<int>(generated.size()) > options.max_cqs) {
+      return ResourceExhaustedError(
+          StrCat("rewriting exceeded the cap of ", options.max_cqs,
+                 " conjunctive queries — the program is probably not "
+                 "FO-rewritable for this query"));
+    }
+    // Copy: `generated` may reallocate as successors are added.
+    const int g_index = worklist.front();
+    const ConjunctiveQuery g = generated[static_cast<std::size_t>(g_index)];
+    worklist.pop_front();
+
+    // Rewriting steps.
+    for (std::size_t a = 0; a < g.body().size(); ++a) {
+      for (int rule_index = 0; rule_index < static_cast<int>(rules.size());
+           ++rule_index) {
+        const PreparedRule& rule =
+            rules[static_cast<std::size_t>(rule_index)];
+        Substitution subst;
+        if (!UnifyAtoms(g.body()[a], rule.head, &subst)) continue;
+        if (!IsApplicable(g, rule, subst)) continue;
+        ++result.steps;
+        std::vector<Atom> new_body;
+        new_body.reserve(g.body().size() - 1 + rule.body.size());
+        for (std::size_t i = 0; i < g.body().size(); ++i) {
+          if (i != a) new_body.push_back(subst.Apply(g.body()[i]));
+        }
+        for (const Atom& beta : rule.body) {
+          new_body.push_back(subst.Apply(beta));
+        }
+        add_cq(ConjunctiveQuery(ApplyToAnswer(g.answer_terms(), subst),
+                                std::move(new_body)),
+               CqDerivation{g_index, rule_index, false});
+      }
+    }
+
+    // Factorization steps: unify two atoms with the same predicate. The
+    // result is a subsumed specialization, generated only because it can
+    // unlock rewriting steps (it makes shared variables occur once).
+    if (options.factorize) {
+      for (std::size_t i = 0; i < g.body().size(); ++i) {
+        for (std::size_t j = i + 1; j < g.body().size(); ++j) {
+          if (g.body()[i].predicate() != g.body()[j].predicate()) continue;
+          Substitution subst;
+          if (!UnifyAtoms(g.body()[i], g.body()[j], &subst)) continue;
+          ++result.steps;
+          std::vector<Atom> new_body;
+          new_body.reserve(g.body().size() - 1);
+          for (std::size_t l = 0; l < g.body().size(); ++l) {
+            if (l != j) new_body.push_back(subst.Apply(g.body()[l]));
+          }
+          add_cq(ConjunctiveQuery(ApplyToAnswer(g.answer_terms(), subst),
+                                  std::move(new_body)),
+                 CqDerivation{g_index, -1, true});
+        }
+      }
+    }
+  }
+
+  result.generated = static_cast<int>(generated.size());
+  result.saturated = generated;
+  result.derivations = std::move(derivations);
+  UnionOfCqs full(std::move(generated));
+  result.ucq = options.minimize ? MinimizeUcq(full) : std::move(full);
+  return result;
+}
+
+std::string DescribeDerivation(const RewriteResult& result, int index) {
+  // Walk parents back to an input disjunct, then print forward.
+  std::vector<int> chain;
+  for (int i = index; i >= 0;
+       i = result.derivations[static_cast<std::size_t>(i)].parent) {
+    chain.push_back(i);
+  }
+  std::string description;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const CqDerivation& d =
+        result.derivations[static_cast<std::size_t>(*it)];
+    if (it != chain.rbegin()) {
+      description += d.factorization
+                         ? " =factorize=> "
+                         : StrCat(" =R", d.rule_index + 1, "=> ");
+    }
+    description += StrCat("q", *it);
+  }
+  return description;
+}
+
+StatusOr<RewriteResult> RewriteCq(const ConjunctiveQuery& query,
+                                  const TgdProgram& program,
+                                  const RewriterOptions& options) {
+  return RewriteUcq(UnionOfCqs(query), program, options);
+}
+
+}  // namespace ontorew

@@ -1,0 +1,88 @@
+#ifndef ONTOREW_REWRITING_REWRITER_H_
+#define ONTOREW_REWRITING_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/program.h"
+#include "logic/query.h"
+
+// UCQ rewriting for single-head TGDs — the operational counterpart of
+// FO-rewritability (paper, Definition 1): compute a UCQ q' with
+// cert(q, P, D) = ans(q', D) for every database D, by backward resolution
+// of query atoms against TGD heads (in the style of PerfectRef/XRewrite,
+// and of the algorithm the paper's [10] gives for SWR TGDs).
+//
+// One *rewriting step* picks a CQ g, a body atom a of g and a TGD
+// R : body -> α, unifies a with (a renamed-apart copy of) α, and — when
+// the unification is *applicable* — replaces a by body·θ. Applicability
+// requires every existential head variable of R to absorb an unbound
+// query term: not a constant, not an answer variable, not identified with
+// another head variable, and occurring exactly once in g. A *factorization
+// step* unifies two body atoms of g with the same predicate, producing a
+// subsumed specialization that can enable further rewriting steps.
+//
+// The saturation terminates exactly when the program is FO-rewritable for
+// the given query shape (e.g. always on SWR sets — Theorem 1); on
+// non-FO-rewritable inputs such as PaperExample2 with q() :- r("a", X) it
+// would produce an unbounded chain, so a cap bounds the work and reports
+// ResourceExhausted.
+
+namespace ontorew {
+
+struct RewriterOptions {
+  // Divergence cap: maximum number of distinct canonical CQs explored.
+  int max_cqs = 20000;
+  // Final containment-based minimization of the produced union.
+  bool minimize = true;
+  // Generate factorization (atom-unification) specializations.
+  bool factorize = true;
+  // Minimize each intermediate CQ before deduplication. Disabling this is
+  // only useful for ablation studies: recursive-but-harmless programs
+  // (e.g. PaperExample1) then accumulate homomorphically redundant atoms
+  // and the saturation diverges to the cap.
+  bool reduce_intermediate = true;
+};
+
+// How one saturated CQ came to be (derivation provenance).
+struct CqDerivation {
+  // Index of the CQ this one was derived from; -1 for input disjuncts.
+  int parent = -1;
+  // Rule applied (index into program.tgds()); -1 for factorization steps
+  // and input disjuncts.
+  int rule_index = -1;
+  bool factorization = false;
+};
+
+struct RewriteResult {
+  UnionOfCqs ucq;
+  // Distinct canonical CQs generated during saturation (before
+  // minimization).
+  int generated = 0;
+  // Rewriting + factorization steps attempted.
+  int steps = 0;
+  // All saturated CQs with their derivations (aligned; ucq above is the
+  // minimized union of these).
+  std::vector<ConjunctiveQuery> saturated;
+  std::vector<CqDerivation> derivations;
+};
+
+// "q0 =R2=> q3 =factorize=> q5": the derivation chain of saturated CQ
+// `index`, for diagnostics.
+std::string DescribeDerivation(const RewriteResult& result, int index);
+
+// Rewrites `query` against `program`. Errors: FailedPrecondition for
+// multi-head programs, ResourceExhausted when the cap is hit.
+StatusOr<RewriteResult> RewriteUcq(const UnionOfCqs& query,
+                                   const TgdProgram& program,
+                                   const RewriterOptions& options = {});
+
+// Convenience single-CQ entry point.
+StatusOr<RewriteResult> RewriteCq(const ConjunctiveQuery& query,
+                                  const TgdProgram& program,
+                                  const RewriterOptions& options = {});
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_REWRITING_REWRITER_H_

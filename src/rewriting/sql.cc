@@ -1,0 +1,103 @@
+#include "rewriting/sql.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/strings.h"
+#include "logic/atom.h"
+
+namespace ontorew {
+namespace {
+
+// Escapes a constant for a single-quoted SQL string literal.
+std::string SqlLiteral(ConstantId id, const Vocabulary& vocab) {
+  const std::string& name = vocab.ConstantName(id);
+  std::string escaped;
+  escaped.reserve(name.size() + 2);
+  escaped += '\'';
+  for (char c : name) {
+    // Strip the double quotes our parser keeps around string literals.
+    if (c == '"') continue;
+    if (c == '\'') {
+      escaped += "''";
+      continue;
+    }
+    escaped += c;
+  }
+  escaped += '\'';
+  return escaped;
+}
+
+}  // namespace
+
+StatusOr<std::string> CqToSql(const ConjunctiveQuery& cq,
+                              const Vocabulary& vocab) {
+  OREW_RETURN_IF_ERROR(cq.Validate());
+
+  // First binding site of each variable: "t<i>.c<j>".
+  std::unordered_map<VariableId, std::string> binding;
+  std::vector<std::string> from;
+  std::vector<std::string> where;
+  for (std::size_t i = 0; i < cq.body().size(); ++i) {
+    const Atom& atom = cq.body()[i];
+    std::string alias = StrCat("t", i);
+    from.push_back(
+        StrCat(vocab.PredicateName(atom.predicate()), " AS ", alias));
+    for (int j = 0; j < atom.arity(); ++j) {
+      std::string column = StrCat(alias, ".c", j + 1);
+      Term t = atom.term(j);
+      if (t.is_constant()) {
+        where.push_back(StrCat(column, " = ", SqlLiteral(t.id(), vocab)));
+        continue;
+      }
+      auto [it, inserted] = binding.emplace(t.id(), column);
+      if (!inserted) {
+        where.push_back(StrCat(column, " = ", it->second));
+      }
+    }
+  }
+
+  std::vector<std::string> select;
+  for (std::size_t i = 0; i < cq.answer_terms().size(); ++i) {
+    Term t = cq.answer_terms()[i];
+    std::string value =
+        t.is_constant() ? SqlLiteral(t.id(), vocab) : binding.at(t.id());
+    select.push_back(StrCat(value, " AS a", i + 1));
+  }
+  if (select.empty()) select.push_back("1 AS a1");  // Boolean query.
+
+  std::string sql = StrCat("SELECT DISTINCT ", StrJoin(select, ", "),
+                           "\nFROM ", StrJoin(from, ", "));
+  if (!where.empty()) {
+    sql += StrCat("\nWHERE ", StrJoin(where, " AND "));
+  }
+  return sql;
+}
+
+StatusOr<std::string> UcqToSql(const UnionOfCqs& ucq,
+                               const Vocabulary& vocab) {
+  OREW_RETURN_IF_ERROR(ucq.Validate());
+  std::vector<std::string> parts;
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    OREW_ASSIGN_OR_RETURN(std::string sql, CqToSql(cq, vocab));
+    parts.push_back(std::move(sql));
+  }
+  return StrJoin(parts, "\nUNION\n");
+}
+
+std::string SchemaToSql(const TgdProgram& program, const Vocabulary& vocab) {
+  std::string ddl;
+  for (PredicateId p : program.Predicates()) {
+    ddl += StrCat("CREATE TABLE ", vocab.PredicateName(p), " (");
+    std::vector<std::string> columns;
+    for (int j = 0; j < vocab.PredicateArity(p); ++j) {
+      columns.push_back(StrCat("c", j + 1, " TEXT NOT NULL"));
+    }
+    ddl += StrJoin(columns, ", ");
+    ddl += ");\n";
+  }
+  return ddl;
+}
+
+}  // namespace ontorew

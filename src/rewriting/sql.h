@@ -1,0 +1,43 @@
+#ifndef ONTOREW_REWRITING_SQL_H_
+#define ONTOREW_REWRITING_SQL_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "logic/program.h"
+#include "logic/query.h"
+#include "logic/vocabulary.h"
+
+// Rendering of UCQs as SQL — the paper's destination format ("a
+// conjunctive query over an ontology can be rewritten as an equivalent
+// SQL query over the original database", Section 1). Each predicate p of
+// arity k maps to a table "p" with columns c1..ck; each CQ becomes a
+// SELECT DISTINCT over a comma join with equality predicates for shared
+// variables and constants; the union of CQs becomes a UNION.
+//
+//   q(X) :- r(X, Y), s(Y, a)
+//   =>
+//   SELECT DISTINCT t0.c1 AS a1
+//   FROM r AS t0, s AS t1
+//   WHERE t1.c1 = t0.c2 AND t1.c2 = 'a'
+//
+// Boolean queries select a constant 1. The emitted SQL is standard enough
+// for SQLite/PostgreSQL given tables named after the predicates.
+
+namespace ontorew {
+
+// Renders a single CQ. Errors on an invalid query.
+StatusOr<std::string> CqToSql(const ConjunctiveQuery& cq,
+                              const Vocabulary& vocab);
+
+// Renders the whole union. Errors on an invalid or empty UCQ.
+StatusOr<std::string> UcqToSql(const UnionOfCqs& ucq,
+                               const Vocabulary& vocab);
+
+// The CREATE TABLE statements for every predicate of `program`'s
+// signature (text columns), for loading the extensional data.
+std::string SchemaToSql(const TgdProgram& program, const Vocabulary& vocab);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_REWRITING_SQL_H_

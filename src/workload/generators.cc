@@ -1,0 +1,271 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "logic/parser.h"
+
+namespace ontorew {
+namespace {
+
+Term Var(Vocabulary* vocab, const std::string& name) {
+  return Term::Var(vocab->InternVariable(name));
+}
+
+Atom MakeAtom(Vocabulary* vocab, const std::string& pred,
+              std::vector<Term> terms) {
+  // Sequence the arity read before moving the vector: as unsequenced
+  // function arguments, `terms.size()` could otherwise observe the
+  // moved-from (empty) vector and register arity 0.
+  PredicateId id =
+      vocab->MustPredicate(pred, static_cast<int>(terms.size()));
+  return Atom(id, std::move(terms));
+}
+
+}  // namespace
+
+TgdProgram ChainFamily(int n, int arity, Vocabulary* vocab) {
+  OREW_CHECK(n >= 1 && arity >= 1);
+  TgdProgram program;
+  std::vector<Term> vars;
+  for (int i = 0; i < arity; ++i) vars.push_back(Var(vocab, StrCat("X", i)));
+  for (int i = 0; i < n; ++i) {
+    Atom body = MakeAtom(vocab, StrCat("p", i), vars);
+    Atom head = MakeAtom(vocab, StrCat("p", i + 1), vars);
+    program.Add(Tgd({body}, {head}));
+  }
+  return program;
+}
+
+TgdProgram LadderFamily(int n, Vocabulary* vocab) {
+  OREW_CHECK(n >= 1);
+  TgdProgram program;
+  Term x = Var(vocab, "X");
+  Term y = Var(vocab, "Y");
+  for (int i = 0; i < n; ++i) {
+    // c_i(X) -> e_i(X, Y): mandatory participation with an existential.
+    program.Add(Tgd({MakeAtom(vocab, StrCat("c", i), {x})},
+                    {MakeAtom(vocab, StrCat("e", i), {x, y})}));
+    // e_i(X, Y) -> c_{i+1}(X): domain of the role is the next concept.
+    program.Add(Tgd({MakeAtom(vocab, StrCat("e", i), {x, y})},
+                    {MakeAtom(vocab, StrCat("c", i + 1), {x})}));
+  }
+  return program;
+}
+
+TgdProgram CompositionFamily(int n, Vocabulary* vocab) {
+  OREW_CHECK(n >= 1);
+  TgdProgram program;
+  Term x = Var(vocab, "X");
+  Term y = Var(vocab, "Y");
+  Term z = Var(vocab, "Z");
+  for (int i = 0; i < n; ++i) {
+    program.Add(Tgd({MakeAtom(vocab, StrCat("r", i), {x, y}),
+                     MakeAtom(vocab, StrCat("r", i), {y, z})},
+                    {MakeAtom(vocab, StrCat("r", i + 1), {x, z})}));
+  }
+  return program;
+}
+
+namespace {
+
+TgdProgram DisjointCopies(int n, Vocabulary* vocab, const char* pattern) {
+  TgdProgram program;
+  for (int copy = 0; copy < n; ++copy) {
+    std::string text(pattern);
+    // Suffix every predicate name marker '@' with the copy index.
+    std::string suffixed;
+    for (char c : text) {
+      if (c == '@') {
+        suffixed += StrCat("_", copy);
+      } else {
+        suffixed += c;
+      }
+    }
+    StatusOr<TgdProgram> parsed = ParseProgram(suffixed, vocab);
+    OREW_CHECK(parsed.ok()) << parsed.status();
+    for (const Tgd& tgd : parsed->tgds()) program.Add(tgd);
+  }
+  return program;
+}
+
+}  // namespace
+
+TgdProgram Example2Family(int n, Vocabulary* vocab) {
+  return DisjointCopies(n, vocab,
+                        "t@(Y1, Y2), r@(Y3, Y4) -> s@(Y1, Y3, Y2).\n"
+                        "s@(Y1, Y1, Y2) -> r@(Y2, Y3).\n");
+}
+
+TgdProgram Example3Family(int n, Vocabulary* vocab) {
+  return DisjointCopies(n, vocab,
+                        "r@(Y1, Y2) -> t@(Y3, Y1, Y1).\n"
+                        "s@(Y1, Y2, Y3) -> r@(Y1, Y2).\n"
+                        "u@(Y1), t@(Y1, Y1, Y2) -> s@(Y1, Y1, Y2).\n");
+}
+
+TgdProgram ArityStressFamily(int arity, Vocabulary* vocab) {
+  OREW_CHECK(arity >= 2);
+  const int k = arity;
+  std::vector<Term> ys;
+  for (int i = 0; i < k - 1; ++i) ys.push_back(Var(vocab, StrCat("Y", i)));
+  Term fresh = Var(vocab, "W");
+  std::vector<Term> head_terms = ys;
+  head_terms.push_back(fresh);
+  TgdProgram program;
+  for (int i = 0; i < k - 1; ++i) {
+    // Body: Y0..Yi, Yi, Y_{i+1}..Y_{k-2} — position i duplicated.
+    std::vector<Term> body_terms;
+    for (int j = 0; j <= i; ++j) body_terms.push_back(ys[j]);
+    body_terms.push_back(ys[i]);
+    for (int j = i + 1; j < k - 1; ++j) body_terms.push_back(ys[j]);
+    program.Add(Tgd({MakeAtom(vocab, "p", body_terms)},
+                    {MakeAtom(vocab, "p", head_terms)}));
+  }
+  return program;
+}
+
+TgdProgram RandomProgram(const RandomProgramOptions& options, Rng* rng,
+                         Vocabulary* vocab) {
+  OREW_CHECK(options.num_rules >= 1);
+  OREW_CHECK(options.num_predicates >= 1);
+  OREW_CHECK(options.max_arity >= 1);
+
+  // Fixed arities per predicate.
+  std::vector<int> arity(static_cast<std::size_t>(options.num_predicates));
+  std::vector<PredicateId> preds;
+  for (int p = 0; p < options.num_predicates; ++p) {
+    arity[static_cast<std::size_t>(p)] = rng->UniformIn(1, options.max_arity);
+    preds.push_back(vocab->MustPredicate(
+        StrCat("g", p), arity[static_cast<std::size_t>(p)]));
+  }
+
+  TgdProgram program;
+  for (int r = 0; r < options.num_rules; ++r) {
+    int body_atoms = rng->UniformIn(1, options.max_body_atoms);
+    int head_atoms = rng->UniformIn(1, options.max_head_atoms);
+    // A small pool of body variables keeps bodies connected.
+    int pool = std::max(2, options.max_arity + body_atoms - 1);
+    std::vector<Term> body_vars;
+    for (int v = 0; v < pool; ++v) {
+      body_vars.push_back(Var(vocab, StrCat("R", r, "V", v)));
+    }
+
+    auto make_atom = [&](bool in_head) {
+      int p = rng->Uniform(options.num_predicates);
+      std::vector<Term> terms;
+      std::vector<Term> used;
+      for (int i = 0; i < arity[static_cast<std::size_t>(p)]; ++i) {
+        if (!used.empty() && rng->Bernoulli(options.repeat_prob)) {
+          terms.push_back(used[static_cast<std::size_t>(
+              rng->Uniform(static_cast<int>(used.size())))]);
+          continue;
+        }
+        if (rng->Bernoulli(options.constant_prob)) {
+          terms.push_back(Term::Const(vocab->InternConstant(
+              StrCat("k", rng->Uniform(options.num_constants)))));
+          continue;
+        }
+        Term t;
+        if (in_head && rng->Bernoulli(options.existential_prob)) {
+          t = Var(vocab, StrCat("R", r, "E", rng->Uniform(1 << 20)));
+        } else {
+          t = body_vars[static_cast<std::size_t>(
+              rng->Uniform(static_cast<int>(body_vars.size())))];
+          if (options.repeat_prob == 0.0) {
+            // Keep atoms repetition-free (simple-TGD populations): retry
+            // over the pool, which is larger than any arity.
+            int guard = 0;
+            while (std::find(used.begin(), used.end(), t) != used.end() &&
+                   ++guard < 64) {
+              t = body_vars[static_cast<std::size_t>(
+                  rng->Uniform(static_cast<int>(body_vars.size())))];
+            }
+          }
+        }
+        terms.push_back(t);
+        used.push_back(t);
+      }
+      return Atom(preds[static_cast<std::size_t>(p)], std::move(terms));
+    };
+
+    std::vector<Atom> body;
+    for (int b = 0; b < body_atoms; ++b) body.push_back(make_atom(false));
+    std::vector<Atom> head;
+    for (int h = 0; h < head_atoms; ++h) head.push_back(make_atom(true));
+    program.Add(Tgd(std::move(body), std::move(head)));
+  }
+  return program;
+}
+
+TgdProgram RandomLinearProgram(int num_rules, int num_predicates,
+                               int max_arity, double existential_prob,
+                               Rng* rng, Vocabulary* vocab) {
+  RandomProgramOptions options;
+  options.num_rules = num_rules;
+  options.num_predicates = num_predicates;
+  options.max_arity = max_arity;
+  options.max_body_atoms = 1;
+  options.existential_prob = existential_prob;
+  return RandomProgram(options, rng, vocab);
+}
+
+Database RandomDatabase(const TgdProgram& program, int tuples_per_predicate,
+                        int domain_size, Rng* rng, Vocabulary* vocab) {
+  OREW_CHECK(domain_size >= 1);
+  std::vector<Value> domain;
+  domain.reserve(static_cast<std::size_t>(domain_size));
+  for (int d = 0; d < domain_size; ++d) {
+    domain.push_back(Value::Constant(vocab->InternConstant(StrCat("d", d))));
+  }
+  Database db;
+  for (PredicateId p : program.Predicates()) {
+    int arity = vocab->PredicateArity(p);
+    Relation& relation = db.GetOrCreate(p, arity);
+    for (int t = 0; t < tuples_per_predicate; ++t) {
+      Tuple tuple;
+      tuple.reserve(static_cast<std::size_t>(arity));
+      for (int i = 0; i < arity; ++i) {
+        tuple.push_back(
+            domain[static_cast<std::size_t>(rng->Uniform(domain_size))]);
+      }
+      relation.Insert(std::move(tuple));
+    }
+  }
+  return db;
+}
+
+ConjunctiveQuery RandomCq(const TgdProgram& program, int num_atoms,
+                          int num_answer_vars, Rng* rng, Vocabulary* vocab) {
+  OREW_CHECK(num_atoms >= 1);
+  std::vector<PredicateId> preds = program.Predicates();
+  OREW_CHECK(!preds.empty());
+
+  int pool = num_atoms + 2;
+  std::vector<Term> vars;
+  for (int v = 0; v < pool; ++v) {
+    vars.push_back(Var(vocab, StrCat("Q", rng->Uniform(1 << 20), "V", v)));
+  }
+  std::vector<Atom> body;
+  for (int a = 0; a < num_atoms; ++a) {
+    PredicateId p = preds[static_cast<std::size_t>(
+        rng->Uniform(static_cast<int>(preds.size())))];
+    int arity = vocab->PredicateArity(p);
+    std::vector<Term> terms;
+    for (int i = 0; i < arity; ++i) {
+      terms.push_back(vars[static_cast<std::size_t>(rng->Uniform(pool))]);
+    }
+    body.push_back(Atom(p, std::move(terms)));
+  }
+  std::vector<VariableId> body_vars = DistinctVariables(body);
+  int answer_count =
+      std::min(num_answer_vars, static_cast<int>(body_vars.size()));
+  std::vector<VariableId> answers(body_vars.begin(),
+                                  body_vars.begin() + answer_count);
+  return ConjunctiveQuery(answers, std::move(body));
+}
+
+}  // namespace ontorew

@@ -1,0 +1,93 @@
+#ifndef ONTOREW_WORKLOAD_GENERATORS_H_
+#define ONTOREW_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "db/database.h"
+#include "logic/program.h"
+#include "logic/query.h"
+#include "logic/vocabulary.h"
+
+// Workload generators: deterministic scalable TGD families (for the
+// complexity benchmarks), randomized programs (for the class-coverage
+// benchmark and the property tests), and randomized database instances /
+// queries. All generators are deterministic given their inputs.
+
+namespace ontorew {
+
+// --- Deterministic families -----------------------------------------------
+
+// n linear rules p_i(X1..arity) -> p_{i+1}(X1..arity): a concept chain.
+// Linear, sticky, SWR; the position graph is a path.
+TgdProgram ChainFamily(int n, int arity, Vocabulary* vocab);
+
+// n rules c_i(X) -> c_{i+1}(X, Y) alternated with c_{i+1}(X, Y) -> c_i(X):
+// a DL-Lite-style role/concept ladder with existentials; SWR with
+// harmless cycles (m-edges but no s-edges).
+TgdProgram LadderFamily(int n, Vocabulary* vocab);
+
+// n joined rules r_i(X,Y), r_i(Y,Z) -> r_{i+1}(X,Z): composition chains
+// whose position graphs have s-edges but no cycles (SWR, not sticky for
+// n >= 2... the marked join variable Y repeats).
+TgdProgram CompositionFamily(int n, Vocabulary* vocab);
+
+// n disjoint copies of PaperExample2 (each over its own predicates):
+// not WR, with the dangerous cycle in every copy.
+TgdProgram Example2Family(int n, Vocabulary* vocab);
+
+// n disjoint copies of PaperExample3: WR but in no baseline class.
+TgdProgram Example3Family(int n, Vocabulary* vocab);
+
+// A family that drives the P-node graph's node count up exponentially
+// with the arity k (used by the WR-cost benchmark): k-1 rules
+//   p(Y1, .., Yi, Yi, .., Y_{k-1}) -> p(Y1, .., Y_{k-1}, W)
+// whose backward applications merge adjacent argument positions; the
+// merges compose, so the saturation visits a repetition pattern for every
+// reachable partition of the positions — the alphabet-driven blow-up
+// behind the paper's PSPACE conjecture.
+TgdProgram ArityStressFamily(int arity, Vocabulary* vocab);
+
+// --- Randomized generators -------------------------------------------------
+
+struct RandomProgramOptions {
+  int num_rules = 10;
+  int num_predicates = 6;
+  int max_arity = 3;
+  int max_body_atoms = 3;
+  int max_head_atoms = 1;  // > 1 produces multi-head TGDs.
+  // Probability that a head position holds a fresh existential variable.
+  double existential_prob = 0.3;
+  // Probability that an atom position repeats an already-used variable of
+  // the same atom (violates simplicity).
+  double repeat_prob = 0.0;
+  // Probability that a position holds a constant (violates simplicity).
+  double constant_prob = 0.0;
+  int num_constants = 3;
+};
+
+// A random program; every rule has a connected body sharing variables with
+// the head where possible.
+TgdProgram RandomProgram(const RandomProgramOptions& options, Rng* rng,
+                         Vocabulary* vocab);
+
+// A random guaranteed-Linear program (single body atom per rule).
+TgdProgram RandomLinearProgram(int num_rules, int num_predicates,
+                               int max_arity, double existential_prob,
+                               Rng* rng, Vocabulary* vocab);
+
+// A random database over the predicates of `program`: roughly
+// `tuples_per_predicate` tuples per relation, values drawn from a domain
+// of `domain_size` constants "d0", "d1", ....
+Database RandomDatabase(const TgdProgram& program, int tuples_per_predicate,
+                        int domain_size, Rng* rng, Vocabulary* vocab);
+
+// A random connected CQ over the predicates of `program` with `num_atoms`
+// body atoms and `num_answer_vars` answer variables (capped by the number
+// of distinct body variables).
+ConjunctiveQuery RandomCq(const TgdProgram& program, int num_atoms,
+                          int num_answer_vars, Rng* rng, Vocabulary* vocab);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_WORKLOAD_GENERATORS_H_

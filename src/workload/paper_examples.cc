@@ -1,0 +1,40 @@
+#include "workload/paper_examples.h"
+
+#include "base/logging.h"
+#include "logic/parser.h"
+
+namespace ontorew {
+namespace {
+
+TgdProgram MustParse(const char* text, Vocabulary* vocab) {
+  StatusOr<TgdProgram> program = ParseProgram(text, vocab);
+  OREW_CHECK(program.ok()) << program.status();
+  return *std::move(program);
+}
+
+}  // namespace
+
+TgdProgram PaperExample1(Vocabulary* vocab) {
+  return MustParse(
+      "s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).\n"
+      "v(Y1, Y2), q(Y2) -> s(Y1, Y3, Y2).\n"
+      "r(Y1, Y2) -> v(Y1, Y2).\n",
+      vocab);
+}
+
+TgdProgram PaperExample2(Vocabulary* vocab) {
+  return MustParse(
+      "t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n"
+      "s(Y1, Y1, Y2) -> r(Y2, Y3).\n",
+      vocab);
+}
+
+TgdProgram PaperExample3(Vocabulary* vocab) {
+  return MustParse(
+      "r(Y1, Y2) -> t(Y3, Y1, Y1).\n"
+      "s(Y1, Y2, Y3) -> r(Y1, Y2).\n"
+      "u(Y1), t(Y1, Y1, Y2) -> s(Y1, Y1, Y2).\n",
+      vocab);
+}
+
+}  // namespace ontorew

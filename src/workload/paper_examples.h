@@ -1,0 +1,34 @@
+#ifndef ONTOREW_WORKLOAD_PAPER_EXAMPLES_H_
+#define ONTOREW_WORKLOAD_PAPER_EXAMPLES_H_
+
+#include "logic/program.h"
+#include "logic/vocabulary.h"
+
+// The worked examples of the paper, used by tests, examples and the figure
+// regenerator.
+
+namespace ontorew {
+
+// Example 1 (Figure 1): simple TGDs, SWR, FO-rewritable.
+//   R1 : s(y1,y2,y3), t(y4) -> r(y1,y3)
+//   R2 : v(y1,y2), q(y2)    -> s(y1,y3,y2)
+//   R3 : r(y1,y2)           -> v(y1,y2)
+TgdProgram PaperExample1(Vocabulary* vocab);
+
+// Example 2 (Figures 2 and 3): repeated body variable; the position graph
+// is acyclic but the set is NOT FO-rewritable (unbounded chain for
+// q() :- r("a", x)); the P-node graph detects the dangerous cycle.
+//   R1 : t(y1,y2), r(y3,y4) -> s(y1,y3,y2)
+//   R2 : s(y1,y1,y2)        -> r(y2,y3)
+TgdProgram PaperExample2(Vocabulary* vocab);
+
+// Example 3: in none of Linear / Multilinear / Sticky / Sticky-Join / SWR,
+// yet FO-rewritable; WR accepts it.
+//   R1 : r(y1,y2)        -> t(y3,y1,y1)
+//   R2 : s(y1,y2,y3)     -> r(y1,y2)
+//   R3 : u(y1), t(y1,y1,y2) -> s(y1,y1,y2)
+TgdProgram PaperExample3(Vocabulary* vocab);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_WORKLOAD_PAPER_EXAMPLES_H_

@@ -1,0 +1,98 @@
+#include "workload/university.h"
+
+#include <string>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "logic/parser.h"
+
+namespace ontorew {
+
+TgdProgram UniversityOntology(Vocabulary* vocab) {
+  StatusOr<TgdProgram> program = ParseProgram(
+      "professor(X) -> faculty(X).\n"
+      "lecturer(X) -> faculty(X).\n"
+      "faculty(X) -> person(X).\n"
+      "student(X) -> person(X).\n"
+      "teaches(X, Y) -> faculty(X).\n"
+      "teaches(X, Y) -> course(Y).\n"
+      "faculty(X) -> teaches(X, Y).\n"
+      "enrolled(X, Y) -> student(X).\n"
+      "enrolled(X, Y) -> course(Y).\n"
+      "student(X) -> enrolled(X, Y).\n"
+      "advises(X, Y) -> professor(X).\n"
+      "advises(X, Y) -> student(Y).\n"
+      "phd(X) -> student(X).\n"
+      "phd(X) -> advises(Y, X).\n",
+      vocab);
+  OREW_CHECK(program.ok()) << program.status();
+  return *std::move(program);
+}
+
+Database UniversityInstance(const UniversityInstanceOptions& options,
+                            Rng* rng, Vocabulary* vocab) {
+  Database db;
+  auto constant = [vocab](const std::string& name) {
+    return Value::Constant(vocab->InternConstant(name));
+  };
+  auto pred = [vocab](const char* name, int arity) {
+    return vocab->MustPredicate(name, arity);
+  };
+
+  const PredicateId professor = pred("professor", 1);
+  const PredicateId lecturer = pred("lecturer", 1);
+  const PredicateId phd = pred("phd", 1);
+  const PredicateId teaches = pred("teaches", 2);
+  const PredicateId enrolled = pred("enrolled", 2);
+  const PredicateId advises = pred("advises", 2);
+
+  // Register the derived predicates so the relations exist (empty).
+  db.GetOrCreate(pred("faculty", 1), 1);
+  db.GetOrCreate(pred("person", 1), 1);
+  db.GetOrCreate(pred("student", 1), 1);
+  db.GetOrCreate(pred("course", 1), 1);
+
+  for (int i = 0; i < options.num_professors; ++i) {
+    db.Insert(professor, {constant(StrCat("prof", i))});
+  }
+  for (int i = 0; i < options.num_lecturers; ++i) {
+    db.Insert(lecturer, {constant(StrCat("lect", i))});
+  }
+  for (int i = 0; i < options.num_phd_students; ++i) {
+    db.Insert(phd, {constant(StrCat("phd", i))});
+  }
+  // Teaching: professors and lecturers teach random courses.
+  for (int i = 0; i < options.num_professors; ++i) {
+    for (int c = 0; c < options.courses_per_teacher; ++c) {
+      db.Insert(teaches, {constant(StrCat("prof", i)),
+                          constant(StrCat("course",
+                                          rng->Uniform(options.num_courses)))});
+    }
+  }
+  for (int i = 0; i < options.num_lecturers; ++i) {
+    for (int c = 0; c < options.courses_per_teacher; ++c) {
+      db.Insert(teaches, {constant(StrCat("lect", i)),
+                          constant(StrCat("course",
+                                          rng->Uniform(options.num_courses)))});
+    }
+  }
+  // Enrollment: students take random courses.
+  for (int i = 0; i < options.num_students; ++i) {
+    for (int c = 0; c < options.enrollments_per_student; ++c) {
+      db.Insert(enrolled, {constant(StrCat("stud", i)),
+                           constant(StrCat(
+                               "course", rng->Uniform(options.num_courses)))});
+    }
+  }
+  // Advising: each PhD student is advised by a random professor (half of
+  // them only implicitly, via the ontology's phd(X) -> advises(Y, X)).
+  for (int i = 0; i < options.num_phd_students; i += 2) {
+    if (options.num_professors == 0) break;
+    db.Insert(advises, {constant(StrCat("prof",
+                                        rng->Uniform(options.num_professors))),
+                        constant(StrCat("phd", i))});
+  }
+  return db;
+}
+
+}  // namespace ontorew

@@ -1,0 +1,50 @@
+#ifndef ONTOREW_WORKLOAD_UNIVERSITY_H_
+#define ONTOREW_WORKLOAD_UNIVERSITY_H_
+
+#include "base/rng.h"
+#include "db/database.h"
+#include "logic/program.h"
+#include "logic/vocabulary.h"
+
+// A DL-Lite-style university ontology expressed as TGDs, plus a scalable
+// synthetic instance generator — the OBDA scenario used by the examples
+// and the end-to-end certain-answer benchmark (experiment C3). All rules
+// are linear (hence simple, SWR and FO-rewritable); the instance stores
+// only the "raw" predicates, and query answering must go through the
+// ontology (e.g. professors are faculty are persons; every faculty member
+// teaches *something* even when the course is not in the data).
+
+namespace ontorew {
+
+// The ontology:
+//   professor(X) -> faculty(X).          lecturer(X)  -> faculty(X).
+//   faculty(X)   -> person(X).           student(X)   -> person(X).
+//   teaches(X,Y)  -> faculty(X).         teaches(X,Y)  -> course(Y).
+//   faculty(X)   -> teaches(X, Y).       (mandatory participation)
+//   enrolled(X,Y) -> student(X).         enrolled(X,Y) -> course(Y).
+//   student(X)   -> enrolled(X, Y).
+//   advises(X,Y)  -> professor(X).       advises(X,Y)  -> student(Y).
+//   phd(X)       -> student(X).          phd(X)        -> advises(Y, X).
+TgdProgram UniversityOntology(Vocabulary* vocab);
+
+struct UniversityInstanceOptions {
+  int num_professors = 20;
+  int num_lecturers = 30;
+  int num_students = 400;
+  int num_phd_students = 40;
+  int num_courses = 50;
+  // Enrollment edges per student / teaching edges per lecturer.
+  int enrollments_per_student = 3;
+  int courses_per_teacher = 2;
+};
+
+// A synthetic instance over the raw predicates (professor, lecturer, phd,
+// teaches, enrolled, advises); derived predicates (faculty, person,
+// student, course) are intentionally left empty so that query answering
+// requires the ontology.
+Database UniversityInstance(const UniversityInstanceOptions& options,
+                            Rng* rng, Vocabulary* vocab);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_WORKLOAD_UNIVERSITY_H_

@@ -1,0 +1,131 @@
+#include <string>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+#include "gtest/gtest.h"
+
+namespace ontorew {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad atom");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad atom");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad atom");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Half(int n) {
+  if (n % 2 != 0) return InvalidArgumentError("odd");
+  return n / 2;
+}
+
+StatusOr<int> Quarter(int n) {
+  OREW_ASSIGN_OR_RETURN(int half, Half(n));
+  OREW_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  StatusOr<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  StatusOr<int> err = Quarter(6);  // 6 / 2 = 3, which is odd.
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, StrJoin) {
+  std::vector<int> values = {1, 2, 3};
+  EXPECT_EQ(StrJoin(values, ", "), "1, 2, 3");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, ", "), "");
+  EXPECT_EQ(StrJoin(values, "-",
+                    [](std::ostream& os, int v) { os << v * 10; }),
+            "10-20-30");
+}
+
+TEST(InternerTest, DenseIdsInInsertionOrder) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0);
+  EXPECT_EQ(interner.Intern("beta"), 1);
+  EXPECT_EQ(interner.Intern("alpha"), 0);
+  EXPECT_EQ(interner.size(), 2);
+  EXPECT_EQ(interner.NameOf(0), "alpha");
+  EXPECT_EQ(interner.NameOf(1), "beta");
+}
+
+TEST(InternerTest, FindWithoutInserting) {
+  Interner interner;
+  EXPECT_EQ(interner.Find("ghost"), -1);
+  interner.Intern("ghost");
+  EXPECT_EQ(interner.Find("ghost"), 0);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.Uniform(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+    int w = rng.UniformIn(5, 8);
+    EXPECT_GE(w, 5);
+    EXPECT_LE(w, 8);
+  }
+}
+
+TEST(RngTest, BernoulliExtremesAndBalance) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    if (rng.Bernoulli(0.5)) ++heads;
+  }
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+}  // namespace
+}  // namespace ontorew

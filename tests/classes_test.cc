@@ -1,0 +1,214 @@
+#include "classes/agrd.h"
+#include "classes/classifier.h"
+#include "classes/domain_restricted.h"
+#include "classes/linear.h"
+#include "classes/sticky.h"
+#include "classes/weakly_acyclic.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/paper_examples.h"
+#include "workload/university.h"
+
+namespace ontorew {
+namespace {
+
+TEST(LinearTest, SingleBodyAtom) {
+  Vocabulary vocab;
+  EXPECT_TRUE(IsLinear(MustTgd("r(X, Y) -> s(Y, Z).", &vocab)));
+  EXPECT_FALSE(IsLinear(MustTgd("r(X, Y), w(Y) -> t(X).", &vocab)));
+}
+
+TEST(LinearTest, ProgramLevel) {
+  Vocabulary vocab;
+  EXPECT_TRUE(IsLinear(UniversityOntology(&vocab)));
+  Vocabulary vocab2;
+  EXPECT_FALSE(IsLinear(PaperExample1(&vocab2)));
+}
+
+TEST(MultilinearTest, EveryBodyAtomGuardsTheFrontier) {
+  Vocabulary vocab;
+  // Both atoms contain both distinguished variables.
+  EXPECT_TRUE(
+      IsMultilinear(MustTgd("r(X, Y), s(Y, X) -> t(X, Y).", &vocab)));
+  // u(X) misses the distinguished Y.
+  EXPECT_FALSE(
+      IsMultilinear(MustTgd("r(X, Y), u(X) -> t(X, Y).", &vocab)));
+  // Linear implies multilinear.
+  EXPECT_TRUE(IsMultilinear(MustTgd("r(X, Y) -> t(X, Z).", &vocab)));
+}
+
+TEST(MultilinearTest, PaperExample3Reasoning) {
+  // "nor multilinear, since u(y1) in R3 does not contain the variable y2".
+  Vocabulary vocab;
+  EXPECT_FALSE(IsMultilinear(PaperExample3(&vocab)));
+}
+
+TEST(StickyTest, MarkingInitialStep) {
+  Vocabulary vocab;
+  // Y does not occur in the head: marked.
+  TgdProgram program = MustProgram("r(X, Y) -> s(X).", &vocab);
+  StickyMarking marking = ComputeStickyMarking(program);
+  VariableId y = vocab.InternVariable("Y");
+  VariableId x = vocab.InternVariable("X");
+  EXPECT_TRUE(marking.marked[0].count(y) > 0);
+  EXPECT_FALSE(marking.marked[0].count(x) > 0);
+}
+
+TEST(StickyTest, MarkingPropagates) {
+  Vocabulary vocab;
+  // Rule 0: Z marked (missing from head) at position s[2].
+  // Rule 1: W occurs in head at s[2] -> W becomes marked in rule 1's body.
+  TgdProgram program = MustProgram(
+      "s(X, Z) -> t(X).\n"
+      "u(W, V) -> s(V, W).\n",
+      &vocab);
+  StickyMarking marking = ComputeStickyMarking(program);
+  VariableId w = vocab.InternVariable("W");
+  EXPECT_TRUE(marking.marked[1].count(w) > 0);
+}
+
+TEST(StickyTest, JoinOnMarkedVariableBreaksStickiness) {
+  Vocabulary vocab;
+  // Y is marked (missing from head) and occurs twice in the body.
+  TgdProgram program = MustProgram("r(X, Y), s(Y) -> t(X).", &vocab);
+  EXPECT_FALSE(IsSticky(program));
+  // Join on an unmarked (propagated-to-head) variable is fine.
+  Vocabulary vocab2;
+  TgdProgram ok = MustProgram("r(X, Y), s(Y) -> t(X, Y).", &vocab2);
+  EXPECT_TRUE(IsSticky(ok));
+}
+
+TEST(StickyTest, PaperExample3MarkingChain) {
+  // The paper: y1 of R3 gets marked through R1 (y2 lost) and R2 (position
+  // propagation), and occurs twice in t(y1,y1,y2) -> not sticky.
+  Vocabulary vocab;
+  EXPECT_FALSE(IsSticky(PaperExample3(&vocab)));
+}
+
+TEST(StickyJoinTest, RepetitionInsideOneAtomAllowed) {
+  Vocabulary vocab;
+  // Marked variable repeated inside a single atom: sticky-join tolerates
+  // it, sticky does not. Construct: X marked via head loss in rule 0 and
+  // repeated within one atom of rule 0's body.
+  TgdProgram program = MustProgram("r(X, X) -> w(Y).", &vocab);
+  EXPECT_FALSE(IsSticky(program));
+  EXPECT_TRUE(IsStickyJoin(program));
+}
+
+TEST(StickyJoinTest, PaperExample3CrossAtomFails) {
+  // "y1 appears in two different atoms of body(R3)" -> not sticky-join.
+  Vocabulary vocab;
+  EXPECT_FALSE(IsStickyJoin(PaperExample3(&vocab)));
+}
+
+TEST(AgrdTest, DependencyRequiresUnifiableHeadAndBody) {
+  Vocabulary vocab;
+  Tgd producer = MustTgd("a(X) -> b(X).", &vocab);
+  Tgd consumer = MustTgd("b(X) -> c(X).", &vocab);
+  Tgd unrelated = MustTgd("d(X) -> e(X).", &vocab);
+  EXPECT_TRUE(RuleDependsOn(consumer, producer));
+  EXPECT_FALSE(RuleDependsOn(producer, consumer));
+  EXPECT_FALSE(RuleDependsOn(unrelated, producer));
+}
+
+TEST(AgrdTest, ExistentialBlocksDependencyOnConstants) {
+  Vocabulary vocab;
+  // a(X) -> b(X, Y) produces a null in position 2; b(X, c0) cannot match.
+  Tgd producer = MustTgd("a(X) -> b(X, Y).", &vocab);
+  Tgd consumer_const = MustTgd("b(X, c0) -> c(X).", &vocab);
+  Tgd consumer_free = MustTgd("b(X, Z) -> c(X).", &vocab);
+  EXPECT_FALSE(RuleDependsOn(consumer_const, producer));
+  EXPECT_TRUE(RuleDependsOn(consumer_free, producer));
+}
+
+TEST(AgrdTest, ExistentialBlocksDependencyOnFrontierJoin) {
+  Vocabulary vocab;
+  // b(X, X) would force the null to equal the frontier value.
+  Tgd producer = MustTgd("a(X) -> b(X, Y).", &vocab);
+  Tgd consumer = MustTgd("b(X, X) -> c(X).", &vocab);
+  EXPECT_FALSE(RuleDependsOn(consumer, producer));
+}
+
+TEST(AgrdTest, AcyclicAndCyclicPrograms) {
+  Vocabulary vocab;
+  EXPECT_TRUE(IsAgrd(MustProgram("a(X) -> b(X).\nb(X) -> c(X).\n", &vocab)));
+  Vocabulary vocab2;
+  EXPECT_FALSE(
+      IsAgrd(MustProgram("a(X) -> b(X).\nb(X) -> a(X).\n", &vocab2)));
+  Vocabulary vocab3;
+  // Self-dependency.
+  EXPECT_FALSE(IsAgrd(MustProgram("e(X, Y) -> e(Y, Z).\n", &vocab3)));
+}
+
+TEST(WeaklyAcyclicTest, ExistentialCycleDetected) {
+  Vocabulary vocab;
+  // The classic non-terminating pattern: person(X) -> parent(X, Y),
+  // parent(X, Y) -> person(Y): special edge into person[1] and back.
+  TgdProgram program = MustProgram(
+      "person(X) -> parent(X, Y).\n"
+      "parent(X, Y) -> person(Y).\n",
+      &vocab);
+  EXPECT_FALSE(IsWeaklyAcyclic(program));
+}
+
+TEST(WeaklyAcyclicTest, SafePatterns) {
+  Vocabulary vocab;
+  EXPECT_TRUE(IsWeaklyAcyclic(
+      MustProgram("r(X, Y) -> s(X, Z).\ns(X, Z) -> t(X).\n", &vocab)));
+  Vocabulary vocab2;
+  // Recursion without existentials is weakly acyclic.
+  EXPECT_TRUE(IsWeaklyAcyclic(
+      MustProgram("e(X, Y), e(Y, Z) -> e(X, Z).\n", &vocab2)));
+  Vocabulary vocab3;
+  // University: faculty[1] <-> teaches[1] cycle is regular-only; the
+  // special edges (into teaches[2], enrolled[2], advises[1]) all lead out
+  // of the cycles, so the ontology is weakly acyclic (chase terminates).
+  EXPECT_TRUE(IsWeaklyAcyclic(UniversityOntology(&vocab3)));
+}
+
+TEST(DomainRestrictedTest, AllOrNone) {
+  Vocabulary vocab;
+  // Head atom with ALL body variables.
+  EXPECT_TRUE(
+      IsDomainRestricted(MustTgd("r(X, Y) -> s(X, Y).", &vocab)));
+  // Head atom with NONE of the body variables.
+  EXPECT_TRUE(IsDomainRestricted(MustTgd("r(X, Y) -> w(Z).", &vocab)));
+  // Head atom with some but not all.
+  EXPECT_FALSE(IsDomainRestricted(MustTgd("r(X, Y) -> t(X).", &vocab)));
+}
+
+TEST(ClassifierTest, Example3Exclusions) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample3(&vocab);
+  ClassificationReport report = Classify(program, vocab);
+  EXPECT_FALSE(report.is_simple);
+  EXPECT_FALSE(report.linear);
+  EXPECT_FALSE(report.multilinear);
+  EXPECT_FALSE(report.sticky);
+  EXPECT_FALSE(report.sticky_join);
+  EXPECT_FALSE(report.swr);
+  EXPECT_EQ(report.wr, ClassificationReport::Wr::kYes);
+}
+
+TEST(ClassifierTest, Example1AllGood) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample1(&vocab);
+  ClassificationReport report = Classify(program, vocab);
+  EXPECT_TRUE(report.is_simple);
+  EXPECT_TRUE(report.swr);
+  EXPECT_EQ(report.wr, ClassificationReport::Wr::kYes);
+}
+
+TEST(ClassifierTest, TableRendersAllRows) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  ClassificationReport report = Classify(program, vocab);
+  EXPECT_EQ(report.wr, ClassificationReport::Wr::kNo);
+  std::string table = report.ToTable();
+  EXPECT_NE(table.find("Sticky"), std::string::npos);
+  EXPECT_NE(table.find("WR"), std::string::npos);
+  EXPECT_NE(table.find("cycle:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,109 @@
+#include <string>
+#include <vector>
+
+#include "db/facts_io.h"
+#include "gtest/gtest.h"
+#include "obda/consistency.h"
+#include "rewriting/rewriter.h"
+#include "test_util.h"
+
+namespace ontorew {
+namespace {
+
+TEST(DenialParseTest, BasicAndErrors) {
+  Vocabulary vocab;
+  StatusOr<std::vector<DenialConstraint>> denials = ParseDenials(
+      "# disjointness\n"
+      "!- professor(X), student(X).\n"
+      "!- teaches(X, Y), enrolled(X, Y).\n",
+      &vocab);
+  ASSERT_TRUE(denials.ok()) << denials.status();
+  EXPECT_EQ(denials->size(), 2u);
+  EXPECT_EQ((*denials)[0].body.size(), 2u);
+  EXPECT_FALSE(ParseDenials("professor(X).\n", &vocab).ok());
+}
+
+TEST(ConsistencyTest, DirectViolation) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("a(X) -> b(X).", &vocab);
+  StatusOr<std::vector<DenialConstraint>> denials =
+      ParseDenials("!- b(X), c(X).\n", &vocab);
+  ASSERT_TRUE(denials.ok());
+  StatusOr<Database> db = ParseFacts("b(k).\nc(k).\n", &vocab);
+  ASSERT_TRUE(db.ok());
+  StatusOr<ConsistencyReport> report =
+      CheckConsistency(program, *denials, *db, vocab);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->consistent);
+  ASSERT_EQ(report->witnesses.size(), 1u);
+  EXPECT_NE(report->witnesses[0].find("b(k)"), std::string::npos);
+}
+
+TEST(ConsistencyTest, ViolationThroughTheOntology) {
+  // The violation only appears after reasoning: a(k) implies b(k).
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("a(X) -> b(X).", &vocab);
+  StatusOr<std::vector<DenialConstraint>> denials =
+      ParseDenials("!- b(X), c(X).\n", &vocab);
+  ASSERT_TRUE(denials.ok());
+  StatusOr<Database> db = ParseFacts("a(k).\nc(k).\n", &vocab);
+  ASSERT_TRUE(db.ok());
+  StatusOr<ConsistencyReport> report =
+      CheckConsistency(program, *denials, *db, vocab);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->consistent);
+  EXPECT_EQ(report->violated, std::vector<int>{0});
+  // The witness names the *raw* facts, not the derived ones.
+  EXPECT_NE(report->witnesses[0].find("a(k)"), std::string::npos)
+      << report->witnesses[0];
+}
+
+TEST(ConsistencyTest, ConsistentInstance) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("a(X) -> b(X).", &vocab);
+  StatusOr<std::vector<DenialConstraint>> denials =
+      ParseDenials("!- b(X), c(X).\n", &vocab);
+  ASSERT_TRUE(denials.ok());
+  StatusOr<Database> db = ParseFacts("a(k).\nc(m).\n", &vocab);
+  ASSERT_TRUE(db.ok());
+  StatusOr<ConsistencyReport> report =
+      CheckConsistency(program, *denials, *db, vocab);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent);
+  EXPECT_TRUE(report->violated.empty());
+}
+
+TEST(ConsistencyTest, MultipleDenialsReportedIndividually) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("a(X) -> b(X).", &vocab);
+  StatusOr<std::vector<DenialConstraint>> denials = ParseDenials(
+      "!- b(X), c(X).\n"
+      "!- d(X), e(X).\n",
+      &vocab);
+  ASSERT_TRUE(denials.ok());
+  StatusOr<Database> db = ParseFacts("d(k).\ne(k).\n", &vocab);
+  ASSERT_TRUE(db.ok());
+  StatusOr<ConsistencyReport> report =
+      CheckConsistency(program, *denials, *db, vocab);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->consistent);
+  EXPECT_EQ(report->violated, std::vector<int>{1});
+}
+
+TEST(DerivationTest, ChainsReadable) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram(
+      "a(X) -> b(X).\n"
+      "b(X) -> c(X).\n",
+      &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(X) :- c(X).", &vocab), program);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->saturated.size(), 3u);  // c, b, a.
+  EXPECT_EQ(DescribeDerivation(*result, 0), "q0");
+  EXPECT_EQ(DescribeDerivation(*result, 1), "q0 =R2=> q1");
+  EXPECT_EQ(DescribeDerivation(*result, 2), "q0 =R2=> q1 =R1=> q2");
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,123 @@
+#include "gtest/gtest.h"
+#include "rewriting/containment.h"
+#include "test_util.h"
+
+namespace ontorew {
+namespace {
+
+TEST(ContainmentTest, IdenticalQueriesSubsumeEachOther) {
+  Vocabulary vocab;
+  ConjunctiveQuery a = MustQuery("q(X) :- r(X, Y).", &vocab);
+  ConjunctiveQuery b = MustQuery("q(U) :- r(U, V).", &vocab);
+  EXPECT_TRUE(CqSubsumes(a, b));
+  EXPECT_TRUE(CqSubsumes(b, a));
+  EXPECT_TRUE(CqEquivalent(a, b));
+}
+
+TEST(ContainmentTest, GeneralSubsumesSpecific) {
+  Vocabulary vocab;
+  ConjunctiveQuery general = MustQuery("q(X) :- r(X, Y).", &vocab);
+  ConjunctiveQuery specific = MustQuery("q(X) :- r(X, X).", &vocab);
+  EXPECT_TRUE(CqSubsumes(general, specific));
+  EXPECT_FALSE(CqSubsumes(specific, general));
+}
+
+TEST(ContainmentTest, ConstantsMustMatch) {
+  Vocabulary vocab;
+  ConjunctiveQuery general = MustQuery("q(X) :- r(X, Y).", &vocab);
+  ConjunctiveQuery with_const = MustQuery("q(X) :- r(X, a).", &vocab);
+  EXPECT_TRUE(CqSubsumes(general, with_const));
+  EXPECT_FALSE(CqSubsumes(with_const, general));
+}
+
+TEST(ContainmentTest, AnswerPositionsArePinned) {
+  Vocabulary vocab;
+  // Swapping the answer variable breaks subsumption even though the bodies
+  // are isomorphic.
+  ConjunctiveQuery first = MustQuery("q(X) :- r(X, Y).", &vocab);
+  ConjunctiveQuery second = MustQuery("q(Y) :- r(X, Y).", &vocab);
+  EXPECT_FALSE(CqSubsumes(first, second));
+  EXPECT_FALSE(CqSubsumes(second, first));
+}
+
+TEST(ContainmentTest, LongerBodyCanStillSubsume) {
+  Vocabulary vocab;
+  // Both atoms of `general` map onto the single atom of `specific`.
+  ConjunctiveQuery general = MustQuery("q(X) :- r(X, Y), r(X, Z).", &vocab);
+  ConjunctiveQuery specific = MustQuery("q(X) :- r(X, W).", &vocab);
+  EXPECT_TRUE(CqSubsumes(general, specific));
+  EXPECT_TRUE(CqSubsumes(specific, general));
+}
+
+TEST(ContainmentTest, DifferentArityNeverSubsumes) {
+  Vocabulary vocab;
+  ConjunctiveQuery one = MustQuery("q(X) :- r(X, Y).", &vocab);
+  ConjunctiveQuery two = MustQuery("q(X, Y) :- r(X, Y).", &vocab);
+  EXPECT_FALSE(CqSubsumes(one, two));
+}
+
+TEST(ContainmentTest, ChainVsTriangle) {
+  Vocabulary vocab;
+  ConjunctiveQuery chain = MustQuery("q() :- e(X, Y), e(Y, Z).", &vocab);
+  ConjunctiveQuery triangle =
+      MustQuery("q() :- e(X, Y), e(Y, Z), e(Z, X).", &vocab);
+  EXPECT_TRUE(CqSubsumes(chain, triangle));
+  EXPECT_FALSE(CqSubsumes(triangle, chain));
+}
+
+TEST(MinimizeCqTest, DropsRedundantAtom) {
+  Vocabulary vocab;
+  // r(X, Z) maps onto r(X, Y): redundant.
+  ConjunctiveQuery cq = MustQuery("q(X) :- r(X, Y), r(X, Z).", &vocab);
+  ConjunctiveQuery minimized = MinimizeCq(cq);
+  EXPECT_EQ(minimized.body().size(), 1u);
+  EXPECT_TRUE(CqEquivalent(cq, minimized));
+}
+
+TEST(MinimizeCqTest, KeepsNecessaryAtoms) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X) :- r(X, Y), s(Y).", &vocab);
+  ConjunctiveQuery minimized = MinimizeCq(cq);
+  EXPECT_EQ(minimized.body().size(), 2u);
+}
+
+TEST(MinimizeCqTest, AnswerVariablesBlockDropping) {
+  Vocabulary vocab;
+  // r(X, Y) with answer Y cannot be folded into r(X, Z).
+  ConjunctiveQuery cq = MustQuery("q(X, Y) :- r(X, Y), r(X, Z).", &vocab);
+  ConjunctiveQuery minimized = MinimizeCq(cq);
+  // r(X, Z) folds onto r(X, Y) (Z -> Y is fine, Z is existential).
+  EXPECT_EQ(minimized.body().size(), 1u);
+  EXPECT_TRUE(CqEquivalent(cq, minimized));
+}
+
+TEST(MinimizeUcqTest, RemovesSubsumedDisjuncts) {
+  Vocabulary vocab;
+  UnionOfCqs ucq;
+  ucq.Add(MustQuery("q(X) :- r(X, Y).", &vocab));
+  ucq.Add(MustQuery("q(X) :- r(X, a).", &vocab));  // Subsumed.
+  ucq.Add(MustQuery("q(X) :- s(X).", &vocab));     // Independent.
+  UnionOfCqs minimized = MinimizeUcq(ucq);
+  EXPECT_EQ(minimized.size(), 2);
+}
+
+TEST(MinimizeUcqTest, EquivalentPairKeepsOne) {
+  Vocabulary vocab;
+  UnionOfCqs ucq;
+  ucq.Add(MustQuery("q(X) :- r(X, Y).", &vocab));
+  ucq.Add(MustQuery("q(U) :- r(U, V).", &vocab));
+  UnionOfCqs minimized = MinimizeUcq(ucq);
+  EXPECT_EQ(minimized.size(), 1);
+}
+
+TEST(MinimizeUcqTest, MinimizesWithinDisjuncts) {
+  Vocabulary vocab;
+  UnionOfCqs ucq;
+  ucq.Add(MustQuery("q(X) :- r(X, Y), r(X, Z).", &vocab));
+  UnionOfCqs minimized = MinimizeUcq(ucq);
+  ASSERT_EQ(minimized.size(), 1);
+  EXPECT_EQ(minimized.disjuncts()[0].body().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ontorew

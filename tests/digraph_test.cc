@@ -1,0 +1,169 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "gtest/gtest.h"
+
+namespace ontorew {
+namespace {
+
+constexpr LabelMask kA = 1;
+constexpr LabelMask kB = 2;
+constexpr LabelMask kC = 4;
+
+TEST(DigraphTest, NodesAndEdges) {
+  LabeledDigraph graph;
+  int first = graph.AddNodes(3);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(graph.num_nodes(), 3);
+  int e = graph.AddEdge(0, 1, kA);
+  EXPECT_EQ(graph.edge(e).from, 0);
+  EXPECT_EQ(graph.edge(e).to, 1);
+  EXPECT_TRUE(graph.HasEdge(0, 1, kA));
+  EXPECT_FALSE(graph.HasEdge(0, 1, kB));
+  EXPECT_FALSE(graph.HasEdge(1, 0, kA));
+}
+
+TEST(SccTest, ChainIsAllSingletons) {
+  LabeledDigraph graph;
+  graph.AddNodes(4);
+  graph.AddEdge(0, 1, 0);
+  graph.AddEdge(1, 2, 0);
+  graph.AddEdge(2, 3, 0);
+  SccResult scc = StronglyConnectedComponents(graph);
+  EXPECT_EQ(scc.num_components, 4);
+  std::set<int> components(scc.component.begin(), scc.component.end());
+  EXPECT_EQ(components.size(), 4u);
+}
+
+TEST(SccTest, CycleCollapses) {
+  LabeledDigraph graph;
+  graph.AddNodes(4);
+  graph.AddEdge(0, 1, 0);
+  graph.AddEdge(1, 2, 0);
+  graph.AddEdge(2, 0, 0);
+  graph.AddEdge(2, 3, 0);
+  SccResult scc = StronglyConnectedComponents(graph);
+  EXPECT_EQ(scc.num_components, 2);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_NE(scc.component[3], scc.component[0]);
+}
+
+TEST(SccTest, DeepChainNoStackOverflow) {
+  // The iterative Tarjan must handle deep graphs.
+  LabeledDigraph graph;
+  const int n = 200000;
+  graph.AddNodes(n);
+  for (int i = 0; i + 1 < n; ++i) graph.AddEdge(i, i + 1, 0);
+  graph.AddEdge(n - 1, 0, 0);  // One big cycle.
+  SccResult scc = StronglyConnectedComponents(graph);
+  EXPECT_EQ(scc.num_components, 1);
+}
+
+TEST(DangerousCycleTest, RequiresAllLabels) {
+  LabeledDigraph graph;
+  graph.AddNodes(2);
+  graph.AddEdge(0, 1, kA);
+  graph.AddEdge(1, 0, kB);
+  EXPECT_TRUE(HasDangerousCycle(graph, kA | kB, 0));
+  EXPECT_TRUE(HasDangerousCycle(graph, kA, 0));
+  EXPECT_FALSE(HasDangerousCycle(graph, kC, 0));
+  EXPECT_FALSE(HasDangerousCycle(graph, kA | kC, 0));
+}
+
+TEST(DangerousCycleTest, LabelsMustBeOnOneCycle) {
+  // Two disjoint cycles, one carrying A, the other B: no single closed
+  // walk carries both.
+  LabeledDigraph graph;
+  graph.AddNodes(4);
+  graph.AddEdge(0, 1, kA);
+  graph.AddEdge(1, 0, 0);
+  graph.AddEdge(2, 3, kB);
+  graph.AddEdge(3, 2, 0);
+  EXPECT_TRUE(HasDangerousCycle(graph, kA, 0));
+  EXPECT_TRUE(HasDangerousCycle(graph, kB, 0));
+  EXPECT_FALSE(HasDangerousCycle(graph, kA | kB, 0));
+}
+
+TEST(DangerousCycleTest, ForbiddenLabelBreaksCycle) {
+  LabeledDigraph graph;
+  graph.AddNodes(2);
+  graph.AddEdge(0, 1, kA);
+  graph.AddEdge(1, 0, kB | kC);
+  EXPECT_TRUE(HasDangerousCycle(graph, kA | kB, 0));
+  // Forbidding C removes the only return edge.
+  EXPECT_FALSE(HasDangerousCycle(graph, kA | kB, kC));
+  EXPECT_FALSE(HasDangerousCycle(graph, kA, kC));
+}
+
+TEST(DangerousCycleTest, SelfLoopCounts) {
+  LabeledDigraph graph;
+  graph.AddNodes(1);
+  graph.AddEdge(0, 0, kA | kB);
+  EXPECT_TRUE(HasDangerousCycle(graph, kA | kB, 0));
+}
+
+TEST(DangerousCycleTest, AcyclicGraphIsSafe) {
+  LabeledDigraph graph;
+  graph.AddNodes(3);
+  graph.AddEdge(0, 1, kA | kB | kC);
+  graph.AddEdge(1, 2, kA | kB | kC);
+  EXPECT_FALSE(HasDangerousCycle(graph, 0, 0));
+  EXPECT_FALSE(HasDangerousCycle(graph, kA, 0));
+}
+
+// Checks that the witness is a genuine closed walk covering the required
+// labels and avoiding the forbidden ones.
+void CheckWitness(const LabeledDigraph& graph, LabelMask required,
+                  LabelMask forbidden) {
+  CycleWitness witness = FindDangerousCycle(graph, required, forbidden);
+  ASSERT_TRUE(witness.found);
+  ASSERT_FALSE(witness.edges.empty());
+  LabelMask seen = 0;
+  for (std::size_t i = 0; i < witness.edges.size(); ++i) {
+    const LabeledDigraph::Edge& edge = graph.edge(witness.edges[i]);
+    const LabeledDigraph::Edge& next =
+        graph.edge(witness.edges[(i + 1) % witness.edges.size()]);
+    EXPECT_EQ(edge.to, next.from) << "walk must be connected";
+    EXPECT_EQ(edge.labels & forbidden, 0);
+    seen |= edge.labels;
+  }
+  EXPECT_EQ(seen & required, required);
+}
+
+TEST(DangerousCycleTest, WitnessIsValidClosedWalk) {
+  LabeledDigraph graph;
+  graph.AddNodes(5);
+  graph.AddEdge(0, 1, kA);
+  graph.AddEdge(1, 2, 0);
+  graph.AddEdge(2, 0, kB);
+  graph.AddEdge(2, 3, kC);   // Dead-end branch.
+  graph.AddEdge(3, 4, kC);
+  CheckWitness(graph, kA | kB, 0);
+}
+
+TEST(DangerousCycleTest, WitnessAvoidsForbidden) {
+  LabeledDigraph graph;
+  graph.AddNodes(3);
+  // Two parallel return paths; only one avoids the forbidden label.
+  graph.AddEdge(0, 1, kA);
+  graph.AddEdge(1, 0, kC);  // Forbidden.
+  graph.AddEdge(1, 2, kB);
+  graph.AddEdge(2, 0, 0);
+  CheckWitness(graph, kA | kB, kC);
+}
+
+TEST(DotExportTest, ContainsNodesAndLabels) {
+  LabeledDigraph graph;
+  graph.AddNodes(2);
+  graph.AddEdge(0, 1, kA | kB);
+  std::string dot = ToDot(graph, {"alpha", "beta"}, {{kA, "a"}, {kB, "b"}});
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("beta"), std::string::npos);
+  EXPECT_NE(dot.find("a,b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,221 @@
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "db/database.h"
+#include "db/eval.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace ontorew {
+namespace {
+
+// A tiny fixture database:
+//   edge(a,b), edge(b,c), edge(c,a), label(b).
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edge_ = vocab_.MustPredicate("edge", 2);
+    label_ = vocab_.MustPredicate("label", 1);
+    a_ = Value::Constant(vocab_.InternConstant("a"));
+    b_ = Value::Constant(vocab_.InternConstant("b"));
+    c_ = Value::Constant(vocab_.InternConstant("c"));
+    db_.Insert(edge_, {a_, b_});
+    db_.Insert(edge_, {b_, c_});
+    db_.Insert(edge_, {c_, a_});
+    db_.Insert(label_, {b_});
+  }
+
+  Vocabulary vocab_;
+  Database db_;
+  PredicateId edge_, label_;
+  Value a_, b_, c_;
+};
+
+TEST_F(EvalTest, SingleAtomScan) {
+  ConjunctiveQuery cq = MustQuery("q(X, Y) :- edge(X, Y).", &vocab_);
+  std::vector<Tuple> answers = Evaluate(cq, db_);
+  EXPECT_EQ(answers.size(), 3u);
+}
+
+TEST_F(EvalTest, ConstantSelection) {
+  ConjunctiveQuery cq = MustQuery("q(Y) :- edge(a, Y).", &vocab_);
+  std::vector<Tuple> answers = Evaluate(cq, db_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], Tuple{b_});
+}
+
+TEST_F(EvalTest, JoinChain) {
+  ConjunctiveQuery cq = MustQuery("q(X, Z) :- edge(X, Y), edge(Y, Z).",
+                                  &vocab_);
+  std::vector<Tuple> answers = Evaluate(cq, db_);
+  // a->b->c, b->c->a, c->a->b.
+  EXPECT_EQ(answers.size(), 3u);
+}
+
+TEST_F(EvalTest, CrossPredicateJoin) {
+  ConjunctiveQuery cq = MustQuery("q(X) :- edge(X, Y), label(Y).", &vocab_);
+  std::vector<Tuple> answers = Evaluate(cq, db_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], Tuple{a_});
+}
+
+TEST_F(EvalTest, RepeatedVariableInAtom) {
+  db_.Insert(edge_, {b_, b_});
+  ConjunctiveQuery cq = MustQuery("q(X) :- edge(X, X).", &vocab_);
+  std::vector<Tuple> answers = Evaluate(cq, db_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], Tuple{b_});
+}
+
+TEST_F(EvalTest, BooleanQuery) {
+  ConjunctiveQuery yes = MustQuery("q() :- edge(a, X).", &vocab_);
+  ConjunctiveQuery no = MustQuery("q() :- edge(b, a).", &vocab_);
+  EXPECT_EQ(Evaluate(yes, db_).size(), 1u);  // The empty tuple.
+  EXPECT_EQ(Evaluate(no, db_).size(), 0u);
+}
+
+TEST_F(EvalTest, MissingPredicateYieldsNothing) {
+  ConjunctiveQuery cq = MustQuery("q(X) :- ghost(X).", &vocab_);
+  EXPECT_TRUE(Evaluate(cq, db_).empty());
+}
+
+TEST_F(EvalTest, NullDroppingOption) {
+  db_.Insert(edge_, {a_, db_.FreshNull()});
+  ConjunctiveQuery cq = MustQuery("q(Y) :- edge(a, Y).", &vocab_);
+  EXPECT_EQ(Evaluate(cq, db_).size(), 2u);
+  EvalOptions drop;
+  drop.drop_tuples_with_nulls = true;
+  EXPECT_EQ(Evaluate(cq, db_, drop).size(), 1u);
+}
+
+TEST_F(EvalTest, NullsStillJoin) {
+  // Nulls participate in joins (they are values); they are only dropped
+  // from answer tuples under the option.
+  Value n = db_.FreshNull();
+  db_.Insert(edge_, {a_, n});
+  db_.Insert(edge_, {n, c_});
+  ConjunctiveQuery cq = MustQuery("q(X, Z) :- edge(X, Y), edge(Y, Z).",
+                                  &vocab_);
+  EvalOptions drop;
+  drop.drop_tuples_with_nulls = true;
+  std::vector<Tuple> answers = Evaluate(cq, db_, drop);
+  // a->n->c joins and (a, c) is null-free.
+  EXPECT_NE(std::find(answers.begin(), answers.end(), Tuple({a_, c_})),
+            answers.end());
+}
+
+TEST_F(EvalTest, UcqUnionsAndDedupes) {
+  UnionOfCqs ucq;
+  ucq.Add(MustQuery("q(X) :- edge(X, b).", &vocab_));   // a
+  ucq.Add(MustQuery("q(X) :- edge(X, Y), label(Y).", &vocab_));  // a again
+  ucq.Add(MustQuery("q(X) :- label(X).", &vocab_));     // b
+  std::vector<Tuple> answers = Evaluate(ucq, db_);
+  EXPECT_EQ(answers.size(), 2u);
+}
+
+TEST_F(EvalTest, ConstantAnswerTerm) {
+  ConjunctiveQuery cq(std::vector<Term>{Term::Const(vocab_.InternConstant(
+                          "marker"))},
+                      {MustAtom("label(b)", &vocab_)});
+  std::vector<Tuple> answers = Evaluate(cq, db_);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(ToString(answers[0][0], vocab_), "marker");
+}
+
+TEST_F(EvalTest, HasMatchStopsEarly) {
+  EXPECT_TRUE(HasMatch({MustAtom("edge(X, Y)", &vocab_)}, db_));
+  EXPECT_FALSE(HasMatch({MustAtom("edge(b, a)", &vocab_)}, db_));
+}
+
+TEST_F(EvalTest, HasMatchWithInitialBinding) {
+  Atom atom = MustAtom("edge(X, Y)", &vocab_);
+  Binding initial;
+  initial.emplace(atom.term(0).id(), c_);
+  EXPECT_TRUE(HasMatch({atom}, db_, initial));  // c -> a exists.
+  Binding impossible;
+  impossible.emplace(atom.term(0).id(), b_);
+  impossible.emplace(atom.term(1).id(), a_);
+  EXPECT_FALSE(HasMatch({atom}, db_, impossible));
+}
+
+// Reference evaluator: enumerate all assignments brute-force.
+std::set<Tuple> BruteForce(const ConjunctiveQuery& cq, const Database& db,
+                           const std::vector<Value>& domain) {
+  std::vector<VariableId> vars = DistinctVariables(cq.body());
+  std::set<Tuple> result;
+  std::vector<std::size_t> choice(vars.size(), 0);
+  while (true) {
+    Binding binding;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      binding.emplace(vars[i], domain[choice[i]]);
+    }
+    bool holds = true;
+    for (const Atom& atom : cq.body()) {
+      const Relation* relation = db.Find(atom.predicate());
+      Tuple tuple;
+      for (Term t : atom.terms()) {
+        tuple.push_back(t.is_constant() ? Value::Constant(t.id())
+                                        : binding.at(t.id()));
+      }
+      if (relation == nullptr || !relation->Contains(tuple)) {
+        holds = false;
+        break;
+      }
+    }
+    if (holds) {
+      Tuple answer;
+      for (Term t : cq.answer_terms()) {
+        answer.push_back(t.is_constant() ? Value::Constant(t.id())
+                                         : binding.at(t.id()));
+      }
+      result.insert(answer);
+    }
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < vars.size() && ++choice[pos] == domain.size()) {
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == vars.size()) break;
+    if (vars.empty()) break;
+  }
+  return result;
+}
+
+// Property: the join evaluator agrees with brute force on random
+// instances and queries.
+class EvalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvalPropertyTest, AgreesWithBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  Vocabulary vocab;
+  TgdProgram program = MustProgram(
+      "r(X, Y) -> s(X).\n"
+      "s(X), t(X, Y, Z) -> r(X, Y).\n",
+      &vocab);
+  const int domain_size = 4;
+  Database db = RandomDatabase(program, 8, domain_size, &rng, &vocab);
+  std::vector<Value> domain;
+  for (int d = 0; d < domain_size; ++d) {
+    domain.push_back(Value::Constant(vocab.InternConstant(
+        std::string("d") + std::to_string(d))));
+  }
+  for (int round = 0; round < 20; ++round) {
+    ConjunctiveQuery cq = RandomCq(program, rng.UniformIn(1, 3),
+                                   rng.UniformIn(0, 2), &rng, &vocab);
+    std::vector<Tuple> fast = Evaluate(cq, db);
+    std::set<Tuple> slow = BruteForce(cq, db, domain);
+    EXPECT_EQ(std::set<Tuple>(fast.begin(), fast.end()), slow)
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,99 @@
+#include <string>
+
+#include "chase/termination.h"
+#include "db/facts_io.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/paper_examples.h"
+#include "workload/university.h"
+
+namespace ontorew {
+namespace {
+
+TEST(FactsIoTest, ParsesGroundAtoms) {
+  Vocabulary vocab;
+  StatusOr<Database> db = ParseFacts(
+      "# people\n"
+      "professor(ada).\n"
+      "teaches(ada, logic101)   % trailing comment\n"
+      "\n"
+      "count(42).\n",
+      &vocab);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->TotalTuples(), 3);
+  const Relation* teaches = db->Find(vocab.FindPredicate("teaches"));
+  ASSERT_NE(teaches, nullptr);
+  EXPECT_EQ(teaches->arity(), 2);
+}
+
+TEST(FactsIoTest, RejectsVariables) {
+  Vocabulary vocab;
+  StatusOr<Database> db = ParseFacts("teaches(ada, X).\n", &vocab);
+  ASSERT_FALSE(db.ok());
+  EXPECT_NE(db.status().message().find("ground"), std::string::npos);
+}
+
+TEST(FactsIoTest, RejectsMalformedAtoms) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseFacts("teaches(ada\n", &vocab).ok());
+  EXPECT_FALSE(ParseFacts("teaches ada\n", &vocab).ok());
+}
+
+TEST(FactsIoTest, ArityConsistencyEnforced) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseFacts("r(a).\nr(a, b).\n", &vocab).ok());
+}
+
+TEST(FactsIoTest, RoundTrip) {
+  Vocabulary vocab;
+  const std::string text = "q(a, b).\nq(b, c).\nr(a).";
+  StatusOr<Database> db = ParseFacts(text, &vocab);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(FactsToString(*db, vocab), text);
+  StatusOr<Database> again = ParseFacts(FactsToString(*db, vocab), &vocab);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->TotalTuples(), db->TotalTuples());
+}
+
+TEST(FactsIoTest, EmptyInput) {
+  Vocabulary vocab;
+  StatusOr<Database> db = ParseFacts("  \n# nothing\n", &vocab);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->TotalTuples(), 0);
+}
+
+TEST(ChaseTerminationTest, Guarantees) {
+  {
+    Vocabulary vocab;
+    EXPECT_EQ(CheckChaseGuarantee(UniversityOntology(&vocab)),
+              ChaseGuarantee::kWeaklyAcyclic);
+  }
+  {
+    Vocabulary vocab;
+    // Not weakly acyclic (null feeds back) but trivially acyclic GRD?
+    // person/parent depends on itself -> no guarantee.
+    TgdProgram program = MustProgram(
+        "person(X) -> parent(X, Y).\nparent(X, Y) -> person(Y).\n", &vocab);
+    EXPECT_EQ(CheckChaseGuarantee(program), ChaseGuarantee::kUnknown);
+    EXPECT_FALSE(ChaseGuaranteedTerminating(program));
+  }
+  {
+    Vocabulary vocab;
+    // aGRD but not weakly acyclic: a(X) -> b(X, Y); b(X, X) -> c(X)?
+    // b's null cannot reach back... that's WA too. Use the classic:
+    //   r(X, Y) -> s(Y, Z).  s(X, Y) -> r(Y, Z)?  cyclic GRD.
+    // A genuinely aGRD-but-not-WA case: p(X, Y) -> p(Y, Z) is neither.
+    // Take: e(X, X) -> f(X, Y). f's consumer g requires f(X, X), which
+    // the null output can never satisfy: f(X, X) -> e(X, X) gives an
+    // acyclic GRD although positions cycle specially.
+    TgdProgram program = MustProgram(
+        "e(X, X) -> f(X, Y).\nf(X, X) -> e(X, X).\n", &vocab);
+    EXPECT_EQ(CheckChaseGuarantee(program), ChaseGuarantee::kAcyclicGrd);
+    EXPECT_TRUE(ChaseGuaranteedTerminating(program));
+  }
+  EXPECT_EQ(ToString(ChaseGuarantee::kWeaklyAcyclic), "weakly-acyclic");
+  EXPECT_EQ(ToString(ChaseGuarantee::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace ontorew

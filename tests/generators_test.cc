@@ -1,0 +1,161 @@
+#include <string>
+
+#include "base/rng.h"
+#include "classes/classifier.h"
+#include "classes/linear.h"
+#include "classes/sticky.h"
+#include "core/swr.h"
+#include "core/wr.h"
+#include "gtest/gtest.h"
+#include "logic/printer.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace ontorew {
+namespace {
+
+TEST(FamiliesTest, ChainFamilyShape) {
+  Vocabulary vocab;
+  TgdProgram program = ChainFamily(5, 3, &vocab);
+  EXPECT_EQ(program.size(), 5);
+  // Regression: the family must register the true arities in the
+  // vocabulary (an unsequenced move once recorded 0 here).
+  for (int i = 0; i <= 5; ++i) {
+    EXPECT_EQ(vocab.PredicateArity(
+                  vocab.FindPredicate(std::string("p") + std::to_string(i))),
+              3);
+  }
+  EXPECT_TRUE(IsLinear(program));
+  EXPECT_TRUE(IsSticky(program));
+  EXPECT_TRUE(program.IsSimple());
+  EXPECT_TRUE(IsSwr(program));
+}
+
+TEST(FamiliesTest, LadderFamilyShape) {
+  Vocabulary vocab;
+  TgdProgram program = LadderFamily(4, &vocab);
+  EXPECT_EQ(program.size(), 8);  // Two rules per level.
+  EXPECT_TRUE(IsLinear(program));
+  EXPECT_TRUE(IsSwr(program));
+}
+
+TEST(FamiliesTest, CompositionFamilyShape) {
+  Vocabulary vocab;
+  TgdProgram program = CompositionFamily(3, &vocab);
+  EXPECT_EQ(program.size(), 3);
+  EXPECT_FALSE(IsLinear(program));
+  // The join variable is marked in no rule's own head... it IS propagated:
+  // r_i's Y is lost -> marked; it occurs twice in the body -> not sticky.
+  EXPECT_FALSE(IsSticky(program));
+  EXPECT_TRUE(IsSwr(program));  // Acyclic position graph.
+}
+
+TEST(FamiliesTest, ExampleFamiliesScale) {
+  Vocabulary vocab;
+  TgdProgram e2 = Example2Family(3, &vocab);
+  EXPECT_EQ(e2.size(), 6);
+  Vocabulary vocab2;
+  TgdProgram e3 = Example3Family(3, &vocab2);
+  EXPECT_EQ(e3.size(), 9);
+  // Copies are over disjoint predicates.
+  EXPECT_EQ(e2.Predicates().size(), 9u);
+}
+
+TEST(FamiliesTest, ArityStressFamilyGrows) {
+  Vocabulary vocab2;
+  TgdProgram small = ArityStressFamily(2, &vocab2);
+  EXPECT_EQ(small.size(), 1);
+  Vocabulary vocab5;
+  TgdProgram large = ArityStressFamily(5, &vocab5);
+  EXPECT_EQ(large.size(), 4);
+  EXPECT_EQ(large.MaxArity(), 5);
+  EXPECT_TRUE(large.IsSingleHead());
+}
+
+TEST(RandomProgramTest, DeterministicForSeed) {
+  Vocabulary va, vb;
+  Rng ra(42), rb(42);
+  RandomProgramOptions options;
+  TgdProgram a = RandomProgram(options, &ra, &va);
+  TgdProgram b = RandomProgram(options, &rb, &vb);
+  EXPECT_EQ(ToString(a, va), ToString(b, vb));
+}
+
+TEST(RandomProgramTest, RespectsShapeKnobs) {
+  Vocabulary vocab;
+  Rng rng(7);
+  RandomProgramOptions options;
+  options.num_rules = 20;
+  options.max_body_atoms = 1;
+  options.repeat_prob = 0.0;
+  options.constant_prob = 0.0;
+  TgdProgram program = RandomProgram(options, &rng, &vocab);
+  EXPECT_EQ(program.size(), 20);
+  EXPECT_TRUE(IsLinear(program));
+  for (const Tgd& tgd : program.tgds()) {
+    for (const Atom& atom : tgd.body()) EXPECT_FALSE(atom.HasConstant());
+  }
+}
+
+TEST(RandomProgramTest, RepeatAndConstantKnobs) {
+  Vocabulary vocab;
+  Rng rng(9);
+  RandomProgramOptions options;
+  options.num_rules = 40;
+  options.max_arity = 3;
+  options.repeat_prob = 0.5;
+  options.constant_prob = 0.3;
+  TgdProgram program = RandomProgram(options, &rng, &vocab);
+  EXPECT_FALSE(program.IsSimple());
+  EXPECT_FALSE(program.Constants().empty());
+}
+
+TEST(RandomDatabaseTest, SizesAndDomain) {
+  Vocabulary vocab;
+  Rng rng(11);
+  TgdProgram program = MustProgram("r(X, Y) -> s(X).", &vocab);
+  Database db = RandomDatabase(program, 10, 3, &rng, &vocab);
+  // Both predicates populated (dedup may drop a few).
+  EXPECT_GT(db.TotalTuples(), 5);
+  const Relation* r = db.Find(vocab.FindPredicate("r"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_LE(r->size(), 10);
+}
+
+TEST(RandomCqTest, ShapeAndValidity) {
+  Vocabulary vocab;
+  Rng rng(13);
+  TgdProgram program = MustProgram("r(X, Y) -> s(X).", &vocab);
+  for (int i = 0; i < 20; ++i) {
+    ConjunctiveQuery cq = RandomCq(program, 3, 2, &rng, &vocab);
+    EXPECT_EQ(cq.body().size(), 3u);
+    EXPECT_LE(cq.arity(), 2);
+    EXPECT_TRUE(cq.Validate().ok());
+  }
+}
+
+TEST(ClassifierOnFamiliesTest, CoverageMatrix) {
+  // The matrix behind the bench_class_coverage experiment, spot-checked.
+  {
+    Vocabulary vocab;
+    ClassificationReport report = Classify(ChainFamily(4, 2, &vocab), vocab);
+    EXPECT_TRUE(report.linear && report.sticky && report.swr);
+    EXPECT_EQ(report.wr, ClassificationReport::Wr::kYes);
+  }
+  {
+    Vocabulary vocab;
+    ClassificationReport report = Classify(Example2Family(1, &vocab), vocab);
+    EXPECT_FALSE(report.swr);
+    EXPECT_EQ(report.wr, ClassificationReport::Wr::kNo);
+  }
+  {
+    Vocabulary vocab;
+    ClassificationReport report = Classify(Example3Family(1, &vocab), vocab);
+    EXPECT_FALSE(report.linear || report.multilinear || report.sticky ||
+                 report.sticky_join || report.swr);
+    EXPECT_EQ(report.wr, ClassificationReport::Wr::kYes);
+  }
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,167 @@
+#include <string>
+#include <vector>
+
+#include "db/eval.h"
+#include "db/facts_io.h"
+#include "gtest/gtest.h"
+#include "logic/printer.h"
+#include "obda/mapping.h"
+#include "rewriting/rewriter.h"
+#include "test_util.h"
+
+namespace ontorew {
+namespace {
+
+TEST(MappingParseTest, BasicAssertions) {
+  Vocabulary vocab;
+  StatusOr<MappingSet> mappings = ParseMappings(
+      "professor(X) :- emp(X, D), dept(D, research).\n"
+      "teaches(X, C) :- assignment(X, C).\n",
+      &vocab);
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  EXPECT_EQ(mappings->assertions().size(), 2u);
+  EXPECT_TRUE(mappings->HasDefinition(vocab.FindPredicate("professor")));
+  EXPECT_FALSE(mappings->HasDefinition(vocab.FindPredicate("emp")));
+}
+
+TEST(MappingParseTest, RejectsTgdsAndUnsafeHeads) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseMappings("emp(X, D) -> professor(X).\n", &vocab).ok());
+  // Y does not occur in the body: unsafe.
+  Vocabulary vocab2;
+  EXPECT_FALSE(
+      ParseMappings("teaches(X, Y) :- emp(X, D).\n", &vocab2).ok());
+}
+
+TEST(MappingParseTest, ArityConsistencyWithOntology) {
+  Vocabulary vocab;
+  vocab.MustPredicate("professor", 1);
+  StatusOr<MappingSet> bad =
+      ParseMappings("professor(X, Y) :- emp(X, Y).\n", &vocab);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(UnfoldTest, SingleDefinition) {
+  Vocabulary vocab;
+  StatusOr<MappingSet> mappings = ParseMappings(
+      "professor(X) :- emp(X, D), dept(D, research).\n", &vocab);
+  ASSERT_TRUE(mappings.ok());
+  UnionOfCqs query(MustQuery("q(X) :- professor(X).", &vocab));
+  StatusOr<UnionOfCqs> unfolded = UnfoldUcq(query, *mappings, &vocab);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status();
+  ASSERT_EQ(unfolded->size(), 1);
+  EXPECT_EQ(unfolded->disjuncts()[0].body().size(), 2u);
+}
+
+TEST(UnfoldTest, MultipleDefinitionsMultiplyDisjuncts) {
+  Vocabulary vocab;
+  StatusOr<MappingSet> mappings = ParseMappings(
+      "person(X) :- staff(X).\n"
+      "person(X) :- students(X, Y).\n",
+      &vocab);
+  ASSERT_TRUE(mappings.ok());
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+  StatusOr<UnionOfCqs> unfolded = UnfoldUcq(query, *mappings, &vocab);
+  ASSERT_TRUE(unfolded.ok());
+  EXPECT_EQ(unfolded->size(), 2);
+  // Two mapped atoms in one CQ: cartesian product of choices.
+  UnionOfCqs pair_query(
+      MustQuery("q(X, Y) :- person(X), person(Y).", &vocab));
+  StatusOr<UnionOfCqs> pair = UnfoldUcq(pair_query, *mappings, &vocab);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->size(), 4);
+}
+
+TEST(UnfoldTest, JoinVariablesThreadThrough) {
+  Vocabulary vocab;
+  StatusOr<MappingSet> mappings = ParseMappings(
+      "teaches(X, C) :- assignment(X, C, Sem).\n"
+      "course(C) :- catalog(C).\n",
+      &vocab);
+  ASSERT_TRUE(mappings.ok());
+  UnionOfCqs query(
+      MustQuery("q(X) :- teaches(X, C), course(C).", &vocab));
+  StatusOr<UnionOfCqs> unfolded = UnfoldUcq(query, *mappings, &vocab);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status();
+  ASSERT_EQ(unfolded->size(), 1);
+  const ConjunctiveQuery& cq = unfolded->disjuncts()[0];
+  // The join on C must survive: assignment's course column equals
+  // catalog's column.
+  ASSERT_EQ(cq.body().size(), 2u);
+  Term join_a = cq.body()[0].predicate() == vocab.FindPredicate("assignment")
+                    ? cq.body()[0].term(1)
+                    : cq.body()[1].term(1);
+  Term join_b = cq.body()[0].predicate() == vocab.FindPredicate("catalog")
+                    ? cq.body()[0].term(0)
+                    : cq.body()[1].term(0);
+  EXPECT_EQ(join_a, join_b) << ToString(cq, vocab);
+}
+
+TEST(UnfoldTest, ConstantsInMappingHeadsFilter) {
+  Vocabulary vocab;
+  StatusOr<MappingSet> mappings = ParseMappings(
+      "level(X, bachelor) :- ugrad(X).\n"
+      "level(X, master) :- grad(X).\n",
+      &vocab);
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  // Asking for masters only: the bachelor definition cannot unify.
+  UnionOfCqs query(MustQuery("q(X) :- level(X, master).", &vocab));
+  StatusOr<UnionOfCqs> unfolded = UnfoldUcq(query, *mappings, &vocab);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status();
+  ASSERT_EQ(unfolded->size(), 1);
+  EXPECT_EQ(vocab.PredicateName(unfolded->disjuncts()[0].body()[0]
+                                    .predicate()),
+            "grad");
+}
+
+TEST(UnfoldTest, UnmappedAtomStrictVsLenient) {
+  Vocabulary vocab;
+  StatusOr<MappingSet> mappings =
+      ParseMappings("person(X) :- staff(X).\n", &vocab);
+  ASSERT_TRUE(mappings.ok());
+  UnionOfCqs query(
+      MustQuery("q(X) :- person(X), vip(X).", &vocab));
+  // Strict: vip has no definition -> no source query at all -> error.
+  EXPECT_FALSE(UnfoldUcq(query, *mappings, &vocab).ok());
+  // Lenient: keep vip as a (materialized) source atom.
+  UnfoldOptions lenient;
+  lenient.keep_unmapped_atoms = true;
+  StatusOr<UnionOfCqs> unfolded =
+      UnfoldUcq(query, *mappings, &vocab, lenient);
+  ASSERT_TRUE(unfolded.ok());
+  EXPECT_EQ(unfolded->size(), 1);
+  EXPECT_EQ(unfolded->disjuncts()[0].body().size(), 2u);
+}
+
+// Full virtual-OBDA pipeline: ontology rewriting, then mapping unfolding,
+// then evaluation over the raw source database only.
+TEST(UnfoldTest, EndToEndVirtualObda) {
+  Vocabulary vocab;
+  TgdProgram ontology = MustProgram(
+      "professor(X) -> faculty(X).\n"
+      "lecturer(X) -> faculty(X).\n",
+      &vocab);
+  StatusOr<MappingSet> mappings = ParseMappings(
+      "professor(X) :- emp(X, rank1).\n"
+      "lecturer(X) :- emp(X, rank2).\n",
+      &vocab);
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  StatusOr<Database> source = ParseFacts(
+      "emp(ada, rank1).\n"
+      "emp(bob, rank2).\n"
+      "emp(eve, rank3).\n",
+      &vocab);
+  ASSERT_TRUE(source.ok());
+
+  ConjunctiveQuery query = MustQuery("q(X) :- faculty(X).", &vocab);
+  StatusOr<RewriteResult> rewriting = RewriteCq(query, ontology);
+  ASSERT_TRUE(rewriting.ok());
+  StatusOr<UnionOfCqs> unfolded =
+      UnfoldUcq(rewriting->ucq, *mappings, &vocab);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status();
+  std::vector<Tuple> answers = Evaluate(*unfolded, *source);
+  ASSERT_EQ(answers.size(), 2u);  // ada and bob, not eve.
+}
+
+}  // namespace
+}  // namespace ontorew

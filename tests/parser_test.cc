@@ -1,0 +1,139 @@
+#include <string>
+
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "test_util.h"
+#include "workload/paper_examples.h"
+
+namespace ontorew {
+namespace {
+
+TEST(ParserTest, SimpleTgd) {
+  Vocabulary vocab;
+  Tgd tgd = MustTgd("r(X, Y) -> s(Y, Z).", &vocab);
+  EXPECT_EQ(tgd.body().size(), 1u);
+  EXPECT_EQ(tgd.head().size(), 1u);
+}
+
+TEST(ParserTest, MultiAtomBodyAndHead) {
+  Vocabulary vocab;
+  Tgd tgd = MustTgd("r(X), s(X, Y) -> t(Y), u(Y, Z).", &vocab);
+  EXPECT_EQ(tgd.body().size(), 2u);
+  EXPECT_EQ(tgd.head().size(), 2u);
+}
+
+TEST(ParserTest, TermKinds) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("r(X, _under, low, \"quoted\", 42, -7)", &vocab);
+  EXPECT_TRUE(atom.term(0).is_variable());   // Upper-case.
+  EXPECT_TRUE(atom.term(1).is_variable());   // Leading underscore.
+  EXPECT_TRUE(atom.term(2).is_constant());   // Lower-case.
+  EXPECT_TRUE(atom.term(3).is_constant());   // String literal.
+  EXPECT_TRUE(atom.term(4).is_constant());   // Integer.
+  EXPECT_TRUE(atom.term(5).is_constant());   // Negative integer.
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram(
+      "# leading comment\n"
+      "r(X) -> s(X).  % trailing comment\n"
+      "\n"
+      "   s(X) -> t(X).\n",
+      &vocab);
+  EXPECT_EQ(program.size(), 2);
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("flag()", &vocab);
+  EXPECT_EQ(atom.arity(), 0);
+}
+
+TEST(ParserTest, QueryStatement) {
+  Vocabulary vocab;
+  StatusOr<ParsedFile> file = ParseFile(
+      "r(X) -> s(X).\n"
+      "myquery(X) :- s(X), t(X, Y).\n",
+      &vocab);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(file->tgds.size(), 1u);
+  ASSERT_EQ(file->queries.size(), 1u);
+  EXPECT_EQ(file->queries[0].name, "myquery");
+  EXPECT_EQ(file->queries[0].query.arity(), 1);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  Vocabulary vocab;
+  StatusOr<TgdProgram> bad = ParseProgram("r(X) -> s(X).\nr(X -> s(X).\n",
+                                          &vocab);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos)
+      << bad.status();
+}
+
+TEST(ParserTest, ArityConflictRejected) {
+  Vocabulary vocab;
+  StatusOr<TgdProgram> bad =
+      ParseProgram("r(X) -> s(X).\nr(X, Y) -> s(X).\n", &vocab);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("arity"), std::string::npos);
+}
+
+TEST(ParserTest, QueryHeadConstantsAllowed) {
+  // Constant answer terms are legal (fixed answer columns, used by OBDA
+  // mapping assertions); answer variables must still occur in the body.
+  Vocabulary vocab;
+  StatusOr<ConjunctiveQuery> query = ParseQuery("q(a, X) :- r(a, X).",
+                                                &vocab);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_TRUE(query->answer_terms()[0].is_constant());
+  EXPECT_FALSE(ParseQuery("q(a, Y) :- r(a, X).", &vocab).ok());
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseTgd("r(X) -> s(X). garbage", &vocab).ok());
+}
+
+TEST(ParserTest, UnterminatedString) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseAtom("r(\"oops)", &vocab).ok());
+}
+
+TEST(ParserTest, ProgramRejectsQueries) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseProgram("q(X) :- r(X).", &vocab).ok());
+}
+
+TEST(PrinterTest, TgdRoundTrip) {
+  Vocabulary vocab;
+  const std::string text = "s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).";
+  Tgd tgd = MustTgd(text, &vocab);
+  EXPECT_EQ(ToString(tgd, vocab), text);
+  // Re-parsing the printed form yields the same TGD.
+  Tgd reparsed = MustTgd(ToString(tgd, vocab), &vocab);
+  EXPECT_EQ(tgd, reparsed);
+}
+
+TEST(PrinterTest, QueryRoundTrip) {
+  Vocabulary vocab;
+  const std::string text = "q(X, Y) :- r(X, Z), s(Z, Y, \"lit\").";
+  ConjunctiveQuery cq = MustQuery(text, &vocab);
+  EXPECT_EQ(ToString(cq, vocab), text);
+  ConjunctiveQuery reparsed = MustQuery(ToString(cq, vocab), &vocab);
+  EXPECT_EQ(cq, reparsed);
+}
+
+TEST(PrinterTest, ProgramRoundTrip) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample1(&vocab);
+  Vocabulary vocab2;
+  TgdProgram reparsed = MustProgram(ToString(program, vocab), &vocab2);
+  EXPECT_EQ(reparsed.size(), program.size());
+  EXPECT_EQ(ToString(reparsed, vocab2), ToString(program, vocab));
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,112 @@
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pnode.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ontorew {
+namespace {
+
+TEST(PNodeTest, CanonicalizeSingleAtom) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("r(B, A, B)", &vocab);
+  PNode node = CanonicalizePNode({atom}, 0, std::nullopt);
+  EXPECT_FALSE(node.has_trace);
+  EXPECT_TRUE(node.others.empty());
+  // B -> x1, A -> x2, B -> x1 again.
+  EXPECT_EQ(node.sigma.term(0), Term::Var(1));
+  EXPECT_EQ(node.sigma.term(1), Term::Var(2));
+  EXPECT_EQ(node.sigma.term(2), Term::Var(1));
+  EXPECT_EQ(PAtomToString(node.sigma, vocab), "r(x1,x2,x1)");
+}
+
+TEST(PNodeTest, TraceBecomesZ) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("r(B, A, B)", &vocab);
+  Term b = atom.term(0);
+  PNode node = CanonicalizePNode({atom}, 0, b);
+  EXPECT_TRUE(node.has_trace);
+  EXPECT_EQ(node.sigma.term(0), Term::Var(kTraceVariable));
+  EXPECT_EQ(node.sigma.term(2), Term::Var(kTraceVariable));
+  EXPECT_EQ(PAtomToString(node.sigma, vocab), "r(z,x1,z)");
+}
+
+TEST(PNodeTest, ConstantsPreserved) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("r(X, alice)", &vocab);
+  PNode node = CanonicalizePNode({atom}, 0, std::nullopt);
+  EXPECT_TRUE(node.sigma.term(1).is_constant());
+  EXPECT_EQ(PAtomToString(node.sigma, vocab), "r(x1,alice)");
+}
+
+TEST(PNodeTest, KeyInvariantUnderVariableRenaming) {
+  Vocabulary vocab;
+  Atom a1 = MustAtom("r(X, Y)", &vocab);
+  Atom a2 = MustAtom("s(Y, W)", &vocab);
+  Atom b1 = MustAtom("r(U, V)", &vocab);
+  Atom b2 = MustAtom("s(V, T)", &vocab);
+  PNode na = CanonicalizePNode({a1, a2}, 0, std::nullopt);
+  PNode nb = CanonicalizePNode({b1, b2}, 0, std::nullopt);
+  EXPECT_EQ(na.Key(), nb.Key());
+  EXPECT_EQ(na, nb);
+}
+
+TEST(PNodeTest, KeyInvariantUnderContextPermutation) {
+  Vocabulary vocab;
+  Atom sigma = MustAtom("r(X, Y)", &vocab);
+  Atom c1 = MustAtom("s(Y, W)", &vocab);
+  Atom c2 = MustAtom("t(W, V)", &vocab);
+  PNode order_a = CanonicalizePNode({sigma, c1, c2}, 0, std::nullopt);
+  PNode order_b = CanonicalizePNode({c2, sigma, c1}, 1, std::nullopt);
+  EXPECT_EQ(order_a.Key(), order_b.Key());
+}
+
+TEST(PNodeTest, TraceChangesKey) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("r(X, Y)", &vocab);
+  PNode with = CanonicalizePNode({atom}, 0, atom.term(0));
+  PNode without = CanonicalizePNode({atom}, 0, std::nullopt);
+  EXPECT_NE(with.Key(), without.Key());
+}
+
+TEST(PNodeTest, TracePositionMatters) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("r(X, Y)", &vocab);
+  PNode trace_first = CanonicalizePNode({atom}, 0, atom.term(0));
+  PNode trace_second = CanonicalizePNode({atom}, 0, atom.term(1));
+  EXPECT_NE(trace_first.Key(), trace_second.Key());
+}
+
+TEST(PNodeTest, SigmaIndexSelectsAtom) {
+  Vocabulary vocab;
+  Atom a = MustAtom("r(X, Y)", &vocab);
+  Atom b = MustAtom("s(Y)", &vocab);
+  PNode node_r = CanonicalizePNode({a, b}, 0, std::nullopt);
+  PNode node_s = CanonicalizePNode({a, b}, 1, std::nullopt);
+  EXPECT_EQ(vocab.PredicateName(node_r.sigma.predicate()), "r");
+  EXPECT_EQ(vocab.PredicateName(node_s.sigma.predicate()), "s");
+  EXPECT_NE(node_r.Key(), node_s.Key());
+}
+
+TEST(PNodeTest, ToStringShowsContext) {
+  Vocabulary vocab;
+  Atom a = MustAtom("r(X, Y)", &vocab);
+  Atom b = MustAtom("s(Y)", &vocab);
+  PNode node = CanonicalizePNode({a, b}, 0, std::nullopt);
+  std::string rendered = ToString(node, vocab);
+  EXPECT_NE(rendered.find("r(x1,x2)"), std::string::npos);
+  EXPECT_NE(rendered.find("s(x2)"), std::string::npos);
+}
+
+TEST(PNodeDeathTest, TraceMustOccurInSigma) {
+  Vocabulary vocab;
+  Atom a = MustAtom("r(X)", &vocab);
+  Atom b = MustAtom("s(Y)", &vocab);
+  EXPECT_DEATH(CanonicalizePNode({a, b}, 0, b.term(0)),
+               "trace variable must occur in sigma");
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,146 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/labels.h"
+#include "core/position_graph.h"
+#include "graph/digraph.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/paper_examples.h"
+
+namespace ontorew {
+namespace {
+
+std::set<std::string> NodeNameSet(const PositionGraph& graph,
+                                  const Vocabulary& vocab) {
+  std::vector<std::string> names = graph.NodeNames(vocab);
+  return std::set<std::string>(names.begin(), names.end());
+}
+
+// Collects "from -> to [labels]" strings for containment checks.
+std::set<std::string> EdgeSet(const PositionGraph& graph,
+                              const Vocabulary& vocab) {
+  std::set<std::string> edges;
+  std::vector<std::string> names = graph.NodeNames(vocab);
+  for (const LabeledDigraph::Edge& edge : graph.graph().edges()) {
+    edges.insert(names[static_cast<std::size_t>(edge.from)] + " -> " +
+                 names[static_cast<std::size_t>(edge.to)] + " [" +
+                 LabelsToString(edge.labels) + "]");
+  }
+  return edges;
+}
+
+TEST(PositionGraphTest, RequiresSimpleProgram) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);  // Not simple.
+  StatusOr<PositionGraph> graph = PositionGraph::Build(program);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(PositionGraph::BuildUnchecked(program).ok());
+}
+
+// Figure 1: the position graph of Example 1. The paper's drawing shows
+// {r[ ], s[ ], v[ ], t[ ], s[2], q[ ]}; Definition 4 point 1(b) also
+// yields the sink t[1] (for the existential body variable y4 of R1),
+// which the drawing omits.
+TEST(PositionGraphTest, Figure1NodesAndEdges) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample1(&vocab);
+  StatusOr<PositionGraph> graph = PositionGraph::Build(program);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+
+  EXPECT_EQ(NodeNameSet(*graph, vocab),
+            (std::set<std::string>{"r[ ]", "s[ ]", "v[ ]", "t[ ]", "s[2]",
+                                   "q[ ]", "t[1]"}));
+
+  std::set<std::string> edges = EdgeSet(*graph, vocab);
+  // The two m-edges of the figure (plus the t[1] copy).
+  EXPECT_TRUE(edges.count("r[ ] -> t[ ] [m]"));
+  EXPECT_TRUE(edges.count("s[ ] -> q[ ] [m]"));
+  // Unlabeled edges of the figure.
+  EXPECT_TRUE(edges.count("r[ ] -> s[ ] []"));
+  EXPECT_TRUE(edges.count("r[ ] -> s[2] []"));
+  EXPECT_TRUE(edges.count("s[ ] -> v[ ] []"));
+  EXPECT_TRUE(edges.count("v[ ] -> r[ ] []"));
+  // No s-labels anywhere (the paper's key observation for Example 1).
+  for (const LabeledDigraph::Edge& edge : graph->graph().edges()) {
+    EXPECT_EQ(edge.labels & kLabelS, 0);
+  }
+}
+
+// Figure 2: the position graph of Example 2, built although the program
+// is not simple. The node set matches the figure exactly.
+TEST(PositionGraphTest, Figure2Nodes) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  StatusOr<PositionGraph> graph = PositionGraph::BuildUnchecked(program);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(NodeNameSet(*graph, vocab),
+            (std::set<std::string>{"r[ ]", "s[ ]", "r[2]", "t[ ]", "s[1]",
+                                   "s[2]", "t[1]", "r[1]", "s[3]", "t[2]"}));
+}
+
+// The paper's point about Figure 2: the position graph misses the danger —
+// no cycle carries both m and s (in fact no edge carries s at all), so the
+// SWR criterion would wrongly accept this non-FO-rewritable set.
+TEST(PositionGraphTest, Figure2HasNoDangerousCycle) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  StatusOr<PositionGraph> graph = PositionGraph::BuildUnchecked(program);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_FALSE(
+      HasDangerousCycle(graph->graph(), kLabelM | kLabelS, /*forbidden=*/0));
+}
+
+TEST(PositionGraphTest, TracingStopsAtExistentialHeadPositions) {
+  Vocabulary vocab;
+  // r[2] holds an existential head variable: R-compatibility (Definition
+  // 3(ii)) rejects it, so r[2] must be a sink.
+  TgdProgram program = MustProgram("s(X, Y) -> r(X, Z).", &vocab);
+  StatusOr<PositionGraph> graph = PositionGraph::Build(program);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  int r2 = graph->NodeIndex(
+      Position::At(vocab.FindPredicate("r"), 2));
+  // r[2] is never created: no rule traces into it.
+  EXPECT_EQ(r2, -1);
+}
+
+TEST(PositionGraphTest, SplitExistentialMarksAllApplicationEdges) {
+  Vocabulary vocab;
+  // Y is an existential body variable in two atoms: point 2 of
+  // Definition 4 puts s on every edge of the application.
+  TgdProgram program = MustProgram("p(X, Y), q(Y, X) -> r(X).", &vocab);
+  StatusOr<PositionGraph> graph = PositionGraph::Build(program);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_GT(graph->graph().num_edges(), 0);
+  for (const LabeledDigraph::Edge& edge : graph->graph().edges()) {
+    EXPECT_NE(edge.labels & kLabelS, 0);
+  }
+}
+
+TEST(PositionGraphTest, SelfRecursiveRuleBuildsCycle) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("e(X, Y) -> e(Y, X).", &vocab);
+  StatusOr<PositionGraph> graph = PositionGraph::Build(program);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  // e[ ] -> e[ ] self-loop, harmless (no labels).
+  int e_generic = graph->NodeIndex(
+      Position::Generic(vocab.FindPredicate("e")));
+  ASSERT_GE(e_generic, 0);
+  EXPECT_TRUE(graph->graph().HasEdge(e_generic, e_generic, 0));
+  EXPECT_FALSE(HasDangerousCycle(graph->graph(), kLabelM | kLabelS, 0));
+}
+
+TEST(PositionGraphTest, DotExportMentionsPositions) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample1(&vocab);
+  StatusOr<PositionGraph> graph = PositionGraph::Build(program);
+  ASSERT_TRUE(graph.ok());
+  std::string dot = graph->ToDot(vocab);
+  EXPECT_NE(dot.find("r[ ]"), std::string::npos);
+  EXPECT_NE(dot.find("s[2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ontorew

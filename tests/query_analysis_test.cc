@@ -1,0 +1,107 @@
+#include <string>
+
+#include "core/query_analysis.h"
+#include "core/wr.h"
+#include "gtest/gtest.h"
+#include "rewriting/rewriter.h"
+#include "test_util.h"
+#include "workload/paper_examples.h"
+
+namespace ontorew {
+namespace {
+
+TEST(QueryAnalysisTest, WrProgramsAreSafeForEveryQuery) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample1(&vocab);
+  for (const char* probe :
+       {"q(X, Y) :- r(X, Y).", "q(X) :- s(X, Y, Z).", "q() :- v(X, Y)."}) {
+    StatusOr<QuerySafetyReport> report =
+        AnalyzeQuerySafety(MustQuery(probe, &vocab), program, vocab);
+    ASSERT_TRUE(report.ok()) << probe << ": " << report.status();
+    EXPECT_TRUE(report->is_safe) << probe;
+  }
+}
+
+TEST(QueryAnalysisTest, DangerousQueryOnExample2Detected) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  // The paper's own unbounded-chain query.
+  StatusOr<QuerySafetyReport> report = AnalyzeQuerySafety(
+      MustQuery("q() :- r(\"a\", X).", &vocab), program, vocab);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->is_safe);
+  EXPECT_FALSE(report->witness.empty());
+  // The rewriter indeed diverges on it.
+  RewriterOptions options;
+  options.max_cqs = 400;
+  EXPECT_FALSE(RewriteCq(MustQuery("q() :- r(\"a\", X).", &vocab), program,
+                         options)
+                   .ok());
+}
+
+TEST(QueryAnalysisTest, HarmlessQueryOnNonWrProgramIsSafe) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  // t has no rule head: queries over t alone can never trigger a rewriting
+  // step, so they are safe although the program is not WR.
+  StatusOr<WrReport> wr = CheckWr(program, vocab);
+  ASSERT_TRUE(wr.ok());
+  ASSERT_FALSE(wr->is_wr);
+  StatusOr<QuerySafetyReport> report = AnalyzeQuerySafety(
+      MustQuery("q(X) :- t(X, Y).", &vocab), program, vocab);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->is_safe);
+  // And the rewriter terminates for it.
+  EXPECT_TRUE(
+      RewriteCq(MustQuery("q(X) :- t(X, Y).", &vocab), program).ok());
+}
+
+TEST(QueryAnalysisTest, SafetyCorrelatesWithRewriterTermination) {
+  // Mixed program: one dangerous component (Example 2 pattern over
+  // r, s, t) and one harmless hierarchy (a -> b).
+  Vocabulary vocab;
+  TgdProgram program = MustProgram(
+      "t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n"
+      "s(Y1, Y1, Y2) -> r(Y2, Y3).\n"
+      "a(X) -> b(X).\n",
+      &vocab);
+  StatusOr<WrReport> wr = CheckWr(program, vocab);
+  ASSERT_TRUE(wr.ok());
+  EXPECT_FALSE(wr->is_wr);  // The whole program is rejected...
+
+  // ...but the hierarchy-only query is safe and rewrites fine.
+  StatusOr<QuerySafetyReport> safe = AnalyzeQuerySafety(
+      MustQuery("q(X) :- b(X).", &vocab), program, vocab);
+  ASSERT_TRUE(safe.ok());
+  EXPECT_TRUE(safe->is_safe);
+  EXPECT_TRUE(RewriteCq(MustQuery("q(X) :- b(X).", &vocab), program).ok());
+
+  // The r-query reaches the dangerous cycle.
+  StatusOr<QuerySafetyReport> unsafe = AnalyzeQuerySafety(
+      MustQuery("q() :- r(c0, X).", &vocab), program, vocab);
+  ASSERT_TRUE(unsafe.ok());
+  EXPECT_FALSE(unsafe->is_safe);
+}
+
+TEST(QueryAnalysisTest, ReportsReachableSubgraphSize) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  StatusOr<QuerySafetyReport> narrow = AnalyzeQuerySafety(
+      MustQuery("q(X) :- t(X, Y).", &vocab), program, vocab);
+  StatusOr<QuerySafetyReport> wide = AnalyzeQuerySafety(
+      MustQuery("q(X, Y, Z) :- s(X, Y, Z).", &vocab), program, vocab);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  EXPECT_LT(narrow->num_nodes, wide->num_nodes);
+}
+
+TEST(QueryAnalysisTest, MultiHeadRejected) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("r(X) -> s(X), t(X).", &vocab);
+  StatusOr<QuerySafetyReport> report = AnalyzeQuerySafety(
+      MustQuery("q(X) :- s(X).", &vocab), program, vocab);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ontorew

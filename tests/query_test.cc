@@ -1,0 +1,88 @@
+#include "gtest/gtest.h"
+#include "logic/query.h"
+#include "test_util.h"
+
+namespace ontorew {
+namespace {
+
+TEST(QueryTest, ParseAndAccessors) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X, Y) :- r(X, Z), s(Z, Y).", &vocab);
+  EXPECT_EQ(cq.arity(), 2);
+  EXPECT_EQ(cq.body().size(), 2u);
+  EXPECT_TRUE(cq.Validate().ok());
+}
+
+TEST(QueryTest, AnswerVariableMustOccurInBody) {
+  Vocabulary vocab;
+  StatusOr<ConjunctiveQuery> bad = ParseQuery("q(X) :- r(Y).", &vocab);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, ExistentialVariables) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X) :- r(X, Y), s(Y, Z).", &vocab);
+  std::vector<VariableId> existential = cq.ExistentialVariables();
+  EXPECT_EQ(existential.size(), 2u);
+  EXPECT_TRUE(cq.IsAnswerVariable(vocab.InternVariable("X")));
+  EXPECT_FALSE(cq.IsAnswerVariable(vocab.InternVariable("Y")));
+}
+
+TEST(QueryTest, UnboundMeansExistentialAndSingleOccurrence) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X) :- r(X, Y), s(Y, Z).", &vocab);
+  VariableId y = vocab.InternVariable("Y");
+  VariableId z = vocab.InternVariable("Z");
+  VariableId x = vocab.InternVariable("X");
+  EXPECT_FALSE(cq.IsUnbound(y));  // Occurs twice (join variable).
+  EXPECT_TRUE(cq.IsUnbound(z));   // Occurs once, existential.
+  EXPECT_FALSE(cq.IsUnbound(x));  // Answer variable.
+}
+
+TEST(QueryTest, CountVariableOccurrencesAcrossAtoms) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X) :- r(X, X), s(X).", &vocab);
+  EXPECT_EQ(cq.CountVariableOccurrences(vocab.InternVariable("X")), 3);
+}
+
+TEST(QueryTest, ConstantAnswerTerm) {
+  Vocabulary vocab;
+  ConstantId c = vocab.InternConstant("alice");
+  ConjunctiveQuery cq(
+      std::vector<Term>{Term::Const(c), Term::Var(vocab.InternVariable("X"))},
+      {MustAtom("r(X)", &vocab)});
+  EXPECT_TRUE(cq.Validate().ok());
+  EXPECT_EQ(cq.AnswerVariables().size(), 1u);
+}
+
+TEST(QueryTest, BooleanQuery) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q() :- r(X, Y).", &vocab);
+  EXPECT_EQ(cq.arity(), 0);
+  EXPECT_TRUE(cq.Validate().ok());
+}
+
+TEST(UcqTest, MixedAritiesRejected) {
+  Vocabulary vocab;
+  UnionOfCqs ucq;
+  ucq.Add(MustQuery("q(X) :- r(X, Y).", &vocab));
+  ucq.Add(MustQuery("q(X, Y) :- r(X, Y).", &vocab));
+  EXPECT_FALSE(ucq.Validate().ok());
+}
+
+TEST(UcqTest, EmptyRejected) {
+  UnionOfCqs ucq;
+  EXPECT_FALSE(ucq.Validate().ok());
+}
+
+TEST(UcqTest, SingleDisjunctConvenience) {
+  Vocabulary vocab;
+  UnionOfCqs ucq(MustQuery("q(X) :- r(X).", &vocab));
+  EXPECT_EQ(ucq.size(), 1);
+  EXPECT_EQ(ucq.arity(), 1);
+  EXPECT_TRUE(ucq.Validate().ok());
+}
+
+}  // namespace
+}  // namespace ontorew

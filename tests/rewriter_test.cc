@@ -1,0 +1,243 @@
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "db/eval.h"
+#include "gtest/gtest.h"
+#include "logic/printer.h"
+#include "rewriting/containment.h"
+#include "rewriting/rewriter.h"
+#include "test_util.h"
+#include "workload/paper_examples.h"
+#include "workload/university.h"
+
+namespace ontorew {
+namespace {
+
+// True iff some disjunct of `ucq` is equivalent to `cq`.
+bool ContainsEquivalent(const UnionOfCqs& ucq, const ConjunctiveQuery& cq) {
+  for (const ConjunctiveQuery& disjunct : ucq.disjuncts()) {
+    if (CqEquivalent(disjunct, cq)) return true;
+  }
+  return false;
+}
+
+TEST(RewriterTest, ClassHierarchyUnfolds) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram(
+      "professor(X) -> faculty(X).\n"
+      "lecturer(X) -> faculty(X).\n",
+      &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(X) :- faculty(X).", &vocab), program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->ucq.size(), 3);
+  EXPECT_TRUE(ContainsEquivalent(result->ucq,
+                                 MustQuery("q(X) :- professor(X).", &vocab)));
+  EXPECT_TRUE(ContainsEquivalent(result->ucq,
+                                 MustQuery("q(X) :- lecturer(X).", &vocab)));
+}
+
+TEST(RewriterTest, ExistentialAbsorbsUnboundVariable) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("person(X) -> hasId(X, Y).", &vocab);
+  // Y is unbound in the query: the step applies.
+  StatusOr<RewriteResult> unbound =
+      RewriteCq(MustQuery("q(X) :- hasId(X, Y).", &vocab), program);
+  ASSERT_TRUE(unbound.ok());
+  EXPECT_TRUE(ContainsEquivalent(unbound->ucq,
+                                 MustQuery("q(X) :- person(X).", &vocab)));
+  // Y answer variable: blocked.
+  StatusOr<RewriteResult> answer =
+      RewriteCq(MustQuery("q(X, Y) :- hasId(X, Y).", &vocab), program);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->ucq.size(), 1);
+  // Y bound by a join: blocked (no new disjunct from the id atom).
+  StatusOr<RewriteResult> joined = RewriteCq(
+      MustQuery("q(X) :- hasId(X, Y), uses(Y).", &vocab), program);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->ucq.size(), 1);
+}
+
+TEST(RewriterTest, ConstantInQueryBlocksExistential) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("person(X) -> hasId(X, Y).", &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(X) :- hasId(X, id42).", &vocab), program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ucq.size(), 1);  // Only the original query.
+}
+
+TEST(RewriterTest, FactorizationEnablesAbsorption) {
+  Vocabulary vocab;
+  // With distinct *answer* variables A and B the two r-atoms cannot be
+  // folded away by minimization, and neither can absorb the join variable
+  // W (it occurs twice). Only a factorization step — unifying the two
+  // atoms, specializing A = B — unlocks the absorption. cert semantics
+  // requires the resulting disjunct: with p(c) the chase yields r(c, n),
+  // so (c, c) is a certain answer of q(A, B).
+  TgdProgram program = MustProgram("p(X) -> r(X, Z).", &vocab);
+  ConjunctiveQuery query = MustQuery("q(A, B) :- r(A, W), r(B, W).", &vocab);
+  StatusOr<RewriteResult> result = RewriteCq(query, program);
+  ASSERT_TRUE(result.ok());
+  ConjunctiveQuery folded(
+      std::vector<VariableId>{vocab.InternVariable("A"),
+                              vocab.InternVariable("A")},
+      {MustAtom("p(A)", &vocab)});
+  EXPECT_TRUE(ContainsEquivalent(result->ucq, folded));
+  // Without factorization the disjunct is missed, and evaluating the
+  // rewriting over {p(c)} loses the certain answer (c, c).
+  RewriterOptions no_factor;
+  no_factor.factorize = false;
+  StatusOr<RewriteResult> weaker = RewriteCq(query, program, no_factor);
+  ASSERT_TRUE(weaker.ok());
+  EXPECT_FALSE(ContainsEquivalent(weaker->ucq, folded));
+  Database db;
+  db.Insert(vocab.FindPredicate("p"),
+            {Value::Constant(vocab.InternConstant("c"))});
+  EXPECT_EQ(Evaluate(result->ucq, db).size(), 1u);
+  EXPECT_TRUE(Evaluate(weaker->ucq, db).empty());
+}
+
+TEST(RewriterTest, HeadConstantSpecializesAnswerVariable) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("reg(Y) -> r(c0, Y).", &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(X, Y) :- r(X, Y).", &vocab), program);
+  ASSERT_TRUE(result.ok());
+  // Expect a disjunct q(c0, Y) :- reg(Y).
+  bool found = false;
+  for (const ConjunctiveQuery& cq : result->ucq.disjuncts()) {
+    if (cq.answer_terms()[0].is_constant()) found = true;
+  }
+  EXPECT_TRUE(found) << ToString(result->ucq, vocab);
+}
+
+TEST(RewriterTest, MultiHeadRejected) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("r(X) -> s(X), t(X).", &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(X) :- s(X).", &vocab), program);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RewriterTest, DivergesOnExample2PaperQuery) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  // The paper's query q() :- r("a", x): unbounded chain.
+  RewriterOptions options;
+  options.max_cqs = 500;
+  StatusOr<RewriteResult> result = RewriteCq(
+      MustQuery("q() :- r(\"a\", X).", &vocab), program, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RewriterTest, TerminatesOnExample3) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample3(&vocab);
+  // Queries over every predicate terminate (Example 3 is FO-rewritable).
+  for (const char* query :
+       {"q(X) :- t(X, Y, Z).", "q(X) :- s(X, Y, Z).", "q(X) :- r(X, Y).",
+        "q() :- t(X, X, Y), u(X)."}) {
+    StatusOr<RewriteResult> result =
+        RewriteCq(MustQuery(query, &vocab), program);
+    EXPECT_TRUE(result.ok()) << query << ": " << result.status();
+  }
+}
+
+TEST(RewriterTest, TerminatesOnExample1) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample1(&vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(X, Y) :- r(X, Y).", &vocab), program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->ucq.size(), 2);
+}
+
+TEST(RewriterTest, UniversityConcertedRewriting) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(X) :- person(X).", &vocab), ontology);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // person unfolds through faculty/student into every raw predicate.
+  EXPECT_TRUE(ContainsEquivalent(result->ucq,
+                                 MustQuery("q(X) :- professor(X).", &vocab)));
+  EXPECT_TRUE(ContainsEquivalent(result->ucq,
+                                 MustQuery("q(X) :- phd(X).", &vocab)));
+  EXPECT_TRUE(ContainsEquivalent(
+      result->ucq, MustQuery("q(X) :- teaches(X, Y).", &vocab)));
+  EXPECT_TRUE(ContainsEquivalent(
+      result->ucq, MustQuery("q(X) :- enrolled(X, Y).", &vocab)));
+}
+
+TEST(RewriterTest, MinimizationPrunesSubsumedDisjuncts) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("p(X) -> r(X, Y).", &vocab);
+  // The factorized specialization q(A, A) :- r(A, W) is subsumed by the
+  // original q(A, B) :- r(A, W), r(B, W); final minimization prunes it.
+  ConjunctiveQuery query = MustQuery("q(A, B) :- r(A, W), r(B, W).", &vocab);
+  RewriterOptions raw;
+  raw.minimize = false;
+  StatusOr<RewriteResult> unminimized = RewriteCq(query, program, raw);
+  StatusOr<RewriteResult> minimized = RewriteCq(query, program);
+  ASSERT_TRUE(unminimized.ok() && minimized.ok());
+  EXPECT_LT(minimized->ucq.size(), unminimized->ucq.size());
+  // Both evaluate identically over any database (spot-check one).
+  Database db;
+  db.Insert(vocab.FindPredicate("p"),
+            {Value::Constant(vocab.InternConstant("k"))});
+  EXPECT_EQ(Evaluate(minimized->ucq, db), Evaluate(unminimized->ucq, db));
+}
+
+TEST(RewriterTest, RewritingMatchesChaseOnUniversity) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(99);
+  UniversityInstanceOptions options;
+  options.num_students = 25;
+  options.num_phd_students = 8;
+  Database db = UniversityInstance(options, &rng, &vocab);
+
+  for (const char* query_text :
+       {"q(X) :- person(X).", "q(X) :- faculty(X).",
+        "q(X, Y) :- teaches(X, Y).", "q(X) :- course(X).",
+        "q(X) :- advises(Y, X), student(X).",
+        "q(X) :- teaches(X, Y), course(Y)."}) {
+    ConjunctiveQuery query = MustQuery(query_text, &vocab);
+    StatusOr<RewriteResult> rewriting = RewriteCq(query, ontology);
+    ASSERT_TRUE(rewriting.ok()) << query_text << ": " << rewriting.status();
+    std::vector<Tuple> via_rewriting = Evaluate(rewriting->ucq, db);
+    StatusOr<std::vector<Tuple>> via_chase =
+        CertainAnswersViaChase(UnionOfCqs(query), ontology, db);
+    ASSERT_TRUE(via_chase.ok()) << via_chase.status();
+    EXPECT_EQ(via_rewriting, *via_chase) << query_text;
+  }
+}
+
+TEST(RewriterTest, AblationIntermediateReduction) {
+  // Without intermediate minimization the r -> s -> v -> r loop of
+  // Example 1 accumulates redundant atoms forever: the saturation hits
+  // the cap although the program is FO-rewritable. This is why the
+  // engine reduces by default.
+  Vocabulary vocab;
+  TgdProgram program = PaperExample1(&vocab);
+  ConjunctiveQuery query = MustQuery("q(X, Y) :- r(X, Y).", &vocab);
+  RewriterOptions no_reduce;
+  no_reduce.reduce_intermediate = false;
+  // Keep the cap tiny: without reduction the CQs also *grow*, so pushing
+  // hundreds of them through canonicalization is pointlessly slow. The
+  // terminating saturation has 3 CQs, so 40 proves divergence.
+  no_reduce.max_cqs = 40;
+  no_reduce.factorize = false;
+  StatusOr<RewriteResult> diverged = RewriteCq(query, program, no_reduce);
+  ASSERT_FALSE(diverged.ok());
+  EXPECT_EQ(diverged.status().code(), StatusCode::kResourceExhausted);
+  // With reduction (the default) the same input terminates immediately.
+  EXPECT_TRUE(RewriteCq(query, program).ok());
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,137 @@
+// Robustness sweeps: the parsers must return Status errors (never crash,
+// never hang) on arbitrary byte soup; the P-node canonicalization must be
+// invariant under random renamings and context permutations.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/pnode.h"
+#include "core/swr.h"
+#include "db/facts_io.h"
+#include "dl/dllite.h"
+#include "gtest/gtest.h"
+#include "logic/parser.h"
+#include "test_util.h"
+
+namespace ontorew {
+namespace {
+
+std::string RandomBytes(Rng* rng, int length) {
+  // Printable-ish alphabet biased toward the grammar's special characters
+  // so the parser's deep paths are reached.
+  static constexpr char kAlphabet[] =
+      "abcXYZ012(),.->:-\"#%\n\t _-=[]";
+  std::string result;
+  result.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    result += kAlphabet[static_cast<std::size_t>(
+        rng->Uniform(sizeof(kAlphabet) - 1))];
+  }
+  return result;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzzTest, NeverCrashesOnByteSoup) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL);
+  for (int round = 0; round < 300; ++round) {
+    std::string input = RandomBytes(&rng, rng.UniformIn(0, 120));
+    Vocabulary vocab;
+    // Any of ok/error is fine; the point is no crash and no hang.
+    (void)ParseFile(input, &vocab);
+    (void)ParseFacts(input, &vocab);
+    (void)ParseDlLiteAxioms(input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(ParserFuzzTest, ValidFragmentsWithNoise) {
+  Rng rng(99);
+  const char* fragments[] = {"r(X, Y)", "->", ":-", "s(a)", ",", ".",
+                             "\"str\"", "q(X)", "42"};
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    int pieces = rng.UniformIn(1, 12);
+    for (int i = 0; i < pieces; ++i) {
+      input += fragments[static_cast<std::size_t>(rng.Uniform(9))];
+      input += rng.Bernoulli(0.5) ? " " : "";
+    }
+    Vocabulary vocab;
+    (void)ParseFile(input, &vocab);
+  }
+}
+
+// P-node canonicalization: invariance under variable renaming and context
+// permutation, on random atom sets.
+class PNodeCanonPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PNodeCanonPropertyTest, InvariantUnderIsomorphism) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503);
+  Vocabulary vocab;
+  PredicateId p2 = vocab.MustPredicate("p", 2);
+  PredicateId p3 = vocab.MustPredicate("w", 3);
+
+  for (int round = 0; round < 100; ++round) {
+    int num_atoms = rng.UniformIn(1, 4);
+    int num_vars = rng.UniformIn(1, 5);
+    std::vector<Atom> atoms;
+    for (int i = 0; i < num_atoms; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        atoms.push_back(Atom(p2, {Term::Var(rng.Uniform(num_vars)),
+                                  Term::Var(rng.Uniform(num_vars))}));
+      } else {
+        atoms.push_back(Atom(p3, {Term::Var(rng.Uniform(num_vars)),
+                                  Term::Var(rng.Uniform(num_vars)),
+                                  Term::Var(rng.Uniform(num_vars))}));
+      }
+    }
+    int sigma = rng.Uniform(num_atoms);
+    std::optional<Term> trace;
+    if (rng.Bernoulli(0.5)) {
+      const Atom& s = atoms[static_cast<std::size_t>(sigma)];
+      trace = s.term(rng.Uniform(s.arity()));
+    }
+
+    // Isomorphic copy: shift ids, permute the non-sigma atoms.
+    const VariableId shift = 1000;
+    std::vector<Atom> shifted;
+    for (const Atom& atom : atoms) {
+      std::vector<Term> terms;
+      for (Term t : atom.terms()) terms.push_back(Term::Var(t.id() + shift));
+      shifted.emplace_back(atom.predicate(), std::move(terms));
+    }
+    // Move sigma to the front, shuffle the rest.
+    std::swap(shifted[0], shifted[static_cast<std::size_t>(sigma)]);
+    for (int i = static_cast<int>(shifted.size()) - 1; i > 1; --i) {
+      std::swap(shifted[static_cast<std::size_t>(i)],
+                shifted[static_cast<std::size_t>(rng.UniformIn(1, i))]);
+    }
+    std::optional<Term> shifted_trace;
+    if (trace.has_value()) {
+      shifted_trace = Term::Var(trace->id() + shift);
+    }
+
+    PNode original = CanonicalizePNode(atoms, sigma, trace);
+    PNode copy = CanonicalizePNode(shifted, 0, shifted_trace);
+    EXPECT_EQ(original.Key(), copy.Key()) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PNodeCanonPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(WitnessProvenanceTest, WitnessNamesTheRule) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("p(X, Y), p(Y, Z) -> p(X, W).", &vocab);
+  SwrReport report = CheckSwr(program, vocab);
+  ASSERT_FALSE(report.is_swr);
+  EXPECT_NE(report.witness.find("[R1]"), std::string::npos)
+      << report.witness;
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,115 @@
+#include <string>
+
+#include "gtest/gtest.h"
+#include "rewriting/rewriter.h"
+#include "rewriting/sql.h"
+#include "test_util.h"
+#include "workload/university.h"
+
+namespace ontorew {
+namespace {
+
+TEST(SqlTest, SingleAtomProjection) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X, Y) :- r(X, Y).", &vocab);
+  StatusOr<std::string> sql = CqToSql(cq, vocab);
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_EQ(*sql,
+            "SELECT DISTINCT t0.c1 AS a1, t0.c2 AS a2\n"
+            "FROM r AS t0");
+}
+
+TEST(SqlTest, JoinAndConstant) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X) :- r(X, Y), s(Y, a).", &vocab);
+  StatusOr<std::string> sql = CqToSql(cq, vocab);
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_EQ(*sql,
+            "SELECT DISTINCT t0.c1 AS a1\n"
+            "FROM r AS t0, s AS t1\n"
+            "WHERE t1.c1 = t0.c2 AND t1.c2 = 'a'");
+}
+
+TEST(SqlTest, RepeatedVariableInsideAtom) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X) :- r(X, X).", &vocab);
+  StatusOr<std::string> sql = CqToSql(cq, vocab);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("t0.c2 = t0.c1"), std::string::npos);
+}
+
+TEST(SqlTest, BooleanQuerySelectsOne) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q() :- r(X, Y).", &vocab);
+  StatusOr<std::string> sql = CqToSql(cq, vocab);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("SELECT DISTINCT 1 AS a1"), std::string::npos);
+}
+
+TEST(SqlTest, ConstantAnswerTermBecomesLiteral) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq(
+      std::vector<Term>{Term::Const(vocab.InternConstant("tag")),
+                        Term::Var(vocab.InternVariable("X"))},
+      {MustAtom("r(X)", &vocab)});
+  StatusOr<std::string> sql = CqToSql(cq, vocab);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("'tag' AS a1"), std::string::npos);
+}
+
+TEST(SqlTest, QuotedStringConstantsEscaped) {
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X) :- r(X, \"o'hara\").", &vocab);
+  StatusOr<std::string> sql = CqToSql(cq, vocab);
+  ASSERT_TRUE(sql.ok());
+  // Double quotes stripped, single quote doubled.
+  EXPECT_NE(sql->find("'o''hara'"), std::string::npos) << *sql;
+}
+
+TEST(SqlTest, UnionOverDisjuncts) {
+  Vocabulary vocab;
+  UnionOfCqs ucq;
+  ucq.Add(MustQuery("q(X) :- r(X, Y).", &vocab));
+  ucq.Add(MustQuery("q(X) :- s(X, Y).", &vocab));
+  StatusOr<std::string> sql = UcqToSql(ucq, vocab);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("\nUNION\n"), std::string::npos);
+  EXPECT_NE(sql->find("FROM r AS t0"), std::string::npos);
+  EXPECT_NE(sql->find("FROM s AS t0"), std::string::npos);
+}
+
+TEST(SqlTest, RewritingOfUniversityQueryRendersToSql) {
+  // The paper's end-to-end story: ontology query -> UCQ -> SQL text.
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  StatusOr<RewriteResult> rewriting =
+      RewriteCq(MustQuery("q(X) :- person(X).", &vocab), ontology);
+  ASSERT_TRUE(rewriting.ok());
+  StatusOr<std::string> sql = UcqToSql(rewriting->ucq, vocab);
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  // Every raw predicate shows up as a table somewhere in the union.
+  for (const char* table : {"professor", "lecturer", "phd", "teaches",
+                            "enrolled"}) {
+    EXPECT_NE(sql->find(std::string("FROM ") + table), std::string::npos)
+        << table;
+  }
+}
+
+TEST(SqlTest, SchemaDdl) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("r(X, Y) -> s(X).", &vocab);
+  std::string ddl = SchemaToSql(program, vocab);
+  EXPECT_NE(ddl.find("CREATE TABLE r (c1 TEXT NOT NULL, c2 TEXT NOT NULL);"),
+            std::string::npos);
+  EXPECT_NE(ddl.find("CREATE TABLE s (c1 TEXT NOT NULL);"),
+            std::string::npos);
+}
+
+TEST(SqlTest, InvalidQueryRejected) {
+  Vocabulary vocab;
+  ConjunctiveQuery invalid;
+  EXPECT_FALSE(CqToSql(invalid, vocab).ok());
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,70 @@
+#include "gtest/gtest.h"
+#include "logic/substitution.h"
+#include "logic/vocabulary.h"
+#include "test_util.h"
+
+namespace ontorew {
+namespace {
+
+TEST(SubstitutionTest, EmptyResolvesIdentity) {
+  Substitution subst;
+  EXPECT_TRUE(subst.empty());
+  EXPECT_EQ(subst.Resolve(Term::Var(1)), Term::Var(1));
+  EXPECT_EQ(subst.Resolve(Term::Const(2)), Term::Const(2));
+}
+
+TEST(SubstitutionTest, ResolveFollowsChains) {
+  Substitution subst;
+  subst.Bind(1, Term::Var(2));
+  subst.Bind(2, Term::Var(3));
+  subst.Bind(3, Term::Const(9));
+  EXPECT_EQ(subst.Resolve(Term::Var(1)), Term::Const(9));
+  EXPECT_EQ(subst.Resolve(Term::Var(2)), Term::Const(9));
+  EXPECT_TRUE(subst.IsBound(1));
+  EXPECT_FALSE(subst.IsBound(9));
+}
+
+TEST(SubstitutionTest, ApplyAtomResolvesAllPositions) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("r(X, Y, X)", &vocab);
+  VariableId x = atom.term(0).id();
+  Substitution subst;
+  subst.Bind(x, Term::Const(vocab.InternConstant("a")));
+  Atom applied = subst.Apply(atom);
+  EXPECT_TRUE(applied.term(0).is_constant());
+  EXPECT_TRUE(applied.term(2).is_constant());
+  EXPECT_TRUE(applied.term(1).is_variable());
+}
+
+TEST(SubstitutionTest, ApplyVectorPreservesLength) {
+  Vocabulary vocab;
+  std::vector<Atom> atoms = {MustAtom("r(X, Y)", &vocab),
+                             MustAtom("s(Y)", &vocab)};
+  Substitution subst;
+  subst.Bind(atoms[0].term(1).id(), Term::Const(0));
+  std::vector<Atom> applied = subst.Apply(atoms);
+  ASSERT_EQ(applied.size(), 2u);
+  EXPECT_TRUE(applied[1].term(0).is_constant());
+}
+
+TEST(SubstitutionTest, DomainListsBoundVariables) {
+  Substitution subst;
+  subst.Bind(4, Term::Const(0));
+  subst.Bind(7, Term::Var(4));
+  std::vector<VariableId> domain = subst.Domain();
+  EXPECT_EQ(domain.size(), 2u);
+}
+
+TEST(SubstitutionDeathTest, DoubleBindAborts) {
+  Substitution subst;
+  subst.Bind(1, Term::Const(0));
+  EXPECT_DEATH(subst.Bind(1, Term::Const(1)), "bound twice");
+}
+
+TEST(SubstitutionDeathTest, SelfBindAborts) {
+  Substitution subst;
+  EXPECT_DEATH(subst.Bind(1, Term::Var(1)), "itself");
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,113 @@
+// Empirical checks of the paper's subsumption claims (Section 5 and the
+// Section 6 conjecture (iii)):
+//   * under the simple-TGD restriction, SWR subsumes Linear, Multilinear,
+//     Sticky and Sticky-Join;
+//   * WR subsumes SWR.
+// Randomized simple programs with fixed seeds; each accepted program in a
+// baseline class must be SWR, and each SWR program must be WR.
+
+#include "base/rng.h"
+#include "classes/linear.h"
+#include "classes/sticky.h"
+#include "core/swr.h"
+#include "core/wr.h"
+#include "gtest/gtest.h"
+#include "logic/printer.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace ontorew {
+namespace {
+
+class SubsumptionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsumptionTest, BaselineClassesImplySwrOnSimplePrograms) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 32452843);
+  int linear_seen = 0, multilinear_seen = 0, sticky_seen = 0, sj_seen = 0;
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    Vocabulary vocab;
+    RandomProgramOptions options;
+    options.num_rules = rng.UniformIn(2, 6);
+    options.num_predicates = rng.UniformIn(2, 5);
+    options.max_arity = 3;
+    options.max_body_atoms = rng.UniformIn(1, 3);
+    options.existential_prob = 0.35;
+    TgdProgram program = RandomProgram(options, &rng, &vocab);
+    if (!program.IsSimple()) continue;
+
+    bool swr = IsSwr(program);
+    if (IsLinear(program)) {
+      ++linear_seen;
+      EXPECT_TRUE(swr) << "Linear but not SWR:\n" << ToString(program, vocab);
+    }
+    if (IsMultilinear(program)) {
+      ++multilinear_seen;
+      EXPECT_TRUE(swr) << "Multilinear but not SWR:\n"
+                       << ToString(program, vocab);
+    }
+    if (IsSticky(program)) {
+      ++sticky_seen;
+      EXPECT_TRUE(swr) << "Sticky but not SWR:\n" << ToString(program, vocab);
+    }
+    if (IsStickyJoin(program)) {
+      ++sj_seen;
+      EXPECT_TRUE(swr) << "Sticky-Join but not SWR:\n"
+                       << ToString(program, vocab);
+    }
+  }
+  // The generator must actually exercise each hypothesis.
+  EXPECT_GT(linear_seen, 0);
+  EXPECT_GT(multilinear_seen, 0);
+  EXPECT_GT(sticky_seen, 0);
+  EXPECT_GT(sj_seen, 0);
+}
+
+TEST_P(SubsumptionTest, SwrImpliesWr) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 49979687);
+  int swr_seen = 0;
+  for (int attempt = 0; attempt < 150; ++attempt) {
+    Vocabulary vocab;
+    RandomProgramOptions options;
+    options.num_rules = rng.UniformIn(2, 4);
+    options.num_predicates = rng.UniformIn(2, 4);
+    options.max_arity = 2;
+    options.max_body_atoms = 2;
+    options.existential_prob = 0.35;
+    TgdProgram program = RandomProgram(options, &rng, &vocab);
+    if (!IsSwr(program)) continue;
+    ++swr_seen;
+    EXPECT_TRUE(IsWr(program))
+        << "SWR but not WR:\n" << ToString(program, vocab);
+  }
+  EXPECT_GT(swr_seen, 0);
+}
+
+// Programs with repeated variables / constants: SWR is inapplicable by
+// definition, but the WR checker must still classify them (Question 2 of
+// the paper: pushing the boundary).
+TEST_P(SubsumptionTest, WrHandlesNonSimplePrograms) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 67867967);
+  int decided = 0;
+  for (int attempt = 0; attempt < 60 && decided < 15; ++attempt) {
+    Vocabulary vocab;
+    RandomProgramOptions options;
+    options.num_rules = rng.UniformIn(1, 3);
+    options.num_predicates = rng.UniformIn(2, 3);
+    options.max_arity = 3;
+    options.max_body_atoms = 2;
+    options.existential_prob = 0.3;
+    options.repeat_prob = 0.3;
+    options.constant_prob = 0.15;
+    TgdProgram program = RandomProgram(options, &rng, &vocab);
+    if (program.IsSimple()) continue;
+    StatusOr<WrReport> report = CheckWr(program, vocab, /*max_nodes=*/20000);
+    if (report.ok()) ++decided;  // Either verdict is fine; no crashes/caps.
+  }
+  EXPECT_GT(decided, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsumptionTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,123 @@
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "logic/atom.h"
+#include "logic/term.h"
+#include "logic/vocabulary.h"
+#include "test_util.h"
+
+namespace ontorew {
+namespace {
+
+TEST(TermTest, KindsAndIds) {
+  Term v = Term::Var(3);
+  Term c = Term::Const(3);
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_FALSE(v.is_constant());
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(v.id(), 3);
+  EXPECT_EQ(c.id(), 3);
+  EXPECT_NE(v, c);  // Same id, different kinds.
+}
+
+TEST(TermTest, OrderingVariablesBeforeConstants) {
+  EXPECT_LT(Term::Var(100), Term::Const(0));
+  EXPECT_LT(Term::Var(1), Term::Var(2));
+  EXPECT_LT(Term::Const(1), Term::Const(2));
+}
+
+TEST(TermTest, HashDistinguishesKinds) {
+  EXPECT_NE(Term::Var(5).Hash(), Term::Const(5).Hash());
+  EXPECT_EQ(Term::Var(5).Hash(), Term::Var(5).Hash());
+}
+
+TEST(AtomTest, BasicAccessors) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("r(X, Y, \"a\")", &vocab);
+  EXPECT_EQ(atom.arity(), 3);
+  EXPECT_EQ(vocab.PredicateName(atom.predicate()), "r");
+  EXPECT_TRUE(atom.term(0).is_variable());
+  EXPECT_TRUE(atom.term(2).is_constant());
+}
+
+TEST(AtomTest, ContainsAndCount) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("r(X, X, Y)", &vocab);
+  Term x = atom.term(0);
+  Term y = atom.term(2);
+  EXPECT_TRUE(atom.ContainsTerm(x));
+  EXPECT_EQ(atom.CountTerm(x), 2);
+  EXPECT_EQ(atom.CountTerm(y), 1);
+  EXPECT_EQ(atom.CountTerm(Term::Var(12345)), 0);
+}
+
+TEST(AtomTest, RepeatedVariableDetection) {
+  Vocabulary vocab;
+  EXPECT_TRUE(MustAtom("r(X, X)", &vocab).HasRepeatedVariable());
+  EXPECT_FALSE(MustAtom("r(X, Y)", &vocab).HasRepeatedVariable());
+  // Two occurrences of the same constant are not a repeated variable.
+  EXPECT_FALSE(MustAtom("r(a, a)", &vocab).HasRepeatedVariable());
+}
+
+TEST(AtomTest, ConstantDetection) {
+  Vocabulary vocab;
+  EXPECT_TRUE(MustAtom("r(X, a)", &vocab).HasConstant());
+  EXPECT_TRUE(MustAtom("num(42)", &vocab).HasConstant());
+  EXPECT_FALSE(MustAtom("r(X, Y)", &vocab).HasConstant());
+}
+
+TEST(AtomTest, EqualityAndHash) {
+  Vocabulary vocab;
+  Atom a = MustAtom("r(X, Y)", &vocab);
+  Atom b = MustAtom("r(X, Y)", &vocab);
+  Atom c = MustAtom("r(Y, X)", &vocab);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(AtomTest, DistinctVariablesFirstOccurrenceOrder) {
+  Vocabulary vocab;
+  std::vector<Atom> atoms = {MustAtom("r(B, A)", &vocab),
+                             MustAtom("s(A, C, B)", &vocab)};
+  std::vector<VariableId> vars = DistinctVariables(atoms);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vocab.VariableName(vars[0]), "B");
+  EXPECT_EQ(vocab.VariableName(vars[1]), "A");
+  EXPECT_EQ(vocab.VariableName(vars[2]), "C");
+}
+
+TEST(AtomTest, AppendVariablesSkipsConstants) {
+  Vocabulary vocab;
+  Atom atom = MustAtom("r(X, a, Y, X)", &vocab);
+  std::vector<VariableId> vars;
+  atom.AppendVariables(&vars);
+  EXPECT_EQ(vars.size(), 3u);  // X, Y, X with duplicates.
+}
+
+TEST(VocabularyTest, PredicateArityConflict) {
+  Vocabulary vocab;
+  ASSERT_TRUE(vocab.InternPredicate("r", 2).ok());
+  StatusOr<PredicateId> conflict = vocab.InternPredicate("r", 3);
+  EXPECT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kInvalidArgument);
+  // Re-registering with the same arity succeeds and returns the same id.
+  StatusOr<PredicateId> again = vocab.InternPredicate("r", 2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, vocab.FindPredicate("r"));
+}
+
+TEST(VocabularyTest, FreshVariablesNeverCollide) {
+  Vocabulary vocab;
+  vocab.InternVariable("_f0");  // Occupy the first fresh name.
+  VariableId fresh = vocab.FreshVariable();
+  EXPECT_EQ(vocab.VariableName(fresh), "_f1");
+}
+
+TEST(VocabularyTest, OutOfRangeVariablePrintsSynthetic) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.VariableName(1 << 20), "_v1048576");
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -1,0 +1,89 @@
+#include "gtest/gtest.h"
+#include "logic/program.h"
+#include "logic/tgd.h"
+#include "test_util.h"
+#include "workload/paper_examples.h"
+
+namespace ontorew {
+namespace {
+
+TEST(TgdTest, VariableClassification) {
+  Vocabulary vocab;
+  // Body-only Y2/Y4, head-only Y5, distinguished Y1/Y3.
+  Tgd tgd = MustTgd("s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3, Y5).", &vocab);
+  auto names = [&vocab](const std::vector<VariableId>& vars) {
+    std::vector<std::string> result;
+    for (VariableId v : vars) result.push_back(vocab.VariableName(v));
+    return result;
+  };
+  EXPECT_EQ(names(tgd.DistinguishedVariables()),
+            (std::vector<std::string>{"Y1", "Y3"}));
+  EXPECT_EQ(names(tgd.ExistentialBodyVariables()),
+            (std::vector<std::string>{"Y2", "Y4"}));
+  EXPECT_EQ(names(tgd.ExistentialHeadVariables()),
+            (std::vector<std::string>{"Y5"}));
+}
+
+TEST(TgdTest, IsDistinguishedAndExistentialHead) {
+  Vocabulary vocab;
+  Tgd tgd = MustTgd("r(X, Y) -> s(X, Z).", &vocab);
+  VariableId x = vocab.InternVariable("X");
+  VariableId y = vocab.InternVariable("Y");
+  VariableId z = vocab.InternVariable("Z");
+  EXPECT_TRUE(tgd.IsDistinguished(x));
+  EXPECT_FALSE(tgd.IsDistinguished(y));
+  EXPECT_FALSE(tgd.IsDistinguished(z));
+  EXPECT_TRUE(tgd.IsExistentialHeadVariable(z));
+  EXPECT_FALSE(tgd.IsExistentialHeadVariable(x));
+}
+
+TEST(TgdTest, SimplicityConditions) {
+  Vocabulary vocab;
+  // (i) repeated variable in an atom.
+  EXPECT_FALSE(MustTgd("r1(X, X) -> s1(X).", &vocab).IsSimple());
+  // (ii) constant.
+  EXPECT_FALSE(MustTgd("r1(X, a) -> s1(X).", &vocab).IsSimple());
+  EXPECT_FALSE(MustTgd("r2(X) -> s2(X, a).", &vocab).IsSimple());
+  // (iii) multiple head atoms.
+  EXPECT_FALSE(MustTgd("r2(X) -> s1(X), t1(X).", &vocab).IsSimple());
+  // All conditions met.
+  EXPECT_TRUE(MustTgd("r1(X, Y), s1(Y) -> t3(X, W).", &vocab).IsSimple());
+}
+
+TEST(TgdTest, PaperExamplesSimplicity) {
+  Vocabulary vocab;
+  EXPECT_TRUE(PaperExample1(&vocab).IsSimple());
+  Vocabulary vocab2;
+  EXPECT_FALSE(PaperExample2(&vocab2).IsSimple());  // s(Y1,Y1,Y2) repeats.
+  Vocabulary vocab3;
+  EXPECT_FALSE(PaperExample3(&vocab3).IsSimple());  // t(Y3,Y1,Y1) repeats.
+}
+
+TEST(TgdProgramTest, Aggregates) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram(
+      "r(X, Y) -> s(X, Y, Z).\n"
+      "s(X, Y, Z) -> r(X, Y).\n",
+      &vocab);
+  EXPECT_EQ(program.size(), 2);
+  EXPECT_EQ(program.MaxArity(), 3);
+  EXPECT_TRUE(program.IsSingleHead());
+  EXPECT_EQ(program.Predicates().size(), 2u);
+  EXPECT_TRUE(program.Constants().empty());
+  EXPECT_GE(program.MaxVariableId(), 0);
+}
+
+TEST(TgdProgramTest, ConstantsCollected) {
+  Vocabulary vocab;
+  TgdProgram program =
+      MustProgram("r(X, a) -> s(X, b).\nr(X, b) -> s(X, a).\n", &vocab);
+  EXPECT_EQ(program.Constants().size(), 2u);
+}
+
+TEST(TgdTest, ValidateRejectsEmpty) {
+  Tgd empty;
+  EXPECT_FALSE(empty.Validate().ok());
+}
+
+}  // namespace
+}  // namespace ontorew

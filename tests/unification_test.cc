@@ -1,0 +1,106 @@
+#include <optional>
+
+#include "base/rng.h"
+#include "gtest/gtest.h"
+#include "logic/atom.h"
+#include "logic/substitution.h"
+#include "logic/unification.h"
+#include "test_util.h"
+
+namespace ontorew {
+namespace {
+
+TEST(UnifyTermsTest, VariableBindsToConstant) {
+  Substitution subst;
+  EXPECT_TRUE(UnifyTerms(Term::Var(1), Term::Const(5), &subst));
+  EXPECT_EQ(subst.Resolve(Term::Var(1)), Term::Const(5));
+}
+
+TEST(UnifyTermsTest, DistinctConstantsFail) {
+  Substitution subst;
+  EXPECT_FALSE(UnifyTerms(Term::Const(1), Term::Const(2), &subst));
+  EXPECT_TRUE(UnifyTerms(Term::Const(1), Term::Const(1), &subst));
+}
+
+TEST(UnifyTermsTest, TransitiveMerging) {
+  Substitution subst;
+  EXPECT_TRUE(UnifyTerms(Term::Var(1), Term::Var(2), &subst));
+  EXPECT_TRUE(UnifyTerms(Term::Var(2), Term::Const(7), &subst));
+  EXPECT_EQ(subst.Resolve(Term::Var(1)), Term::Const(7));
+}
+
+TEST(UnifyAtomsTest, PredicateMismatchFails) {
+  Vocabulary vocab;
+  Atom r = MustAtom("r(X)", &vocab);
+  Atom s = MustAtom("s(X)", &vocab);
+  Substitution subst;
+  EXPECT_FALSE(UnifyAtoms(r, s, &subst));
+}
+
+TEST(UnifyAtomsTest, RepeatedVariablesForceEquality) {
+  Vocabulary vocab;
+  // r(X, X) with r(Y, Z): forces Y = Z.
+  Atom a = MustAtom("r(X, X)", &vocab);
+  Atom b = MustAtom("r(Y, Z)", &vocab);
+  std::optional<Substitution> mgu = MostGeneralUnifier(a, b);
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Resolve(b.term(0)), mgu->Resolve(b.term(1)));
+}
+
+TEST(UnifyAtomsTest, RepeatedVariableAgainstDistinctConstantsFails) {
+  Vocabulary vocab;
+  Atom a = MustAtom("r(X, X)", &vocab);
+  Atom b = MustAtom("r(c1, c2)", &vocab);
+  EXPECT_FALSE(MostGeneralUnifier(a, b).has_value());
+  Atom c = MustAtom("r(c1, c1)", &vocab);
+  EXPECT_TRUE(MostGeneralUnifier(a, c).has_value());
+}
+
+TEST(UnifyAtomsTest, MguMakesAtomsEqual) {
+  Vocabulary vocab;
+  Atom a = MustAtom("r(X, b, Y)", &vocab);
+  Atom b = MustAtom("r(a, Z, Z)", &vocab);
+  std::optional<Substitution> mgu = MostGeneralUnifier(a, b);
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Apply(a), mgu->Apply(b));
+}
+
+// Property sweep: for random atom pairs, whenever unification succeeds the
+// unified images coincide (MGU correctness), and unification is symmetric
+// in success.
+class UnificationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnificationPropertyTest, MguEqualizesAndIsSymmetric) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Vocabulary vocab;
+  PredicateId pred = vocab.MustPredicate("p", 4);
+  auto random_atom = [&rng, pred]() {
+    std::vector<Term> terms;
+    for (int i = 0; i < 4; ++i) {
+      if (rng.Bernoulli(0.3)) {
+        terms.push_back(Term::Const(rng.Uniform(3)));
+      } else {
+        terms.push_back(Term::Var(rng.Uniform(4)));
+      }
+    }
+    return Atom(pred, std::move(terms));
+  };
+  for (int round = 0; round < 200; ++round) {
+    Atom a = random_atom();
+    Atom b = random_atom();
+    std::optional<Substitution> ab = MostGeneralUnifier(a, b);
+    std::optional<Substitution> ba = MostGeneralUnifier(b, a);
+    EXPECT_EQ(ab.has_value(), ba.has_value());
+    if (ab.has_value()) {
+      EXPECT_EQ(ab->Apply(a), ab->Apply(b));
+      // Applying the substitution twice is a fixpoint (idempotence).
+      EXPECT_EQ(ab->Apply(ab->Apply(a)), ab->Apply(a));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnificationPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ontorew

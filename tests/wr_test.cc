@@ -1,0 +1,122 @@
+#include <string>
+
+#include "core/swr.h"
+#include "core/wr.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/paper_examples.h"
+#include "workload/university.h"
+
+namespace ontorew {
+namespace {
+
+TEST(WrTest, Example1IsWr) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample1(&vocab);
+  StatusOr<WrReport> report = CheckWr(program, vocab);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->is_wr);
+  EXPECT_GT(report->num_nodes, 0);
+}
+
+TEST(WrTest, Example2IsNotWr) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  StatusOr<WrReport> report = CheckWr(program, vocab);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->is_wr);
+  // The witness walks through the z-marked P-atom of Figure 3.
+  EXPECT_NE(report->witness.find("s(z,z,x1)"), std::string::npos)
+      << report->witness;
+}
+
+TEST(WrTest, Example3IsWr) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample3(&vocab);
+  StatusOr<WrReport> report = CheckWr(program, vocab);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->is_wr);
+  EXPECT_FALSE(IsSwr(program));  // WR strictly extends SWR here.
+}
+
+TEST(WrTest, MultiHeadUndetermined) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("r(X) -> s(X), t(X).", &vocab);
+  StatusOr<WrReport> report = CheckWr(program, vocab);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(IsWr(program));
+}
+
+TEST(WrTest, NodeCapPropagates) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  StatusOr<WrReport> report = CheckWr(program, vocab, /*max_nodes=*/2);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Section 6 conjecture (iii), tested on the cases we can decide: every SWR
+// program in our deterministic families is WR.
+TEST(WrTest, WrSubsumesSwrOnFamilies) {
+  {
+    Vocabulary vocab;
+    TgdProgram program = ChainFamily(8, 2, &vocab);
+    EXPECT_TRUE(IsSwr(program));
+    EXPECT_TRUE(IsWr(program));
+  }
+  {
+    Vocabulary vocab;
+    TgdProgram program = LadderFamily(5, &vocab);
+    EXPECT_TRUE(IsSwr(program));
+    EXPECT_TRUE(IsWr(program));
+  }
+  {
+    Vocabulary vocab;
+    TgdProgram program = CompositionFamily(4, &vocab);
+    EXPECT_TRUE(IsSwr(program));
+    EXPECT_TRUE(IsWr(program));
+  }
+  {
+    Vocabulary vocab;
+    TgdProgram program = PaperExample1(&vocab);
+    EXPECT_TRUE(IsSwr(program));
+    EXPECT_TRUE(IsWr(program));
+  }
+}
+
+TEST(WrTest, FamiliesOfExamples) {
+  {
+    Vocabulary vocab;
+    EXPECT_FALSE(IsWr(Example2Family(2, &vocab)));
+  }
+  {
+    Vocabulary vocab;
+    EXPECT_TRUE(IsWr(Example3Family(2, &vocab)));
+  }
+}
+
+TEST(WrTest, UniversityOntologyIsWr) {
+  Vocabulary vocab;
+  EXPECT_TRUE(IsWr(UniversityOntology(&vocab)));
+}
+
+TEST(WrTest, DangerousSelfJoinRejected) {
+  Vocabulary vocab;
+  // The SWR-dangerous pattern from swr_test is also WR-dangerous.
+  TgdProgram program = MustProgram("p(X, Y), p(Y, Z) -> p(X, W).", &vocab);
+  StatusOr<WrReport> report = CheckWr(program, vocab);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->is_wr);
+}
+
+TEST(WrTest, TransitivityIsNotWr) {
+  // Transitive closure is not FO-expressible; WR rejects it too.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("e(X, Y), e(Y, Z) -> e(X, Z).", &vocab);
+  EXPECT_FALSE(IsWr(program));
+}
+
+}  // namespace
+}  // namespace ontorew
