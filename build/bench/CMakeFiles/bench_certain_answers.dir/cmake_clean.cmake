@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_certain_answers.dir/bench_certain_answers.cc.o"
+  "CMakeFiles/bench_certain_answers.dir/bench_certain_answers.cc.o.d"
+  "bench_certain_answers"
+  "bench_certain_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_certain_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

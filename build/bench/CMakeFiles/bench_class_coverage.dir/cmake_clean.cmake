@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_class_coverage.dir/bench_class_coverage.cc.o"
+  "CMakeFiles/bench_class_coverage.dir/bench_class_coverage.cc.o.d"
+  "bench_class_coverage"
+  "bench_class_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_class_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

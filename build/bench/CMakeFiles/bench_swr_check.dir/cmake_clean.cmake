@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swr_check.dir/bench_swr_check.cc.o"
+  "CMakeFiles/bench_swr_check.dir/bench_swr_check.cc.o.d"
+  "bench_swr_check"
+  "bench_swr_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swr_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

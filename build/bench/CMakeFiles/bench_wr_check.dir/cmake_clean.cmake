@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wr_check.dir/bench_wr_check.cc.o"
+  "CMakeFiles/bench_wr_check.dir/bench_wr_check.cc.o.d"
+  "bench_wr_check"
+  "bench_wr_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wr_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

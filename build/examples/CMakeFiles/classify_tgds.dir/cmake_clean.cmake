@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_tgds.dir/classify_tgds.cpp.o"
+  "CMakeFiles/classify_tgds.dir/classify_tgds.cpp.o.d"
+  "classify_tgds"
+  "classify_tgds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_tgds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

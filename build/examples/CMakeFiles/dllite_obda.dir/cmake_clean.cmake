@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dllite_obda.dir/dllite_obda.cpp.o"
+  "CMakeFiles/dllite_obda.dir/dllite_obda.cpp.o.d"
+  "dllite_obda"
+  "dllite_obda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dllite_obda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_shell.dir/obda_shell.cpp.o"
+  "CMakeFiles/obda_shell.dir/obda_shell.cpp.o.d"
+  "obda_shell"
+  "obda_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

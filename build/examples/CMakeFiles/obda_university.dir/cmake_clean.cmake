@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_university.dir/obda_university.cpp.o"
+  "CMakeFiles/obda_university.dir/obda_university.cpp.o.d"
+  "obda_university"
+  "obda_university.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_university.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

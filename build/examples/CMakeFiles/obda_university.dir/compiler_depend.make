@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for obda_university.
+# This may be replaced when dependencies are built.

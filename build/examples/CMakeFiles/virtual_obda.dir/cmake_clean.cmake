@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_obda.dir/virtual_obda.cpp.o"
+  "CMakeFiles/virtual_obda.dir/virtual_obda.cpp.o.d"
+  "virtual_obda"
+  "virtual_obda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_obda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/interner.cc" "src/CMakeFiles/ontorew.dir/base/interner.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/base/interner.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/ontorew.dir/base/status.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/base/status.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "src/CMakeFiles/ontorew.dir/chase/chase.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/chase/chase.cc.o.d"
+  "/root/repo/src/chase/termination.cc" "src/CMakeFiles/ontorew.dir/chase/termination.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/chase/termination.cc.o.d"
+  "/root/repo/src/classes/agrd.cc" "src/CMakeFiles/ontorew.dir/classes/agrd.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/classes/agrd.cc.o.d"
+  "/root/repo/src/classes/classifier.cc" "src/CMakeFiles/ontorew.dir/classes/classifier.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/classes/classifier.cc.o.d"
+  "/root/repo/src/classes/domain_restricted.cc" "src/CMakeFiles/ontorew.dir/classes/domain_restricted.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/classes/domain_restricted.cc.o.d"
+  "/root/repo/src/classes/guarded.cc" "src/CMakeFiles/ontorew.dir/classes/guarded.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/classes/guarded.cc.o.d"
+  "/root/repo/src/classes/linear.cc" "src/CMakeFiles/ontorew.dir/classes/linear.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/classes/linear.cc.o.d"
+  "/root/repo/src/classes/sticky.cc" "src/CMakeFiles/ontorew.dir/classes/sticky.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/classes/sticky.cc.o.d"
+  "/root/repo/src/classes/weakly_acyclic.cc" "src/CMakeFiles/ontorew.dir/classes/weakly_acyclic.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/classes/weakly_acyclic.cc.o.d"
+  "/root/repo/src/core/labels.cc" "src/CMakeFiles/ontorew.dir/core/labels.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/core/labels.cc.o.d"
+  "/root/repo/src/core/pnode.cc" "src/CMakeFiles/ontorew.dir/core/pnode.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/core/pnode.cc.o.d"
+  "/root/repo/src/core/pnode_graph.cc" "src/CMakeFiles/ontorew.dir/core/pnode_graph.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/core/pnode_graph.cc.o.d"
+  "/root/repo/src/core/position.cc" "src/CMakeFiles/ontorew.dir/core/position.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/core/position.cc.o.d"
+  "/root/repo/src/core/position_graph.cc" "src/CMakeFiles/ontorew.dir/core/position_graph.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/core/position_graph.cc.o.d"
+  "/root/repo/src/core/query_analysis.cc" "src/CMakeFiles/ontorew.dir/core/query_analysis.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/core/query_analysis.cc.o.d"
+  "/root/repo/src/core/swr.cc" "src/CMakeFiles/ontorew.dir/core/swr.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/core/swr.cc.o.d"
+  "/root/repo/src/core/wr.cc" "src/CMakeFiles/ontorew.dir/core/wr.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/core/wr.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/ontorew.dir/db/database.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/db/database.cc.o.d"
+  "/root/repo/src/db/eval.cc" "src/CMakeFiles/ontorew.dir/db/eval.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/db/eval.cc.o.d"
+  "/root/repo/src/db/facts_io.cc" "src/CMakeFiles/ontorew.dir/db/facts_io.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/db/facts_io.cc.o.d"
+  "/root/repo/src/dl/dllite.cc" "src/CMakeFiles/ontorew.dir/dl/dllite.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/dl/dllite.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/ontorew.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/logic/atom.cc" "src/CMakeFiles/ontorew.dir/logic/atom.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/atom.cc.o.d"
+  "/root/repo/src/logic/canonical.cc" "src/CMakeFiles/ontorew.dir/logic/canonical.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/canonical.cc.o.d"
+  "/root/repo/src/logic/normalize.cc" "src/CMakeFiles/ontorew.dir/logic/normalize.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/normalize.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/CMakeFiles/ontorew.dir/logic/parser.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/parser.cc.o.d"
+  "/root/repo/src/logic/printer.cc" "src/CMakeFiles/ontorew.dir/logic/printer.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/printer.cc.o.d"
+  "/root/repo/src/logic/program.cc" "src/CMakeFiles/ontorew.dir/logic/program.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/program.cc.o.d"
+  "/root/repo/src/logic/query.cc" "src/CMakeFiles/ontorew.dir/logic/query.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/query.cc.o.d"
+  "/root/repo/src/logic/substitution.cc" "src/CMakeFiles/ontorew.dir/logic/substitution.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/substitution.cc.o.d"
+  "/root/repo/src/logic/tgd.cc" "src/CMakeFiles/ontorew.dir/logic/tgd.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/tgd.cc.o.d"
+  "/root/repo/src/logic/unification.cc" "src/CMakeFiles/ontorew.dir/logic/unification.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/unification.cc.o.d"
+  "/root/repo/src/logic/vocabulary.cc" "src/CMakeFiles/ontorew.dir/logic/vocabulary.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/logic/vocabulary.cc.o.d"
+  "/root/repo/src/obda/consistency.cc" "src/CMakeFiles/ontorew.dir/obda/consistency.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/obda/consistency.cc.o.d"
+  "/root/repo/src/obda/mapping.cc" "src/CMakeFiles/ontorew.dir/obda/mapping.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/obda/mapping.cc.o.d"
+  "/root/repo/src/rewriting/containment.cc" "src/CMakeFiles/ontorew.dir/rewriting/containment.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/rewriting/containment.cc.o.d"
+  "/root/repo/src/rewriting/rewriter.cc" "src/CMakeFiles/ontorew.dir/rewriting/rewriter.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/rewriting/rewriter.cc.o.d"
+  "/root/repo/src/rewriting/sql.cc" "src/CMakeFiles/ontorew.dir/rewriting/sql.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/rewriting/sql.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/ontorew.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/paper_examples.cc" "src/CMakeFiles/ontorew.dir/workload/paper_examples.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/workload/paper_examples.cc.o.d"
+  "/root/repo/src/workload/university.cc" "src/CMakeFiles/ontorew.dir/workload/university.cc.o" "gcc" "src/CMakeFiles/ontorew.dir/workload/university.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

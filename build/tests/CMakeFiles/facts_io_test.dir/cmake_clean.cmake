@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facts_io_test.dir/facts_io_test.cc.o"
+  "CMakeFiles/facts_io_test.dir/facts_io_test.cc.o.d"
+  "facts_io_test"
+  "facts_io_test.pdb"
+  "facts_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facts_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

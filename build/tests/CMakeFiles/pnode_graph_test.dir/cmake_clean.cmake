@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnode_graph_test.dir/pnode_graph_test.cc.o"
+  "CMakeFiles/pnode_graph_test.dir/pnode_graph_test.cc.o.d"
+  "pnode_graph_test"
+  "pnode_graph_test.pdb"
+  "pnode_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnode_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnode_test.dir/pnode_test.cc.o"
+  "CMakeFiles/pnode_test.dir/pnode_test.cc.o.d"
+  "pnode_test"
+  "pnode_test.pdb"
+  "pnode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/position_graph_test.dir/position_graph_test.cc.o"
+  "CMakeFiles/position_graph_test.dir/position_graph_test.cc.o.d"
+  "position_graph_test"
+  "position_graph_test.pdb"
+  "position_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/position_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

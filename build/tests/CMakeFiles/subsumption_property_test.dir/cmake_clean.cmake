@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsumption_property_test.dir/subsumption_property_test.cc.o"
+  "CMakeFiles/subsumption_property_test.dir/subsumption_property_test.cc.o.d"
+  "subsumption_property_test"
+  "subsumption_property_test.pdb"
+  "subsumption_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsumption_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

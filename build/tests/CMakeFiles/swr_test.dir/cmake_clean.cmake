@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swr_test.dir/swr_test.cc.o"
+  "CMakeFiles/swr_test.dir/swr_test.cc.o.d"
+  "swr_test"
+  "swr_test.pdb"
+  "swr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgd_test.dir/tgd_test.cc.o"
+  "CMakeFiles/tgd_test.dir/tgd_test.cc.o.d"
+  "tgd_test"
+  "tgd_test.pdb"
+  "tgd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_test.dir/university_test.cc.o"
+  "CMakeFiles/university_test.dir/university_test.cc.o.d"
+  "university_test"
+  "university_test.pdb"
+  "university_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

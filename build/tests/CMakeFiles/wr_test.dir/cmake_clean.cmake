@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wr_test.dir/wr_test.cc.o"
+  "CMakeFiles/wr_test.dir/wr_test.cc.o.d"
+  "wr_test"
+  "wr_test.pdb"
+  "wr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
