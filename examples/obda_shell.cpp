@@ -25,6 +25,7 @@
 #include "logic/parser.h"
 #include "logic/printer.h"
 #include "rewriting/rewriter.h"
+#include "serving/answer_engine.h"
 
 namespace {
 
@@ -93,27 +94,35 @@ int main(int argc, char** argv) {
     }
   }
 
-  StatusOr<RewriteResult> rewriting = RewriteCq(*query, *ontology);
-  if (!rewriting.ok()) {
+  // Serve through the caching engine: the first query pays the rewriting
+  // (cache miss), the repeat is evaluation-only (cache hit) — the paper's
+  // "rewrite once, then plain query evaluation" serving story.
+  AnswerEngine engine(*std::move(ontology), *std::move(db));
+  StatusOr<AnswerResult> served = engine.Serve(UnionOfCqs(*query));
+  if (!served.ok()) {
     std::fprintf(stderr, "rewriting failed: %s\n",
-                 rewriting.status().ToString().c_str());
+                 served.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nrewriting (%d disjuncts, %d CQs explored):\n%s\n",
-              rewriting->ucq.size(), rewriting->generated,
-              ToString(rewriting->ucq, vocab).c_str());
+  std::printf("\nrewriting (%d disjuncts, program fingerprint %016llx):\n%s\n",
+              served->rewriting->size(),
+              static_cast<unsigned long long>(engine.program_fingerprint()),
+              ToString(*served->rewriting, vocab).c_str());
 
-  EvalOptions drop;
-  drop.drop_tuples_with_nulls = true;
-  std::vector<Tuple> answers = Evaluate(rewriting->ucq, *db, drop);
+  const std::vector<Tuple>& answers = served->answers;
   std::printf("\ncertain answers (%zu):\n", answers.size());
   for (const Tuple& tuple : answers) {
     std::printf("  %s\n", ToString(tuple, vocab).c_str());
   }
 
-  if (ChaseGuaranteedTerminating(*ontology)) {
-    StatusOr<std::vector<Tuple>> cert =
-        CertainAnswersViaChase(UnionOfCqs(*query), *ontology, *db);
+  StatusOr<AnswerResult> warm = engine.Serve(UnionOfCqs(*query));
+  OREW_CHECK(warm.ok() && warm->cache_hit && warm->answers == answers);
+  std::printf("\nserving metrics (cold + warm serve):\n%s",
+              engine.metrics().Snapshot().ToString().c_str());
+
+  if (ChaseGuaranteedTerminating(engine.program())) {
+    StatusOr<std::vector<Tuple>> cert = CertainAnswersViaChase(
+        UnionOfCqs(*query), engine.program(), engine.db());
     OREW_CHECK(cert.ok()) << cert.status();
     if (answers == *cert) {
       std::printf("\n(cross-check: chase agrees)\n");

@@ -1,10 +1,18 @@
 #!/bin/sh
-# Builds everything, runs the full test suite and every benchmark, and
-# captures the logs EXPERIMENTS.md refers to.
+# Builds everything and runs the full test suite. With --tier1, stop
+# there (what CI runs on every PR); otherwise also run every benchmark
+# and capture the logs EXPERIMENTS.md refers to.
 set -e
+tier1=0
+if [ "$1" = "--tier1" ]; then
+  tier1=1
+fi
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
+if [ "$tier1" = 1 ]; then
+  exit 0
+fi
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   echo "== $b"

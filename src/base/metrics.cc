@@ -1,0 +1,52 @@
+#include "base/metrics.h"
+
+#include "base/strings.h"
+
+namespace ontorew {
+
+std::int64_t MetricsSnapshot::Counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsSnapshot::TimerNs(std::string_view name) const {
+  auto it = timers_ns.find(std::string(name));
+  return it == timers_ns.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += StrCat(name, " = ", value, "\n");
+  }
+  for (const auto& [name, nanos] : timers_ns) {
+    out += StrCat(name, " = ", static_cast<double>(nanos) / 1e6, " ms\n");
+  }
+  return out;
+}
+
+void MetricsRegistry::Increment(std::string_view name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[std::string(name)] += delta;
+}
+
+void MetricsRegistry::AddTimeNs(std::string_view name, std::int64_t nanos) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timers_ns_[std::string(name)] += nanos;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters = counters_;
+  snapshot.timers_ns = timers_ns_;
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  timers_ns_.clear();
+}
+
+}  // namespace ontorew

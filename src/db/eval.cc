@@ -80,8 +80,14 @@ class Matcher {
 
     bool keep_going = true;
     const Relation* relation = db_.Find(atom.predicate());
-    if (relation != nullptr &&
-        relation->arity() == atom.arity()) {
+    // A missing relation means no tuples (the predicate is simply empty in
+    // this instance). An *arity mismatch*, by contrast, is a vocabulary
+    // bug upstream — silently returning zero matches would mask it.
+    OREW_CHECK(relation == nullptr || relation->arity() == atom.arity())
+        << "arity mismatch for predicate #" << atom.predicate()
+        << ": relation has arity " << (relation ? relation->arity() : 0)
+        << " but the query atom has arity " << atom.arity();
+    if (relation != nullptr) {
       // Choose the bound column with the smallest posting list, if any.
       int best_column = -1;
       std::size_t best_postings = 0;
@@ -138,7 +144,7 @@ class Matcher {
         }
       }
     }
-    // Missing relation or arity mismatch: no matches for this atom.
+    // Missing relation: no matches for this atom.
 
     used_[static_cast<std::size_t>(index)] = false;
     return keep_going;

@@ -210,6 +210,16 @@ StatusOr<RewriteResult> RewriteUcq(const UnionOfCqs& query,
 }
 
 std::string DescribeDerivation(const RewriteResult& result, int index) {
+  // Indices refer to `saturated`/`derivations`, NOT to `ucq`:
+  // minimization reorders and drops CQs, so a caller iterating the
+  // minimized union can easily hand us an index that is meaningless
+  // here. Report that instead of reading out of bounds.
+  if (index < 0 ||
+      index >= static_cast<int>(result.derivations.size())) {
+    return StrCat("q", index, " (out of range: ", result.derivations.size(),
+                  " saturated CQs; indices refer to RewriteResult::saturated,"
+                  " not to the minimized ucq)");
+  }
   // Walk parents back to an input disjunct, then print forward.
   std::vector<int> chain;
   for (int i = index; i >= 0;

@@ -69,7 +69,10 @@ struct RewriteResult {
 };
 
 // "q0 =R2=> q3 =factorize=> q5": the derivation chain of saturated CQ
-// `index`, for diagnostics.
+// `index`, for diagnostics. `index` refers to `result.saturated` /
+// `result.derivations` — NOT to `result.ucq`, whose minimization reorders
+// and drops CQs. An out-of-range index returns an explanatory string
+// instead of reading out of bounds.
 std::string DescribeDerivation(const RewriteResult& result, int index);
 
 // Rewrites `query` against `program`. Errors: FailedPrecondition for

@@ -1,6 +1,8 @@
 #include "rewriting/sql.h"
 
+#include <array>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -12,13 +14,17 @@ namespace {
 
 // Escapes a constant for a single-quoted SQL string literal.
 std::string SqlLiteral(ConstantId id, const Vocabulary& vocab) {
-  const std::string& name = vocab.ConstantName(id);
+  std::string_view name = vocab.ConstantName(id);
+  // Strip only the *surrounding* double quotes our parser keeps around
+  // string literals; interior quotes are part of the constant's value.
+  if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+    name.remove_prefix(1);
+    name.remove_suffix(1);
+  }
   std::string escaped;
   escaped.reserve(name.size() + 2);
   escaped += '\'';
   for (char c : name) {
-    // Strip the double quotes our parser keeps around string literals.
-    if (c == '"') continue;
     if (c == '\'') {
       escaped += "''";
       continue;
@@ -27,6 +33,48 @@ std::string SqlLiteral(ConstantId id, const Vocabulary& vocab) {
   }
   escaped += '\'';
   return escaped;
+}
+
+// SQL reserved words that clash with plausible predicate names. A bare
+// identifier with one of these names (any case) must be quoted.
+bool IsSqlReservedWord(std::string_view name) {
+  static constexpr std::array<std::string_view, 32> kReserved = {
+      "all",    "and",   "as",     "by",     "case",   "create", "cross",
+      "delete", "drop",  "else",   "from",   "group",  "having", "in",
+      "insert", "into",  "join",   "like",   "not",    "null",   "on",
+      "or",     "order", "select", "set",    "table",  "then",   "union",
+      "update", "values", "when",  "where"};
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  for (std::string_view word : kReserved) {
+    if (lower == word) return true;
+  }
+  return false;
+}
+
+// Renders a table name: bare when it is a plain identifier and not a
+// reserved word, otherwise double-quoted with interior quotes doubled.
+std::string SqlIdentifier(std::string_view name) {
+  bool plain = !name.empty() && !IsSqlReservedWord(name);
+  for (std::size_t i = 0; plain && i < name.size(); ++i) {
+    char c = name[i];
+    bool word_char = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || (i > 0 && c >= '0' && c <= '9');
+    if (!word_char) plain = false;
+  }
+  if (plain) return std::string(name);
+  std::string quoted;
+  quoted.reserve(name.size() + 2);
+  quoted += '"';
+  for (char c : name) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
 }
 
 }  // namespace
@@ -43,7 +91,8 @@ StatusOr<std::string> CqToSql(const ConjunctiveQuery& cq,
     const Atom& atom = cq.body()[i];
     std::string alias = StrCat("t", i);
     from.push_back(
-        StrCat(vocab.PredicateName(atom.predicate()), " AS ", alias));
+        StrCat(SqlIdentifier(vocab.PredicateName(atom.predicate())), " AS ",
+               alias));
     for (int j = 0; j < atom.arity(); ++j) {
       std::string column = StrCat(alias, ".c", j + 1);
       Term t = atom.term(j);
@@ -89,7 +138,8 @@ StatusOr<std::string> UcqToSql(const UnionOfCqs& ucq,
 std::string SchemaToSql(const TgdProgram& program, const Vocabulary& vocab) {
   std::string ddl;
   for (PredicateId p : program.Predicates()) {
-    ddl += StrCat("CREATE TABLE ", vocab.PredicateName(p), " (");
+    ddl += StrCat("CREATE TABLE ", SqlIdentifier(vocab.PredicateName(p)),
+                  " (");
     std::vector<std::string> columns;
     for (int j = 0; j < vocab.PredicateArity(p); ++j) {
       columns.push_back(StrCat("c", j + 1, " TEXT NOT NULL"));

@@ -1,0 +1,154 @@
+#include "serving/answer_engine.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+#include "logic/canonical.h"
+
+namespace ontorew {
+namespace {
+
+// FNV-1a, 64-bit.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void Mix(std::uint64_t* hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    *hash ^= (value >> (8 * byte)) & 0xff;
+    *hash *= kFnvPrime;
+  }
+}
+
+void MixAtoms(std::uint64_t* hash, const std::vector<Atom>& atoms) {
+  Mix(hash, atoms.size());
+  for (const Atom& atom : atoms) {
+    Mix(hash, static_cast<std::uint64_t>(atom.predicate()));
+    Mix(hash, static_cast<std::uint64_t>(atom.arity()));
+    for (Term t : atom.terms()) {
+      Mix(hash, t.is_constant() ? 1u : 2u);
+      Mix(hash, static_cast<std::uint64_t>(t.id()));
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t FingerprintProgram(const TgdProgram& program) {
+  std::uint64_t hash = kFnvOffset;
+  Mix(&hash, static_cast<std::uint64_t>(program.size()));
+  for (const Tgd& tgd : program.tgds()) {
+    MixAtoms(&hash, tgd.body());
+    MixAtoms(&hash, tgd.head());
+  }
+  return hash;
+}
+
+AnswerEngine::AnswerEngine(TgdProgram program, Database db,
+                           AnswerEngineOptions options)
+    : program_(std::move(program)), db_(std::move(db)),
+      options_(std::move(options)),
+      fingerprint_(FingerprintProgram(program_)) {}
+
+void AnswerEngine::AddTgd(Tgd tgd) {
+  program_.Add(std::move(tgd));
+  fingerprint_ = FingerprintProgram(program_);
+}
+
+void AnswerEngine::ReplaceDatabase(Database db) { db_ = std::move(db); }
+
+std::string AnswerEngine::CacheKey(const UnionOfCqs& query) const {
+  std::vector<std::string> keys;
+  keys.reserve(query.disjuncts().size());
+  for (const ConjunctiveQuery& cq : query.disjuncts()) {
+    keys.push_back(CanonicalCqKey(CanonicalizeCq(cq)));
+  }
+  // Sorted: a UCQ is a set of disjuncts, so order must not split entries.
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return StrCat(fingerprint_, "|", StrJoin(keys, "|"));
+}
+
+StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::Rewrite(
+    const UnionOfCqs& query) {
+  const std::string key = CacheKey(query);
+
+  if (options_.cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      cache_.splice(cache_.begin(), cache_, it->second);  // Mark MRU.
+      ++stats_.hits;
+      metrics_.Increment("rewrite_cache_hit");
+      return it->second->second;
+    }
+    ++stats_.misses;
+    metrics_.Increment("rewrite_cache_miss");
+  }
+
+  // Rewrite outside the lock: concurrent misses on the same key duplicate
+  // work instead of serializing every caller behind one saturation.
+  std::shared_ptr<const UnionOfCqs> rewriting;
+  {
+    ScopedTimer timer(&metrics_, "rewrite_ns");
+    OREW_ASSIGN_OR_RETURN(RewriteResult result,
+                          RewriteUcq(query, program_, options_.rewriter));
+    rewriting = std::make_shared<const UnionOfCqs>(std::move(result.ucq));
+  }
+
+  if (options_.cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = index_.emplace(key, cache_.end());
+    if (inserted) {
+      cache_.emplace_front(key, rewriting);
+      it->second = cache_.begin();
+      while (cache_.size() > options_.cache_capacity) {
+        index_.erase(cache_.back().first);
+        cache_.pop_back();
+        ++stats_.evictions;
+        metrics_.Increment("rewrite_cache_eviction");
+      }
+    } else {
+      rewriting = it->second->second;  // A concurrent miss won the race.
+    }
+    stats_.size = cache_.size();
+  }
+  return rewriting;
+}
+
+StatusOr<AnswerResult> AnswerEngine::Serve(const UnionOfCqs& query) {
+  metrics_.Increment("queries_served");
+  const std::int64_t hits_before = cache_stats().hits;
+  AnswerResult result;
+  OREW_ASSIGN_OR_RETURN(result.rewriting, Rewrite(query));
+  result.cache_hit = cache_stats().hits > hits_before;
+
+  ParallelEvalOptions eval_options;
+  eval_options.num_threads = options_.num_threads;
+  eval_options.eval = options_.eval;
+  {
+    ScopedTimer timer(&metrics_, "eval_ns");
+    result.answers =
+        ParallelEvaluate(*result.rewriting, db_, eval_options, &result.eval);
+  }
+  metrics_.Increment("eval_tuples_examined", result.eval.tuples_examined);
+  metrics_.Increment("eval_matches", result.eval.matches);
+  return result;
+}
+
+StatusOr<std::vector<Tuple>> AnswerEngine::CertainAnswers(
+    const UnionOfCqs& query) {
+  OREW_ASSIGN_OR_RETURN(AnswerResult result, Serve(query));
+  return std::move(result.answers);
+}
+
+StatusOr<std::vector<Tuple>> AnswerEngine::CertainAnswers(
+    const ConjunctiveQuery& query) {
+  return CertainAnswers(UnionOfCqs(query));
+}
+
+RewriteCacheStats AnswerEngine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ontorew

@@ -1,0 +1,139 @@
+#ifndef ONTOREW_SERVING_ANSWER_ENGINE_H_
+#define ONTOREW_SERVING_ANSWER_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/metrics.h"
+#include "base/status.h"
+#include "db/database.h"
+#include "db/eval.h"
+#include "logic/program.h"
+#include "logic/query.h"
+#include "rewriting/rewriter.h"
+#include "serving/parallel_eval.h"
+
+// The serving layer: an AnswerEngine owns an ontology (TGD program) and a
+// database and answers certain-answer queries end-to-end. The paper's
+// FO-rewritability result makes the rewriting *data-independent*: it can
+// be computed once per (program, query-isomorphism-class) and reused for
+// every subsequent evaluation. The engine therefore keeps an LRU cache of
+// rewritings keyed by (program fingerprint, canonical query key), fans
+// the cached UCQ's disjuncts across worker threads for evaluation, and
+// records per-stage counters/timers in a MetricsRegistry.
+//
+//   AnswerEngine engine(std::move(ontology), std::move(db));
+//   auto answers = engine.CertainAnswers(query);   // cold: rewrites
+//   auto again = engine.CertainAnswers(query);     // warm: cache hit
+//   std::puts(engine.metrics().Snapshot().ToString().c_str());
+//
+// Metric names (see DESIGN.md "Serving layer"):
+//   counters  queries_served, rewrite_cache_hit, rewrite_cache_miss,
+//             rewrite_cache_eviction, eval_tuples_examined, eval_matches
+//   timers    rewrite_ns, eval_ns
+
+namespace ontorew {
+
+struct AnswerEngineOptions {
+  // Maximum cached rewritings; 0 disables caching entirely.
+  std::size_t cache_capacity = 128;
+  // Worker threads for UCQ evaluation (see ParallelEvalOptions).
+  int num_threads = 0;
+  RewriterOptions rewriter;
+  // Certain-answer semantics: answers containing labeled nulls are not
+  // certain, so they are dropped by default.
+  EvalOptions eval{.drop_tuples_with_nulls = true};
+};
+
+// Cumulative cache statistics (monotonic except `size`).
+struct RewriteCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::size_t size = 0;
+};
+
+// One served query, with provenance for tools and benches.
+struct AnswerResult {
+  std::vector<Tuple> answers;  // Sorted, deduplicated.
+  bool cache_hit = false;
+  // The rewriting that was evaluated (shared with the cache; remains
+  // valid after eviction).
+  std::shared_ptr<const UnionOfCqs> rewriting;
+  EvalStats eval;
+};
+
+class AnswerEngine {
+ public:
+  AnswerEngine(TgdProgram program, Database db,
+               AnswerEngineOptions options = {});
+
+  const TgdProgram& program() const { return program_; }
+  const Database& db() const { return db_; }
+  const AnswerEngineOptions& options() const { return options_; }
+
+  // Structural fingerprint of the owned program. Cache keys embed it, so
+  // changing the program makes every previous entry unreachable.
+  std::uint64_t program_fingerprint() const { return fingerprint_; }
+
+  // Extends the ontology; recomputes the fingerprint (which invalidates
+  // cached rewritings) without touching the data.
+  void AddTgd(Tgd tgd);
+
+  // Swaps in new data. Rewritings are data-independent, so the cache
+  // stays warm across data refreshes.
+  void ReplaceDatabase(Database db);
+
+  // The cache key for `query` under the current program: fingerprint plus
+  // the canonical key of each disjunct (sorted — disjunct order and
+  // variable names do not matter). Exposed for tests.
+  std::string CacheKey(const UnionOfCqs& query) const;
+
+  // The (cached) rewriting of `query`. Errors propagate from RewriteUcq
+  // (FailedPrecondition for multi-head programs, ResourceExhausted when
+  // the saturation cap is hit); errors are not cached.
+  StatusOr<std::shared_ptr<const UnionOfCqs>> Rewrite(
+      const UnionOfCqs& query);
+
+  // End-to-end: rewrite (or fetch from cache), evaluate in parallel,
+  // return the sorted certain answers with provenance.
+  StatusOr<AnswerResult> Serve(const UnionOfCqs& query);
+
+  // Convenience wrappers returning just the answers.
+  StatusOr<std::vector<Tuple>> CertainAnswers(const UnionOfCqs& query);
+  StatusOr<std::vector<Tuple>> CertainAnswers(const ConjunctiveQuery& query);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  RewriteCacheStats cache_stats() const;
+
+ private:
+  // MRU-first entry list; the map points into it for O(1) lookup+splice.
+  using CacheEntry = std::pair<std::string, std::shared_ptr<const UnionOfCqs>>;
+
+  TgdProgram program_;
+  Database db_;
+  AnswerEngineOptions options_;
+  std::uint64_t fingerprint_;
+
+  mutable std::mutex mutex_;  // Guards cache_, index_ and the stats.
+  std::list<CacheEntry> cache_;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> index_;
+  RewriteCacheStats stats_;
+
+  MetricsRegistry metrics_;
+};
+
+// Structural 64-bit fingerprint of a program: sensitive to every
+// predicate, term and rule boundary, insensitive to nothing (adding,
+// removing or reordering TGDs all change it).
+std::uint64_t FingerprintProgram(const TgdProgram& program);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_SERVING_ANSWER_ENGINE_H_

@@ -1,0 +1,66 @@
+#include "serving/parallel_eval.h"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace ontorew {
+
+int EffectiveThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return static_cast<int>(std::min(hw, 8u));
+}
+
+std::vector<Tuple> ParallelEvaluate(const UnionOfCqs& ucq, const Database& db,
+                                    const ParallelEvalOptions& options,
+                                    EvalStats* stats) {
+  const std::vector<ConjunctiveQuery>& disjuncts = ucq.disjuncts();
+  const int threads = std::min<int>(EffectiveThreads(options.num_threads),
+                                    static_cast<int>(disjuncts.size()));
+
+  if (threads <= 1) {
+    return Evaluate(ucq, db, options.eval, stats);
+  }
+
+  // Workers pull disjunct indices from a shared counter (cheap dynamic
+  // load balancing: rewritings are skewed, a few disjuncts dominate) and
+  // accumulate into private sets — no shared mutable state until the
+  // deterministic merge below.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::set<Tuple>> partial(static_cast<std::size_t>(threads));
+  std::vector<EvalStats> worker_stats(static_cast<std::size_t>(threads));
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        std::set<Tuple>& mine = partial[static_cast<std::size_t>(w)];
+        EvalStats& my_stats = worker_stats[static_cast<std::size_t>(w)];
+        for (std::size_t i = next.fetch_add(1); i < disjuncts.size();
+             i = next.fetch_add(1)) {
+          for (Tuple& tuple :
+               Evaluate(disjuncts[i], db, options.eval, &my_stats)) {
+            mine.insert(std::move(tuple));
+          }
+        }
+      });
+    }
+  }  // jthreads join here.
+
+  std::set<Tuple> merged;
+  for (std::set<Tuple>& mine : partial) {
+    merged.merge(mine);
+  }
+  if (stats != nullptr) {
+    for (const EvalStats& s : worker_stats) {
+      stats->tuples_examined += s.tuples_examined;
+      stats->matches += s.matches;
+    }
+  }
+  return std::vector<Tuple>(merged.begin(), merged.end());
+}
+
+}  // namespace ontorew

@@ -1,0 +1,39 @@
+#ifndef ONTOREW_SERVING_PARALLEL_EVAL_H_
+#define ONTOREW_SERVING_PARALLEL_EVAL_H_
+
+#include <vector>
+
+#include "db/database.h"
+#include "db/eval.h"
+#include "logic/query.h"
+
+// Parallel UCQ evaluation: the disjuncts of a union are independent CQs,
+// so they fan out across a small pool of worker threads, each with its own
+// EvalStats and local answer set; the per-worker sets are merged into one
+// sorted, deduplicated answer vector. The merge is a set union, so the
+// result is byte-identical to single-threaded evaluation regardless of
+// thread count or scheduling — the determinism the serving layer's tests
+// assert.
+
+namespace ontorew {
+
+struct ParallelEvalOptions {
+  // Worker threads. <= 0 picks min(hardware_concurrency, 8); 1 evaluates
+  // inline (no threads spawned).
+  int num_threads = 0;
+  EvalOptions eval;
+};
+
+// Resolved thread count for `requested` (see ParallelEvalOptions).
+int EffectiveThreads(int requested);
+
+// Evaluates every disjunct of `ucq` over `db` and returns the union of
+// their answers, sorted and deduplicated. Per-worker stats are summed
+// into *stats (may be nullptr).
+std::vector<Tuple> ParallelEvaluate(const UnionOfCqs& ucq, const Database& db,
+                                    const ParallelEvalOptions& options = {},
+                                    EvalStats* stats = nullptr);
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_SERVING_PARALLEL_EVAL_H_

@@ -83,6 +83,17 @@ TEST_F(EvalTest, MissingPredicateYieldsNothing) {
   EXPECT_TRUE(Evaluate(cq, db_).empty());
 }
 
+TEST_F(EvalTest, ArityMismatchIsACheckedFailure) {
+  // A query atom whose arity disagrees with the stored relation is a
+  // vocabulary/schema bug, not an empty result: treating it as "no
+  // tuples" (as MissingPredicateYieldsNothing legitimately is) would
+  // silently mask the bug. Construct the mismatched atom directly — the
+  // parser-facing Vocabulary would reject re-interning edge/1.
+  Atom unary_edge(edge_, {Term::Var(vocab_.InternVariable("X"))});
+  ConjunctiveQuery cq(std::vector<Term>{unary_edge.term(0)}, {unary_edge});
+  EXPECT_DEATH(Evaluate(cq, db_), "arity mismatch");
+}
+
 TEST_F(EvalTest, NullDroppingOption) {
   db_.Insert(edge_, {a_, db_.FreshNull()});
   ConjunctiveQuery cq = MustQuery("q(Y) :- edge(a, Y).", &vocab_);

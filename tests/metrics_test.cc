@@ -1,0 +1,87 @@
+#include <thread>
+#include <vector>
+
+#include "base/metrics.h"
+#include "gtest/gtest.h"
+
+namespace ontorew {
+namespace {
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricsRegistry metrics;
+  metrics.Increment("requests");
+  metrics.Increment("requests");
+  metrics.Increment("tuples", 40);
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.Counter("requests"), 2);
+  EXPECT_EQ(snapshot.Counter("tuples"), 40);
+  EXPECT_EQ(snapshot.Counter("absent"), 0);
+}
+
+TEST(MetricsTest, TimersAccumulate) {
+  MetricsRegistry metrics;
+  metrics.AddTimeNs("stage", 1500);
+  metrics.AddTimeNs("stage", 500);
+  EXPECT_EQ(metrics.Snapshot().TimerNs("stage"), 2000);
+  EXPECT_EQ(metrics.Snapshot().TimerNs("absent"), 0);
+}
+
+TEST(MetricsTest, ScopedTimerRecordsElapsedTime) {
+  MetricsRegistry metrics;
+  {
+    ScopedTimer timer(&metrics, "work_ns");
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(metrics.Snapshot().TimerNs("work_ns"), 0);
+  // A null registry is a no-op, not a crash.
+  ScopedTimer disabled(nullptr, "ignored");
+}
+
+TEST(MetricsTest, SnapshotIsAPointInTimeCopy) {
+  MetricsRegistry metrics;
+  metrics.Increment("n");
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  metrics.Increment("n");
+  EXPECT_EQ(snapshot.Counter("n"), 1);
+  EXPECT_EQ(metrics.Snapshot().Counter("n"), 2);
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  MetricsRegistry metrics;
+  metrics.Increment("n", 7);
+  metrics.AddTimeNs("t", 9);
+  metrics.Reset();
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.timers_ns.empty());
+}
+
+TEST(MetricsTest, ToStringIsDeterministicAndReadable) {
+  MetricsRegistry metrics;
+  metrics.Increment("b_counter", 2);
+  metrics.Increment("a_counter", 1);
+  metrics.AddTimeNs("z_timer", 2500000);  // 2.5 ms.
+  std::string text = metrics.Snapshot().ToString();
+  EXPECT_EQ(text,
+            "a_counter = 1\n"
+            "b_counter = 2\n"
+            "z_timer = 2.5 ms\n");
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreNotLost) {
+  MetricsRegistry metrics;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&metrics] {
+      for (int i = 0; i < kPerThread; ++i) metrics.Increment("shared");
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  EXPECT_EQ(metrics.Snapshot().Counter("shared"), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace ontorew

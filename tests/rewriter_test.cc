@@ -156,6 +156,26 @@ TEST(RewriterTest, TerminatesOnExample1) {
   EXPECT_GE(result->ucq.size(), 2);
 }
 
+TEST(RewriterTest, DescribeDerivationBoundsChecked) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("p(X) -> r(X).", &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(X) :- r(X).", &vocab), program);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(static_cast<int>(result->derivations.size()), 2);
+  EXPECT_EQ(DescribeDerivation(*result, 0), "q0");
+  EXPECT_EQ(DescribeDerivation(*result, 1), "q0 =R1=> q1");
+  // Indices refer to `saturated`, not `ucq` — a caller iterating the
+  // minimized union can produce an out-of-range index. That must yield a
+  // diagnostic, not an out-of-bounds read.
+  EXPECT_NE(DescribeDerivation(*result, 2).find("out of range"),
+            std::string::npos);
+  EXPECT_NE(DescribeDerivation(*result, -1).find("out of range"),
+            std::string::npos);
+  EXPECT_NE(DescribeDerivation(*result, 1000).find("out of range"),
+            std::string::npos);
+}
+
 TEST(RewriterTest, UniversityConcertedRewriting) {
   Vocabulary vocab;
   TgdProgram ontology = UniversityOntology(&vocab);

@@ -1,0 +1,286 @@
+#include <vector>
+
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "db/eval.h"
+#include "gtest/gtest.h"
+#include "serving/answer_engine.h"
+#include "serving/parallel_eval.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/paper_examples.h"
+#include "workload/university.h"
+
+namespace ontorew {
+namespace {
+
+// --- Parallel evaluation: determinism --------------------------------------
+
+// The parallel evaluator must return byte-identical sorted answers to the
+// single-threaded one, for every thread count, on generator workloads.
+TEST(ParallelEvalTest, DeterministicAcrossThreadCounts) {
+  for (int seed = 1; seed <= 4; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 104729);
+    Vocabulary vocab;
+    TgdProgram program = MustProgram(
+        "r(X, Y) -> s(X).\n"
+        "s(X) -> t(X, Y).\n"
+        "t(X, Y), s(Y) -> r(X, Y).\n",
+        &vocab);
+    Database db = RandomDatabase(program, 30, 6, &rng, &vocab);
+    UnionOfCqs ucq;
+    for (int d = 0; d < 6; ++d) {
+      ucq.Add(RandomCq(program, rng.UniformIn(1, 3), 1, &rng, &vocab));
+    }
+
+    ParallelEvalOptions single;
+    single.num_threads = 1;
+    std::vector<Tuple> reference = ParallelEvaluate(ucq, db, single);
+    EXPECT_EQ(reference, Evaluate(ucq, db, single.eval));
+
+    for (int threads : {2, 3, 8}) {
+      ParallelEvalOptions multi;
+      multi.num_threads = threads;
+      EXPECT_EQ(ParallelEvaluate(ucq, db, multi), reference)
+          << "seed " << seed << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelEvalTest, StatsAreSummedAcrossWorkers) {
+  Vocabulary vocab;
+  Database db;
+  PredicateId edge = vocab.MustPredicate("edge", 2);
+  for (int i = 0; i < 10; ++i) {
+    db.Insert(edge, {Value::Constant(vocab.InternConstant("a")),
+                     Value::Constant(vocab.InternConstant(
+                         std::string("b") + std::to_string(i)))});
+  }
+  UnionOfCqs ucq;
+  ucq.Add(MustQuery("q(X) :- edge(X, Y).", &vocab));
+  ucq.Add(MustQuery("q(Y) :- edge(X, Y).", &vocab));
+
+  EvalStats sequential;
+  ParallelEvalOptions single;
+  single.num_threads = 1;
+  ParallelEvaluate(ucq, db, single, &sequential);
+
+  EvalStats parallel;
+  ParallelEvalOptions multi;
+  multi.num_threads = 4;
+  ParallelEvaluate(ucq, db, multi, &parallel);
+
+  EXPECT_EQ(parallel.tuples_examined, sequential.tuples_examined);
+  EXPECT_EQ(parallel.matches, sequential.matches);
+  EXPECT_GT(parallel.matches, 0);
+}
+
+// --- AnswerEngine: correctness ---------------------------------------------
+
+TEST(AnswerEngineTest, AgreesWithDirectRewriteAndEvaluate) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(7);
+  UniversityInstanceOptions instance;
+  instance.num_students = 60;
+  Database db = UniversityInstance(instance, &rng, &vocab);
+
+  ConjunctiveQuery query = MustQuery(
+      "q(S) :- enrolled(S, C), teaches(T, C), faculty(T).", &vocab);
+
+  StatusOr<RewriteResult> rewriting = RewriteCq(query, ontology);
+  ASSERT_TRUE(rewriting.ok());
+  EvalOptions drop;
+  drop.drop_tuples_with_nulls = true;
+  std::vector<Tuple> expected = Evaluate(rewriting->ucq, db, drop);
+
+  AnswerEngine engine(ontology, db);
+  StatusOr<std::vector<Tuple>> answers = engine.CertainAnswers(query);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(*answers, expected);
+
+  // And a second serve (warm cache, parallel eval) is identical.
+  StatusOr<std::vector<Tuple>> again = engine.CertainAnswers(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, expected);
+}
+
+TEST(AnswerEngineTest, AgreesWithChaseOnUniversityQueries) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(2024);
+  UniversityInstanceOptions instance;
+  instance.num_students = 40;
+  Database db = UniversityInstance(instance, &rng, &vocab);
+  AnswerEngine engine(ontology, db);
+
+  for (const char* text :
+       {"q(X) :- person(X).", "q(X) :- faculty(X).",
+        "q(X) :- advises(Y, X), phd(X)."}) {
+    ConjunctiveQuery query = MustQuery(text, &vocab);
+    StatusOr<std::vector<Tuple>> served = engine.CertainAnswers(query);
+    ASSERT_TRUE(served.ok()) << served.status();
+    StatusOr<std::vector<Tuple>> certain =
+        CertainAnswersViaChase(UnionOfCqs(query), ontology, db);
+    ASSERT_TRUE(certain.ok());
+    EXPECT_EQ(*served, *certain) << text;
+  }
+}
+
+TEST(AnswerEngineTest, RewriteErrorsPropagateAndAreNotCached) {
+  Vocabulary vocab;
+  // PaperExample2 is not FO-rewritable for this query: the saturation
+  // hits the cap.
+  TgdProgram program = PaperExample2(&vocab);
+  AnswerEngineOptions options;
+  options.rewriter.max_cqs = 500;
+  AnswerEngine engine(program, Database(), options);
+  ConjunctiveQuery query = MustQuery("q() :- r(\"a\", X).", &vocab);
+
+  StatusOr<std::vector<Tuple>> result = engine.CertainAnswers(query);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // The failure was recorded as a miss, and nothing was cached.
+  EXPECT_EQ(engine.cache_stats().misses, 1);
+  EXPECT_EQ(engine.cache_stats().size, 0u);
+}
+
+// --- AnswerEngine: cache behaviour -----------------------------------------
+
+TEST(AnswerEngineTest, CacheHitsOnRepeatedAndIsomorphicQueries) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  AnswerEngine engine(ontology, Database());
+
+  ConjunctiveQuery query = MustQuery("q(X) :- faculty(X).", &vocab);
+  ASSERT_TRUE(engine.CertainAnswers(query).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 1);
+  EXPECT_EQ(engine.cache_stats().hits, 0);
+
+  ASSERT_TRUE(engine.CertainAnswers(query).ok());
+  EXPECT_EQ(engine.cache_stats().hits, 1);
+
+  // A variable-renamed (isomorphic) variant hits the same entry.
+  ConjunctiveQuery renamed = MustQuery("q(Z) :- faculty(Z).", &vocab);
+  EXPECT_EQ(engine.CacheKey(UnionOfCqs(renamed)),
+            engine.CacheKey(UnionOfCqs(query)));
+  ASSERT_TRUE(engine.CertainAnswers(renamed).ok());
+  EXPECT_EQ(engine.cache_stats().hits, 2);
+  EXPECT_EQ(engine.cache_stats().misses, 1);
+}
+
+TEST(AnswerEngineTest, FingerprintChangesWhenTgdAdded) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  AnswerEngine engine(ontology, Database());
+  ConjunctiveQuery query = MustQuery("q(X) :- person(X).", &vocab);
+
+  std::uint64_t before = engine.program_fingerprint();
+  std::string key_before = engine.CacheKey(UnionOfCqs(query));
+  ASSERT_TRUE(engine.CertainAnswers(query).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 1);
+
+  engine.AddTgd(MustTgd("visitor(X) -> person(X).", &vocab));
+  EXPECT_NE(engine.program_fingerprint(), before);
+  EXPECT_NE(engine.CacheKey(UnionOfCqs(query)), key_before);
+
+  // The old entry is unreachable: the same query misses and re-rewrites
+  // under the extended ontology.
+  ASSERT_TRUE(engine.CertainAnswers(query).ok());
+  EXPECT_EQ(engine.cache_stats().misses, 2);
+  EXPECT_EQ(engine.cache_stats().hits, 0);
+}
+
+TEST(AnswerEngineTest, LruEvictsLeastRecentlyUsed) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  AnswerEngineOptions options;
+  options.cache_capacity = 2;
+  AnswerEngine engine(ontology, Database(), options);
+
+  ConjunctiveQuery q1 = MustQuery("q(X) :- person(X).", &vocab);
+  ConjunctiveQuery q2 = MustQuery("q(X) :- faculty(X).", &vocab);
+  ConjunctiveQuery q3 = MustQuery("q(X) :- student(X).", &vocab);
+
+  ASSERT_TRUE(engine.CertainAnswers(q1).ok());  // miss; cache = [q1]
+  ASSERT_TRUE(engine.CertainAnswers(q2).ok());  // miss; cache = [q2, q1]
+  ASSERT_TRUE(engine.CertainAnswers(q1).ok());  // hit;  cache = [q1, q2]
+  ASSERT_TRUE(engine.CertainAnswers(q3).ok());  // miss; evicts LRU q2
+  EXPECT_EQ(engine.cache_stats().evictions, 1);
+  EXPECT_EQ(engine.cache_stats().size, 2u);
+
+  ASSERT_TRUE(engine.CertainAnswers(q2).ok());  // miss again (was evicted)
+  EXPECT_EQ(engine.cache_stats().misses, 4);    // ...evicting q1 in turn.
+  ASSERT_TRUE(engine.CertainAnswers(q3).ok());  // q3 survived: hit.
+  EXPECT_EQ(engine.cache_stats().hits, 2);
+  EXPECT_EQ(engine.cache_stats().evictions, 2);
+}
+
+TEST(AnswerEngineTest, CacheSurvivesDataRefresh) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(5);
+  Database db = UniversityInstance(UniversityInstanceOptions{}, &rng, &vocab);
+  AnswerEngine engine(ontology, std::move(db));
+  ConjunctiveQuery query = MustQuery("q(X) :- person(X).", &vocab);
+
+  ASSERT_TRUE(engine.CertainAnswers(query).ok());
+  Rng rng2(6);
+  engine.ReplaceDatabase(
+      UniversityInstance(UniversityInstanceOptions{}, &rng2, &vocab));
+  ASSERT_TRUE(engine.CertainAnswers(query).ok());
+  // Rewritings are data-independent: the refresh did not cost a miss.
+  EXPECT_EQ(engine.cache_stats().misses, 1);
+  EXPECT_EQ(engine.cache_stats().hits, 1);
+}
+
+// --- AnswerEngine: metrics --------------------------------------------------
+
+TEST(AnswerEngineTest, MetricsSnapshotCountsHitsAndMisses) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(11);
+  UniversityInstanceOptions instance;
+  instance.num_students = 20;
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab));
+
+  ConjunctiveQuery q1 = MustQuery("q(X) :- person(X).", &vocab);
+  ConjunctiveQuery q2 = MustQuery("q(X) :- faculty(X).", &vocab);
+  ASSERT_TRUE(engine.CertainAnswers(q1).ok());
+  ASSERT_TRUE(engine.CertainAnswers(q1).ok());
+  ASSERT_TRUE(engine.CertainAnswers(q2).ok());
+
+  MetricsSnapshot snapshot = engine.metrics().Snapshot();
+  EXPECT_EQ(snapshot.Counter("queries_served"), 3);
+  EXPECT_EQ(snapshot.Counter("rewrite_cache_hit"), 1);
+  EXPECT_EQ(snapshot.Counter("rewrite_cache_miss"), 2);
+  EXPECT_GT(snapshot.Counter("eval_tuples_examined"), 0);
+  EXPECT_GT(snapshot.Counter("eval_matches"), 0);
+  // Only misses pay rewriting time; every serve pays evaluation time.
+  EXPECT_GT(snapshot.TimerNs("rewrite_ns"), 0);
+  EXPECT_GT(snapshot.TimerNs("eval_ns"), 0);
+
+  engine.metrics().Reset();
+  EXPECT_EQ(engine.metrics().Snapshot().Counter("queries_served"), 0);
+}
+
+TEST(AnswerEngineTest, ServeReportsCacheHitAndRewriting) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  AnswerEngine engine(ontology, Database());
+  UnionOfCqs query(MustQuery("q(X) :- faculty(X).", &vocab));
+
+  StatusOr<AnswerResult> cold = engine.Serve(query);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->cache_hit);
+  ASSERT_NE(cold->rewriting, nullptr);
+  EXPECT_GE(cold->rewriting->size(), 3);  // professor, lecturer, teaches...
+
+  StatusOr<AnswerResult> warm = engine.Serve(query);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->rewriting, cold->rewriting);  // Same shared entry.
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -66,6 +66,49 @@ TEST(SqlTest, QuotedStringConstantsEscaped) {
   EXPECT_NE(sql->find("'o''hara'"), std::string::npos) << *sql;
 }
 
+TEST(SqlTest, InteriorQuotesInConstantsArePreserved) {
+  // Only the parser's *surrounding* quotes are stripped; a double quote
+  // inside the constant's value is data and must survive into the SQL.
+  Vocabulary vocab;
+  ConjunctiveQuery cq(
+      std::vector<Term>{Term::Var(vocab.InternVariable("X"))},
+      {Atom(vocab.MustPredicate("r", 2),
+            {Term::Var(vocab.InternVariable("X")),
+             Term::Const(vocab.InternConstant("\"5\" tall\" o'hara\""))})});
+  StatusOr<std::string> sql = CqToSql(cq, vocab);
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("'5\" tall\" o''hara'"), std::string::npos) << *sql;
+}
+
+TEST(SqlTest, ReservedWordPredicatesAreQuoted) {
+  // A predicate named like a SQL keyword must not be emitted bare.
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X) :- order(X, Y), select(Y).", &vocab);
+  StatusOr<std::string> sql = CqToSql(cq, vocab);
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("FROM \"order\" AS t0, \"select\" AS t1"),
+            std::string::npos)
+      << *sql;
+}
+
+TEST(SqlTest, ReservedWordTablesQuotedInDdl) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("order(X, Y) -> group(X).", &vocab);
+  std::string ddl = SchemaToSql(program, vocab);
+  EXPECT_NE(ddl.find("CREATE TABLE \"order\" "), std::string::npos) << ddl;
+  EXPECT_NE(ddl.find("CREATE TABLE \"group\" "), std::string::npos) << ddl;
+}
+
+TEST(SqlTest, OrdinaryIdentifiersStayBare) {
+  // Quoting is only applied where needed: plain identifiers keep the
+  // readable bare form the seed tests assert.
+  Vocabulary vocab;
+  ConjunctiveQuery cq = MustQuery("q(X) :- enrolled_2024(X, Y).", &vocab);
+  StatusOr<std::string> sql = CqToSql(cq, vocab);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("FROM enrolled_2024 AS t0"), std::string::npos) << *sql;
+}
+
 TEST(SqlTest, UnionOverDisjuncts) {
   Vocabulary vocab;
   UnionOfCqs ucq;
