@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "base/deadline.h"
 #include "base/logging.h"
 #include "base/rng.h"
 #include "chase/chase.h"
@@ -64,8 +65,11 @@ int main() {
     Report("chase + evaluation:", *via_chase);
 
     // (3) FO rewriting, served by the caching engine: rewrite once,
-    // evaluate the UCQ's disjuncts in parallel over the *raw* data.
-    StatusOr<AnswerResult> served = engine.Serve(UnionOfCqs(*query));
+    // evaluate the UCQ's disjuncts in parallel over the *raw* data —
+    // under a per-request deadline, as a production caller would.
+    ServeOptions per_request;
+    per_request.deadline = Deadline::AfterMillis(5000);
+    StatusOr<AnswerResult> served = engine.Serve(UnionOfCqs(*query), per_request);
     OREW_CHECK(served.ok()) << served.status();
     std::printf("  rewriting (%2d disjuncts):    %4zu answers%s\n",
                 served->rewriting->size(), served->answers.size(),

@@ -1,0 +1,17 @@
+#include "base/deadline.h"
+
+#include "base/strings.h"
+
+namespace ontorew {
+
+Status CancelScope::Check(std::string_view site) const {
+  if (token_ != nullptr && token_->cancelled()) {
+    return CancelledError(StrCat(site, ": cancelled"));
+  }
+  if (deadline_.expired()) {
+    return DeadlineExceededError(StrCat(site, ": deadline exceeded"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ontorew

@@ -9,6 +9,11 @@ std::int64_t MetricsSnapshot::Counter(std::string_view name) const {
   return it == counters.end() ? 0 : it->second;
 }
 
+std::int64_t MetricsSnapshot::Gauge(std::string_view name) const {
+  auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
 std::int64_t MetricsSnapshot::TimerNs(std::string_view name) const {
   auto it = timers_ns.find(std::string(name));
   return it == timers_ns.end() ? 0 : it->second;
@@ -17,6 +22,9 @@ std::int64_t MetricsSnapshot::TimerNs(std::string_view name) const {
 std::string MetricsSnapshot::ToString() const {
   std::string out;
   for (const auto& [name, value] : counters) {
+    out += StrCat(name, " = ", value, "\n");
+  }
+  for (const auto& [name, value] : gauges) {
     out += StrCat(name, " = ", value, "\n");
   }
   for (const auto& [name, nanos] : timers_ns) {
@@ -30,6 +38,16 @@ void MetricsRegistry::Increment(std::string_view name, std::int64_t delta) {
   counters_[std::string(name)] += delta;
 }
 
+void MetricsRegistry::SetGauge(std::string_view name, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[std::string(name)] = value;
+}
+
+void MetricsRegistry::AdjustGauge(std::string_view name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[std::string(name)] += delta;
+}
+
 void MetricsRegistry::AddTimeNs(std::string_view name, std::int64_t nanos) {
   std::lock_guard<std::mutex> lock(mutex_);
   timers_ns_[std::string(name)] += nanos;
@@ -39,6 +57,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters = counters_;
+  snapshot.gauges = gauges_;
   snapshot.timers_ns = timers_ns_;
   return snapshot;
 }
@@ -46,6 +65,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
+  gauges_.clear();
   timers_ns_.clear();
 }
 

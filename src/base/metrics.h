@@ -28,10 +28,13 @@ namespace ontorew {
 // deterministic.
 struct MetricsSnapshot {
   std::map<std::string, std::int64_t> counters;
+  // Last-set value per gauge name (non-monotonic, e.g. `inflight`).
+  std::map<std::string, std::int64_t> gauges;
   // Accumulated wall time per timer name, nanoseconds.
   std::map<std::string, std::int64_t> timers_ns;
 
   std::int64_t Counter(std::string_view name) const;
+  std::int64_t Gauge(std::string_view name) const;
   std::int64_t TimerNs(std::string_view name) const;
 
   // One "name = value" line per metric; timers print in milliseconds.
@@ -45,6 +48,10 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   void Increment(std::string_view name, std::int64_t delta = 1);
+  // Gauges are set, not accumulated (current in-flight requests, queue
+  // depth, ...); AdjustGauge applies a signed delta to the current value.
+  void SetGauge(std::string_view name, std::int64_t value);
+  void AdjustGauge(std::string_view name, std::int64_t delta);
   void AddTimeNs(std::string_view name, std::int64_t nanos);
 
   MetricsSnapshot Snapshot() const;
@@ -53,6 +60,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
   std::map<std::string, std::int64_t> timers_ns_;
 };
 

@@ -24,6 +24,8 @@ enum class StatusCode {
   kResourceExhausted = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kDeadlineExceeded = 7,
+  kCancelled = 8,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
@@ -69,6 +71,8 @@ Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
 
 // Holds either a value or a non-OK Status.
 template <typename T>

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/fault_point.h"
 #include "base/strings.h"
 #include "db/eval.h"
 
@@ -85,13 +86,23 @@ ChaseResult RunChase(const TgdProgram& program, const Database& input,
     for (int r = 0; r < program.size() && !capped; ++r) {
       const Tgd& tgd = program.tgd(r);
       // Materialize this rule's triggers on the current instance before
-      // applying any of them (breadth-first rounds).
+      // applying any of them (breadth-first rounds). The trigger search
+      // itself scans the growing instance, so it runs under the cancel
+      // scope too.
       std::vector<Binding> triggers;
-      ForEachMatch(tgd.body(), result.db, [&triggers](const Binding& b) {
-        triggers.push_back(b);
-        return true;
-      });
+      result.status = ForEachMatch(
+          tgd.body(), result.db,
+          Binding(),
+          [&triggers](const Binding& b) {
+            triggers.push_back(b);
+            return true;
+          },
+          nullptr, options.cancel);
+      if (!result.status.ok()) return result;
       for (const Binding& binding : triggers) {
+        result.status = options.cancel.Check("chase step");
+        if (result.status.ok()) result.status = CheckFaultPoint("chase.step");
+        if (!result.status.ok()) return result;
         if (options.variant == ChaseOptions::Variant::kOblivious) {
           if (!fired.insert(TriggerKey(r, tgd, binding)).second) continue;
         } else if (HeadSatisfied(tgd, binding, result.db)) {
@@ -120,6 +131,7 @@ StatusOr<std::vector<Tuple>> CertainAnswersViaChase(
     const UnionOfCqs& query, const TgdProgram& program, const Database& input,
     const ChaseOptions& options) {
   ChaseResult chase = RunChase(program, input, options);
+  if (!chase.status.ok()) return chase.status;  // Interrupted, not capped.
   if (!chase.terminated) {
     return ResourceExhaustedError(
         StrCat("chase did not reach a fixpoint within ", chase.rounds,
@@ -127,7 +139,8 @@ StatusOr<std::vector<Tuple>> CertainAnswersViaChase(
   }
   EvalOptions eval_options;
   eval_options.drop_tuples_with_nulls = true;
-  return Evaluate(query, chase.db, eval_options);
+  eval_options.cancel = options.cancel;
+  return TryEvaluate(query, chase.db, eval_options);
 }
 
 }  // namespace ontorew

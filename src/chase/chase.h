@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/deadline.h"
 #include "base/status.h"
 #include "db/database.h"
 #include "db/eval.h"
@@ -31,6 +32,10 @@ struct ChaseOptions {
   Variant variant = Variant::kRestricted;
   int max_rounds = 10000;
   int max_tuples = 5000000;
+  // Deadline/cancellation, checked between trigger applications and
+  // inside trigger-search scans. A tripped scope stops the chase with
+  // result.status set (and terminated = false).
+  CancelScope cancel;
 };
 
 struct ChaseResult {
@@ -38,16 +43,23 @@ struct ChaseResult {
   bool terminated = false;  // True iff a fixpoint was reached.
   int rounds = 0;
   int applications = 0;  // Triggers fired.
+  // OK unless the chase was interrupted (deadline, cancellation, or an
+  // injected "chase.step" fault) — hitting the round/tuple caps is not an
+  // interruption, just non-termination.
+  Status status;
 };
 
-// Runs the chase of (program, input). Never fails: when caps are hit the
-// partial instance is returned with terminated = false.
+// Runs the chase of (program, input). When caps are hit or the cancel
+// scope trips, the partial instance is returned with terminated = false
+// (and, for interruptions, a non-OK status).
 ChaseResult RunChase(const TgdProgram& program, const Database& input,
                      const ChaseOptions& options = {});
 
 // cert(q, P, D) = ans(q, chase(P, D)) restricted to null-free tuples.
 // Errors with ResourceExhausted when the chase did not reach a fixpoint
-// (the certain answers would be under-approximated).
+// (the certain answers would be under-approximated), or propagates the
+// interruption status when the chase or the final evaluation was cut
+// short by options.cancel.
 StatusOr<std::vector<Tuple>> CertainAnswersViaChase(
     const UnionOfCqs& query, const TgdProgram& program, const Database& input,
     const ChaseOptions& options = {});

@@ -4,7 +4,9 @@
 #include <set>
 #include <vector>
 
+#include "base/fault_point.h"
 #include "base/logging.h"
+#include "base/strings.h"
 
 namespace ontorew {
 namespace {
@@ -17,14 +19,19 @@ class Matcher {
   Matcher(const std::vector<Atom>& atoms, const Database& db,
           const Binding& initial,
           const std::function<bool(const Binding&)>& callback,
-          EvalStats* stats)
+          EvalStats* stats, const CancelScope& cancel)
       : atoms_(atoms), db_(db), callback_(callback), stats_(stats),
-        binding_(initial) {
+        cancel_(cancel), binding_(initial) {
     used_.resize(atoms.size(), false);
   }
 
-  // Returns false if enumeration was stopped by the callback.
-  bool Run() { return Descend(0); }
+  // OK when enumeration ran to completion (or the callback stopped it —
+  // that is the caller's choice, not an error); non-OK when it was
+  // aborted by an arity mismatch, the cancel scope, or a fault.
+  Status Run() {
+    Descend(0);
+    return status_;
+  }
 
  private:
   int CountBound(const Atom& atom) const {
@@ -67,6 +74,26 @@ class Matcher {
     return true;
   }
 
+  // Per-tuple interruption check: the "eval.scan" fault point fires on
+  // every examined tuple; the cancel scope (a clock read) is only
+  // consulted every kCancelCheckStride tuples.
+  bool Interrupted() {
+    Status fault = CheckFaultPoint("eval.scan");
+    if (!fault.ok()) {
+      status_ = std::move(fault);
+      return true;
+    }
+    if (!cancel_.active()) return false;
+    if (++since_check_ < kCancelCheckStride) return false;
+    since_check_ = 0;
+    Status check = cancel_.Check("eval scan");
+    if (!check.ok()) {
+      status_ = std::move(check);
+      return true;
+    }
+    return false;
+  }
+
   bool Descend(std::size_t depth) {
     if (depth == atoms_.size()) {
       if (stats_ != nullptr) ++stats_->matches;
@@ -82,11 +109,16 @@ class Matcher {
     const Relation* relation = db_.Find(atom.predicate());
     // A missing relation means no tuples (the predicate is simply empty in
     // this instance). An *arity mismatch*, by contrast, is a vocabulary
-    // bug upstream — silently returning zero matches would mask it.
-    OREW_CHECK(relation == nullptr || relation->arity() == atom.arity())
-        << "arity mismatch for predicate #" << atom.predicate()
-        << ": relation has arity " << (relation ? relation->arity() : 0)
-        << " but the query atom has arity " << atom.arity();
+    // bug upstream — silently returning zero matches would mask it, so it
+    // aborts enumeration with an error status.
+    if (relation != nullptr && relation->arity() != atom.arity()) {
+      status_ = InvalidArgumentError(
+          StrCat("arity mismatch for predicate #", atom.predicate(),
+                 ": relation has arity ", relation->arity(),
+                 " but the query atom has arity ", atom.arity()));
+      used_[static_cast<std::size_t>(index)] = false;
+      return false;
+    }
     if (relation != nullptr) {
       // Choose the bound column with the smallest posting list, if any.
       int best_column = -1;
@@ -105,6 +137,10 @@ class Matcher {
 
       auto try_tuple = [&](const Tuple& tuple) {
         if (stats_ != nullptr) ++stats_->tuples_examined;
+        if (Interrupted()) {
+          keep_going = false;
+          return;
+        }
         std::vector<VariableId> newly_bound;
         bool consistent = true;
         for (int c = 0; c < atom.arity(); ++c) {
@@ -154,28 +190,38 @@ class Matcher {
   const Database& db_;
   const std::function<bool(const Binding&)>& callback_;
   EvalStats* stats_;
+  const CancelScope& cancel_;
+  int since_check_ = 0;
+  Status status_;  // Non-OK once enumeration was aborted.
   std::vector<bool> used_;
   Binding binding_;
 };
 
 }  // namespace
 
-void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
-                  const std::function<bool(const Binding&)>& callback) {
-  Matcher(atoms, db, Binding(), callback, nullptr).Run();
+Status ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                    const std::function<bool(const Binding&)>& callback) {
+  return ForEachMatch(atoms, db, Binding(), callback, nullptr, CancelScope());
 }
 
-void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
-                  const Binding& initial,
-                  const std::function<bool(const Binding&)>& callback) {
-  Matcher(atoms, db, initial, callback, nullptr).Run();
+Status ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                    const Binding& initial,
+                    const std::function<bool(const Binding&)>& callback) {
+  return ForEachMatch(atoms, db, initial, callback, nullptr, CancelScope());
 }
 
-void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
-                  const Binding& initial,
-                  const std::function<bool(const Binding&)>& callback,
-                  EvalStats* stats) {
-  Matcher(atoms, db, initial, callback, stats).Run();
+Status ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                    const Binding& initial,
+                    const std::function<bool(const Binding&)>& callback,
+                    EvalStats* stats) {
+  return ForEachMatch(atoms, db, initial, callback, stats, CancelScope());
+}
+
+Status ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                    const Binding& initial,
+                    const std::function<bool(const Binding&)>& callback,
+                    EvalStats* stats, const CancelScope& cancel) {
+  return Matcher(atoms, db, initial, callback, stats, cancel).Run();
 }
 
 bool HasMatch(const std::vector<Atom>& atoms, const Database& db) {
@@ -185,50 +231,75 @@ bool HasMatch(const std::vector<Atom>& atoms, const Database& db) {
 bool HasMatch(const std::vector<Atom>& atoms, const Database& db,
               const Binding& initial) {
   bool found = false;
-  ForEachMatch(atoms, db, initial, [&found](const Binding&) {
+  Status status = ForEachMatch(atoms, db, initial, [&found](const Binding&) {
     found = true;
     return false;  // Stop at the first match.
   });
+  // HasMatch has no error channel; schema bugs stay loud.
+  OREW_CHECK(status.ok()) << status;
   return found;
 }
 
-std::vector<Tuple> Evaluate(const ConjunctiveQuery& cq, const Database& db,
-                            const EvalOptions& options, EvalStats* stats) {
+StatusOr<std::vector<Tuple>> TryEvaluate(const ConjunctiveQuery& cq,
+                                         const Database& db,
+                                         const EvalOptions& options,
+                                         EvalStats* stats) {
   std::set<Tuple> answers;
-  ForEachMatch(cq.body(), db, Binding(), [&](const Binding& binding) {
-    Tuple answer;
-    answer.reserve(cq.answer_terms().size());
-    bool has_null = false;
-    for (Term t : cq.answer_terms()) {
-      Value value;
-      if (t.is_constant()) {
-        value = Value::Constant(t.id());
-      } else {
-        auto it = binding.find(t.id());
-        OREW_CHECK(it != binding.end())
-            << "answer variable " << t.id() << " unbound — invalid CQ";
-        value = it->second;
-      }
-      if (value.is_null()) has_null = true;
-      answer.push_back(value);
-    }
-    if (!options.drop_tuples_with_nulls || !has_null) {
-      answers.insert(std::move(answer));
-    }
-    return true;
-  }, stats);
+  OREW_RETURN_IF_ERROR(ForEachMatch(
+      cq.body(), db, Binding(),
+      [&](const Binding& binding) {
+        Tuple answer;
+        answer.reserve(cq.answer_terms().size());
+        bool has_null = false;
+        for (Term t : cq.answer_terms()) {
+          Value value;
+          if (t.is_constant()) {
+            value = Value::Constant(t.id());
+          } else {
+            auto it = binding.find(t.id());
+            OREW_CHECK(it != binding.end())
+                << "answer variable " << t.id() << " unbound — invalid CQ";
+            value = it->second;
+          }
+          if (value.is_null()) has_null = true;
+          answer.push_back(value);
+        }
+        if (!options.drop_tuples_with_nulls || !has_null) {
+          answers.insert(std::move(answer));
+        }
+        return true;
+      },
+      stats, options.cancel));
   return std::vector<Tuple>(answers.begin(), answers.end());
 }
 
-std::vector<Tuple> Evaluate(const UnionOfCqs& ucq, const Database& db,
-                            const EvalOptions& options, EvalStats* stats) {
+StatusOr<std::vector<Tuple>> TryEvaluate(const UnionOfCqs& ucq,
+                                         const Database& db,
+                                         const EvalOptions& options,
+                                         EvalStats* stats) {
   std::set<Tuple> answers;
   for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
-    for (Tuple& tuple : Evaluate(cq, db, options, stats)) {
+    OREW_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                          TryEvaluate(cq, db, options, stats));
+    for (Tuple& tuple : tuples) {
       answers.insert(std::move(tuple));
     }
   }
   return std::vector<Tuple>(answers.begin(), answers.end());
+}
+
+std::vector<Tuple> Evaluate(const ConjunctiveQuery& cq, const Database& db,
+                            const EvalOptions& options, EvalStats* stats) {
+  StatusOr<std::vector<Tuple>> result = TryEvaluate(cq, db, options, stats);
+  OREW_CHECK(result.ok()) << result.status();
+  return *std::move(result);
+}
+
+std::vector<Tuple> Evaluate(const UnionOfCqs& ucq, const Database& db,
+                            const EvalOptions& options, EvalStats* stats) {
+  StatusOr<std::vector<Tuple>> result = TryEvaluate(ucq, db, options, stats);
+  OREW_CHECK(result.ok()) << result.status();
+  return *std::move(result);
 }
 
 }  // namespace ontorew

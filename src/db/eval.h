@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/deadline.h"
+#include "base/status.h"
 #include "db/database.h"
 #include "db/value.h"
 #include "logic/atom.h"
@@ -14,6 +16,14 @@
 // with greedy bound-first atom ordering. This is the query processor the
 // FO rewriting is handed to (the paper's AC0 / "plain SQL" stage), and the
 // homomorphism finder the chase uses to locate triggers.
+//
+// Evaluation is cooperatively cancellable: EvalOptions carries a
+// CancelScope checked every kCancelCheckStride tuples, and every examined
+// tuple passes the "eval.scan" fault point. The fallible entry points
+// (TryEvaluate, the Status-returning ForEachMatch) surface interruptions
+// and schema bugs (arity mismatches) as Status; the legacy Evaluate
+// wrappers OREW_CHECK instead, for callers that pass no deadline and
+// treat failure as a programming error.
 
 namespace ontorew {
 
@@ -24,6 +34,8 @@ struct EvalOptions {
   // Drop answer tuples containing labeled nulls (certain-answer semantics
   // when evaluating over a chase result).
   bool drop_tuples_with_nulls = false;
+  // Deadline/cancellation for the scan loops; inert by default.
+  CancelScope cancel;
 };
 
 // Execution counters, for plan-quality tests and benchmarks.
@@ -36,31 +48,56 @@ struct EvalStats {
 };
 
 // Enumerates every homomorphism from `atoms` into `db`. The callback
-// returns false to stop enumeration early. Constants in atoms must match
-// constants in tuples; variables bind consistently across occurrences.
-void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
-                  const std::function<bool(const Binding&)>& callback);
+// returns false to stop enumeration early (which is not an error).
+// Constants in atoms must match constants in tuples; variables bind
+// consistently across occurrences. Returns non-OK when enumeration was
+// aborted: an arity mismatch between a query atom and its stored relation
+// (InvalidArgument — a vocabulary bug upstream, not an empty result), a
+// tripped deadline/token in `cancel`, or an armed "eval.scan" fault.
+Status ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                    const std::function<bool(const Binding&)>& callback);
 
 // As above, with some variables pre-bound (used by the restricted chase to
 // check whether a trigger's head is already satisfied under the frontier
 // binding).
-void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
-                  const Binding& initial,
-                  const std::function<bool(const Binding&)>& callback);
+Status ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                    const Binding& initial,
+                    const std::function<bool(const Binding&)>& callback);
 
 // As above, also accumulating execution counters into *stats (may be
 // nullptr).
-void ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
-                  const Binding& initial,
-                  const std::function<bool(const Binding&)>& callback,
-                  EvalStats* stats);
+Status ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                    const Binding& initial,
+                    const std::function<bool(const Binding&)>& callback,
+                    EvalStats* stats);
+
+// Full form: enumeration under a cancellation scope.
+Status ForEachMatch(const std::vector<Atom>& atoms, const Database& db,
+                    const Binding& initial,
+                    const std::function<bool(const Binding&)>& callback,
+                    EvalStats* stats, const CancelScope& cancel);
 
 // True iff at least one homomorphism exists (extending `initial`).
+// Arity mismatches are checked failures here (no Status channel).
 bool HasMatch(const std::vector<Atom>& atoms, const Database& db);
 bool HasMatch(const std::vector<Atom>& atoms, const Database& db,
               const Binding& initial);
 
 // All answer tuples, deduplicated and sorted (deterministic output).
+// Errors: InvalidArgument on arity mismatch, DeadlineExceeded/Cancelled
+// when options.cancel trips mid-scan (no partial answers are returned),
+// or an injected "eval.scan" fault.
+StatusOr<std::vector<Tuple>> TryEvaluate(const ConjunctiveQuery& cq,
+                                         const Database& db,
+                                         const EvalOptions& options = {},
+                                         EvalStats* stats = nullptr);
+StatusOr<std::vector<Tuple>> TryEvaluate(const UnionOfCqs& ucq,
+                                         const Database& db,
+                                         const EvalOptions& options = {},
+                                         EvalStats* stats = nullptr);
+
+// Legacy infallible wrappers: OREW_CHECK on any evaluation error. Only
+// safe for callers that pass no deadline/cancel scope.
 std::vector<Tuple> Evaluate(const ConjunctiveQuery& cq, const Database& db,
                             const EvalOptions& options = {},
                             EvalStats* stats = nullptr);

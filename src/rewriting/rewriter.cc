@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/fault_point.h"
 #include "base/status.h"
 #include "base/strings.h"
 #include "logic/canonical.h"
@@ -143,6 +144,12 @@ StatusOr<RewriteResult> RewriteUcq(const UnionOfCqs& query,
   }
 
   while (!worklist.empty()) {
+    // The saturation diverges on non-FO-rewritable inputs, so every
+    // iteration is bounded three ways: by distinct-CQ count (the cap
+    // below), by wall clock / caller cancellation, and by the armed-test
+    // fault point.
+    OREW_RETURN_IF_ERROR(options.cancel.Check("rewrite saturation"));
+    OREW_RETURN_IF_ERROR(CheckFaultPoint("rewrite.step"));
     if (static_cast<int>(generated.size()) > options.max_cqs) {
       return ResourceExhaustedError(
           StrCat("rewriting exceeded the cap of ", options.max_cqs,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "base/deadline.h"
 #include "base/status.h"
 #include "logic/program.h"
 #include "logic/query.h"
@@ -34,6 +35,13 @@ namespace ontorew {
 struct RewriterOptions {
   // Divergence cap: maximum number of distinct canonical CQs explored.
   int max_cqs = 20000;
+  // Wall-clock/cooperative cancellation for the saturation: checked once
+  // per worklist iteration (and inside the final minimization's
+  // containment checks via the "rewrite.step" fault point). A tripped
+  // deadline returns DeadlineExceeded, a tripped token Cancelled — on
+  // non-FO-rewritable inputs this bounds the *time* spent, not just the
+  // CQ count.
+  CancelScope cancel;
   // Final containment-based minimization of the produced union.
   bool minimize = true;
   // Generate factorization (atom-unification) specializations.
@@ -76,7 +84,9 @@ struct RewriteResult {
 std::string DescribeDerivation(const RewriteResult& result, int index);
 
 // Rewrites `query` against `program`. Errors: FailedPrecondition for
-// multi-head programs, ResourceExhausted when the cap is hit.
+// multi-head programs, ResourceExhausted when the cap is hit,
+// DeadlineExceeded/Cancelled when options.cancel trips mid-saturation,
+// or an injected "rewrite.step" fault.
 StatusOr<RewriteResult> RewriteUcq(const UnionOfCqs& query,
                                    const TgdProgram& program,
                                    const RewriterOptions& options = {});

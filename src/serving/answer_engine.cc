@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "base/fault_point.h"
 #include "base/strings.h"
+#include "classes/weakly_acyclic.h"
 #include "logic/canonical.h"
 
 namespace ontorew {
@@ -29,6 +31,14 @@ void MixAtoms(std::uint64_t* hash, const std::vector<Atom>& atoms) {
       Mix(hash, static_cast<std::uint64_t>(t.id()));
     }
   }
+}
+
+// A rewrite failure that merely means "could not finish in budget" — the
+// cases chase fallback may rescue. Hard errors (invalid query, multi-head
+// program) stay hard.
+bool IsBudgetFailure(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kResourceExhausted;
 }
 
 }  // namespace
@@ -68,8 +78,22 @@ std::string AnswerEngine::CacheKey(const UnionOfCqs& query) const {
   return StrCat(fingerprint_, "|", StrJoin(keys, "|"));
 }
 
+bool AnswerEngine::ChaseTerminates() const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (wa_cache_.has_value() && wa_cache_->first == fingerprint_) {
+      return wa_cache_->second;
+    }
+  }
+  // Classify outside the lock (the classifier walks the whole program).
+  const bool weakly_acyclic = IsWeaklyAcyclic(program_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  wa_cache_ = {fingerprint_, weakly_acyclic};
+  return weakly_acyclic;
+}
+
 StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::Rewrite(
-    const UnionOfCqs& query) {
+    const UnionOfCqs& query, const CancelScope& cancel) {
   const std::string key = CacheKey(query);
 
   if (options_.cache_capacity > 0) {
@@ -90,8 +114,15 @@ StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::Rewrite(
   std::shared_ptr<const UnionOfCqs> rewriting;
   {
     ScopedTimer timer(&metrics_, "rewrite_ns");
+    RewriterOptions rewriter = options_.rewriter;
+    // The per-request scope tightens whatever the engine-wide options
+    // carry: the earlier deadline wins, the request token applies.
+    rewriter.cancel = CancelScope(
+        Deadline::Earlier(rewriter.cancel.deadline(), cancel.deadline()),
+        cancel.token() != nullptr ? cancel.token()
+                                  : rewriter.cancel.token());
     OREW_ASSIGN_OR_RETURN(RewriteResult result,
-                          RewriteUcq(query, program_, options_.rewriter));
+                          RewriteUcq(query, program_, rewriter));
     rewriting = std::make_shared<const UnionOfCqs>(std::move(result.ucq));
   }
 
@@ -115,20 +146,124 @@ StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::Rewrite(
   return rewriting;
 }
 
-StatusOr<AnswerResult> AnswerEngine::Serve(const UnionOfCqs& query) {
+Status AnswerEngine::Admit(const CancelScope& scope) {
+  if (options_.max_inflight == 0) {
+    // Unlimited: still maintain the gauge.
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    ++inflight_;
+    metrics_.SetGauge("inflight", static_cast<std::int64_t>(inflight_));
+    return Status::Ok();
+  }
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  if (inflight_ >= options_.max_inflight) {
+    // Queue for a slot, but never past the request's own deadline: a
+    // request that would time out while queued is shed immediately
+    // instead of wasting its budget waiting.
+    auto give_up = Deadline::Clock::now() + options_.admission_timeout;
+    if (!scope.deadline().is_infinite() &&
+        scope.deadline().time() < give_up) {
+      give_up = scope.deadline().time();
+    }
+    const bool admitted = admission_cv_.wait_until(lock, give_up, [this] {
+      return inflight_ < options_.max_inflight;
+    });
+    if (!admitted) {
+      metrics_.Increment("requests_shed");
+      return ResourceExhaustedError(
+          StrCat("shed: ", inflight_, " requests in flight (max ",
+                 options_.max_inflight, ")"));
+    }
+  }
+  ++inflight_;
+  metrics_.SetGauge("inflight", static_cast<std::int64_t>(inflight_));
+  return Status::Ok();
+}
+
+void AnswerEngine::Release() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    --inflight_;
+    metrics_.SetGauge("inflight", static_cast<std::int64_t>(inflight_));
+  }
+  admission_cv_.notify_one();
+}
+
+std::size_t AnswerEngine::inflight() const {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  return inflight_;
+}
+
+// Releases the admission slot on every exit path out of ServeAdmitted.
+class AnswerEngine::AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AnswerEngine* engine) : engine_(engine) {}
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  ~AdmissionSlot() { engine_->Release(); }
+
+ private:
+  AnswerEngine* engine_;
+};
+
+StatusOr<AnswerResult> AnswerEngine::Serve(const UnionOfCqs& query,
+                                           const ServeOptions& serve) {
   metrics_.Increment("queries_served");
-  const std::int64_t hits_before = cache_stats().hits;
+  const CancelScope scope(serve.deadline, serve.cancel);
+
+  OREW_RETURN_IF_ERROR(Admit(scope));
+  AdmissionSlot slot(this);
+
+  StatusOr<AnswerResult> result = ServeAdmitted(query, scope);
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kDeadlineExceeded) {
+    metrics_.Increment("deadline_exceeded");
+  }
+  return result;
+}
+
+StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(const UnionOfCqs& query,
+                                                   const CancelScope& scope) {
+  // Fast-fail a request that arrived already out of budget, and give
+  // tests a hook that holds an admitted request in flight.
+  OREW_RETURN_IF_ERROR(scope.Check("serve"));
+  OREW_RETURN_IF_ERROR(CheckFaultPoint("serve.admit"));
+
   AnswerResult result;
-  OREW_ASSIGN_OR_RETURN(result.rewriting, Rewrite(query));
+  const std::int64_t hits_before = cache_stats().hits;
+  StatusOr<std::shared_ptr<const UnionOfCqs>> rewriting =
+      Rewrite(query, scope);
+  if (!rewriting.ok()) {
+    // Graceful degradation: a rewrite that ran out of budget (deadline or
+    // divergence cap) on a chase-terminating program can still be
+    // answered exactly, by materialization.
+    if (options_.chase_fallback && IsBudgetFailure(rewriting.status()) &&
+        ChaseTerminates()) {
+      ChaseOptions chase_options = options_.fallback_chase;
+      chase_options.cancel = scope;
+      OREW_ASSIGN_OR_RETURN(
+          result.answers,
+          CertainAnswersViaChase(query, program_, db_, chase_options));
+      result.served_via_chase = true;
+      metrics_.Increment("fallback_chase_served");
+      return result;
+    }
+    return rewriting.status();
+  }
+  result.rewriting = *std::move(rewriting);
   result.cache_hit = cache_stats().hits > hits_before;
 
   ParallelEvalOptions eval_options;
   eval_options.num_threads = options_.num_threads;
   eval_options.eval = options_.eval;
+  eval_options.eval.cancel = CancelScope(
+      Deadline::Earlier(options_.eval.cancel.deadline(), scope.deadline()),
+      scope.token() != nullptr ? scope.token()
+                               : options_.eval.cancel.token());
   {
     ScopedTimer timer(&metrics_, "eval_ns");
-    result.answers =
-        ParallelEvaluate(*result.rewriting, db_, eval_options, &result.eval);
+    OREW_ASSIGN_OR_RETURN(
+        result.answers,
+        ParallelEvaluate(*result.rewriting, db_, eval_options, &result.eval));
   }
   metrics_.Increment("eval_tuples_examined", result.eval.tuples_examined);
   metrics_.Increment("eval_matches", result.eval.matches);
@@ -136,14 +271,14 @@ StatusOr<AnswerResult> AnswerEngine::Serve(const UnionOfCqs& query) {
 }
 
 StatusOr<std::vector<Tuple>> AnswerEngine::CertainAnswers(
-    const UnionOfCqs& query) {
-  OREW_ASSIGN_OR_RETURN(AnswerResult result, Serve(query));
+    const UnionOfCqs& query, const ServeOptions& serve) {
+  OREW_ASSIGN_OR_RETURN(AnswerResult result, Serve(query, serve));
   return std::move(result.answers);
 }
 
 StatusOr<std::vector<Tuple>> AnswerEngine::CertainAnswers(
-    const ConjunctiveQuery& query) {
-  return CertainAnswers(UnionOfCqs(query));
+    const ConjunctiveQuery& query, const ServeOptions& serve) {
+  return CertainAnswers(UnionOfCqs(query), serve);
 }
 
 RewriteCacheStats AnswerEngine::cache_stats() const {

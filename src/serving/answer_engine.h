@@ -1,17 +1,22 @@
 #ifndef ONTOREW_SERVING_ANSWER_ENGINE_H_
 #define ONTOREW_SERVING_ANSWER_ENGINE_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "base/deadline.h"
 #include "base/metrics.h"
 #include "base/status.h"
+#include "chase/chase.h"
 #include "db/database.h"
 #include "db/eval.h"
 #include "logic/program.h"
@@ -28,14 +33,29 @@
 // the cached UCQ's disjuncts across worker threads for evaluation, and
 // records per-stage counters/timers in a MetricsRegistry.
 //
+// Overload safety (see DESIGN.md "Serving layer"): Serve takes a
+// per-request ServeOptions with an absolute deadline and an optional
+// cancellation token, both threaded through the rewrite saturation, the
+// chase, and every tuple scan. Admission control bounds concurrent
+// requests: beyond AnswerEngineOptions::max_inflight, a request waits up
+// to admission_timeout for a slot and is then shed with
+// ResourceExhausted. A timed-out request returns DeadlineExceeded —
+// never a silently-partial answer set. When the rewrite deadline (or its
+// divergence cap) fires on a program the weak-acyclicity classifier
+// proves chase-terminating, the engine can fall back to chase-based
+// answering (chase_fallback).
+//
 //   AnswerEngine engine(std::move(ontology), std::move(db));
-//   auto answers = engine.CertainAnswers(query);   // cold: rewrites
-//   auto again = engine.CertainAnswers(query);     // warm: cache hit
+//   ServeOptions per_request;
+//   per_request.deadline = Deadline::AfterMillis(50);
+//   auto result = engine.Serve(query, per_request);
 //   std::puts(engine.metrics().Snapshot().ToString().c_str());
 //
 // Metric names (see DESIGN.md "Serving layer"):
 //   counters  queries_served, rewrite_cache_hit, rewrite_cache_miss,
-//             rewrite_cache_eviction, eval_tuples_examined, eval_matches
+//             rewrite_cache_eviction, eval_tuples_examined, eval_matches,
+//             deadline_exceeded, requests_shed, fallback_chase_served
+//   gauges    inflight
 //   timers    rewrite_ns, eval_ns
 
 namespace ontorew {
@@ -48,7 +68,35 @@ struct AnswerEngineOptions {
   RewriterOptions rewriter;
   // Certain-answer semantics: answers containing labeled nulls are not
   // certain, so they are dropped by default.
-  EvalOptions eval{.drop_tuples_with_nulls = true};
+  EvalOptions eval{.drop_tuples_with_nulls = true, .cancel = {}};
+
+  // --- Admission control ---------------------------------------------------
+  // Concurrent Serve calls admitted at once; 0 = unlimited. Requests over
+  // the limit wait up to admission_timeout for a slot, then shed with
+  // ResourceExhausted (`requests_shed` counter; `inflight` gauge).
+  std::size_t max_inflight = 0;
+  // How long an over-limit request queues before shedding. Zero sheds
+  // immediately (pure load shedding, no queueing).
+  std::chrono::nanoseconds admission_timeout{0};
+
+  // --- Graceful degradation ------------------------------------------------
+  // When the rewriting is cut short (deadline or divergence cap) but the
+  // program is weakly acyclic — so the chase provably terminates — answer
+  // via the chase instead of failing (`fallback_chase_served` counter).
+  bool chase_fallback = false;
+  // Caps for that fallback chase (its cancel scope is overridden by the
+  // request's).
+  ChaseOptions fallback_chase;
+};
+
+// Per-request controls for Serve.
+struct ServeOptions {
+  // Absolute wall-clock budget for the whole request: admission wait,
+  // rewrite, (fallback chase,) evaluation.
+  Deadline deadline = Deadline::Infinite();
+  // Optional caller-held token: Cancel() aborts the request at the next
+  // cooperative check.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 // Cumulative cache statistics (monotonic except `size`).
@@ -63,6 +111,9 @@ struct RewriteCacheStats {
 struct AnswerResult {
   std::vector<Tuple> answers;  // Sorted, deduplicated.
   bool cache_hit = false;
+  // True when the answers came from the chase fallback (the rewriting
+  // below is then null).
+  bool served_via_chase = false;
   // The rewriting that was evaluated (shared with the cache; remains
   // valid after eviction).
   std::shared_ptr<const UnionOfCqs> rewriting;
@@ -97,22 +148,48 @@ class AnswerEngine {
 
   // The (cached) rewriting of `query`. Errors propagate from RewriteUcq
   // (FailedPrecondition for multi-head programs, ResourceExhausted when
-  // the saturation cap is hit); errors are not cached.
+  // the saturation cap is hit, DeadlineExceeded/Cancelled when `cancel`
+  // trips); errors are not cached.
   StatusOr<std::shared_ptr<const UnionOfCqs>> Rewrite(
-      const UnionOfCqs& query);
+      const UnionOfCqs& query, const CancelScope& cancel = {});
 
-  // End-to-end: rewrite (or fetch from cache), evaluate in parallel,
-  // return the sorted certain answers with provenance.
-  StatusOr<AnswerResult> Serve(const UnionOfCqs& query);
+  // End-to-end: admit, rewrite (or fetch from cache, or fall back to the
+  // chase), evaluate in parallel, return the sorted certain answers with
+  // provenance. Errors: ResourceExhausted when shed by admission control,
+  // DeadlineExceeded/Cancelled when the request's scope trips at any
+  // stage, plus everything Rewrite can return. An error never carries
+  // partial answers.
+  StatusOr<AnswerResult> Serve(const UnionOfCqs& query,
+                               const ServeOptions& serve = {});
 
   // Convenience wrappers returning just the answers.
-  StatusOr<std::vector<Tuple>> CertainAnswers(const UnionOfCqs& query);
-  StatusOr<std::vector<Tuple>> CertainAnswers(const ConjunctiveQuery& query);
+  StatusOr<std::vector<Tuple>> CertainAnswers(const UnionOfCqs& query,
+                                              const ServeOptions& serve = {});
+  StatusOr<std::vector<Tuple>> CertainAnswers(const ConjunctiveQuery& query,
+                                              const ServeOptions& serve = {});
+
+  // Whether the owned program is weakly acyclic (chase-terminating) —
+  // the gate for chase_fallback. Computed once per fingerprint.
+  bool ChaseTerminates() const;
 
   MetricsRegistry& metrics() { return metrics_; }
   RewriteCacheStats cache_stats() const;
 
+  // Current admitted-but-unfinished Serve calls (the `inflight` gauge).
+  std::size_t inflight() const;
+
  private:
+  class AdmissionSlot;
+
+  // Admission control: blocks until a slot frees, the timeout elapses, or
+  // the request deadline passes. OK means a slot is held (released by the
+  // AdmissionSlot in Serve).
+  Status Admit(const CancelScope& scope);
+  void Release();
+
+  StatusOr<AnswerResult> ServeAdmitted(const UnionOfCqs& query,
+                                       const CancelScope& scope);
+
   // MRU-first entry list; the map points into it for O(1) lookup+splice.
   using CacheEntry = std::pair<std::string, std::shared_ptr<const UnionOfCqs>>;
 
@@ -121,10 +198,16 @@ class AnswerEngine {
   AnswerEngineOptions options_;
   std::uint64_t fingerprint_;
 
-  mutable std::mutex mutex_;  // Guards cache_, index_ and the stats.
+  mutable std::mutex mutex_;  // Guards cache_, index_, stats_, wa_cache_.
   std::list<CacheEntry> cache_;
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> index_;
   RewriteCacheStats stats_;
+  // Weak-acyclicity verdict for the fingerprint it was computed under.
+  mutable std::optional<std::pair<std::uint64_t, bool>> wa_cache_;
+
+  mutable std::mutex admission_mutex_;  // Guards inflight_ only.
+  std::condition_variable admission_cv_;
+  std::size_t inflight_ = 0;
 
   MetricsRegistry metrics_;
 };

@@ -2,36 +2,64 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <thread>
+#include <utility>
 
 namespace ontorew {
 
-int EffectiveThreads(int requested) {
-  if (requested > 0) return requested;
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  return static_cast<int>(std::min(hw, 8u));
+int EffectiveThreads(int requested, std::size_t num_tasks) {
+  if (num_tasks == 0) return 1;
+  int resolved = requested;
+  if (resolved <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    resolved = static_cast<int>(std::min(hw, 8u));
+  }
+  // One thread per task is the most that can ever be useful, and
+  // kMaxEvalThreads bounds absurd explicit requests (num_threads=10'000
+  // must not fork-bomb the process).
+  resolved = std::min(resolved, kMaxEvalThreads);
+  if (num_tasks < static_cast<std::size_t>(resolved)) {
+    resolved = static_cast<int>(num_tasks);
+  }
+  return std::max(resolved, 1);
 }
 
-std::vector<Tuple> ParallelEvaluate(const UnionOfCqs& ucq, const Database& db,
-                                    const ParallelEvalOptions& options,
-                                    EvalStats* stats) {
+StatusOr<std::vector<Tuple>> ParallelEvaluate(const UnionOfCqs& ucq,
+                                              const Database& db,
+                                              const ParallelEvalOptions& options,
+                                              EvalStats* stats) {
   const std::vector<ConjunctiveQuery>& disjuncts = ucq.disjuncts();
-  const int threads = std::min<int>(EffectiveThreads(options.num_threads),
-                                    static_cast<int>(disjuncts.size()));
+  const int threads =
+      EffectiveThreads(options.num_threads, disjuncts.size());
 
   if (threads <= 1) {
-    return Evaluate(ucq, db, options.eval, stats);
+    return TryEvaluate(ucq, db, options.eval, stats);
   }
 
   // Workers pull disjunct indices from a shared counter (cheap dynamic
   // load balancing: rewritings are skewed, a few disjuncts dominate) and
   // accumulate into private sets — no shared mutable state until the
-  // deterministic merge below.
+  // deterministic merge below. A pool-local token, chained under the
+  // caller's, short-circuits the siblings of the first failing worker:
+  // their in-flight scans stop at the next stride check and no further
+  // disjuncts are claimed.
+  auto trip = std::make_shared<CancelToken>(options.eval.cancel.token());
+  EvalOptions worker_eval = options.eval;
+  worker_eval.cancel = options.eval.cancel.WithToken(trip);
+
   std::atomic<std::size_t> next{0};
   std::vector<std::set<Tuple>> partial(static_cast<std::size_t>(threads));
   std::vector<EvalStats> worker_stats(static_cast<std::size_t>(threads));
+  // The failure that tripped the pool: the one with the smallest disjunct
+  // index, so the reported error is deterministic even when several
+  // workers fail concurrently.
+  std::mutex error_mutex;
+  Status first_error;
+  std::size_t first_error_index = disjuncts.size();
   {
     std::vector<std::jthread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
@@ -41,8 +69,27 @@ std::vector<Tuple> ParallelEvaluate(const UnionOfCqs& ucq, const Database& db,
         EvalStats& my_stats = worker_stats[static_cast<std::size_t>(w)];
         for (std::size_t i = next.fetch_add(1); i < disjuncts.size();
              i = next.fetch_add(1)) {
-          for (Tuple& tuple :
-               Evaluate(disjuncts[i], db, options.eval, &my_stats)) {
+          if (trip->cancelled()) break;
+          StatusOr<std::vector<Tuple>> tuples =
+              TryEvaluate(disjuncts[i], db, worker_eval, &my_stats);
+          if (!tuples.ok()) {
+            // A Cancelled status caused by the pool-local trip (not by
+            // the caller's own token) is collateral from another worker's
+            // failure — don't let it shadow the root cause.
+            const bool secondary =
+                tuples.status().code() == StatusCode::kCancelled &&
+                !options.eval.cancel.cancelled();
+            if (!secondary) {
+              std::lock_guard<std::mutex> lock(error_mutex);
+              if (i < first_error_index) {
+                first_error_index = i;
+                first_error = tuples.status();
+              }
+            }
+            trip->Cancel();
+            break;
+          }
+          for (Tuple& tuple : *tuples) {
             mine.insert(std::move(tuple));
           }
         }
@@ -50,15 +97,21 @@ std::vector<Tuple> ParallelEvaluate(const UnionOfCqs& ucq, const Database& db,
     }
   }  // jthreads join here.
 
-  std::set<Tuple> merged;
-  for (std::set<Tuple>& mine : partial) {
-    merged.merge(mine);
-  }
   if (stats != nullptr) {
     for (const EvalStats& s : worker_stats) {
       stats->tuples_examined += s.tuples_examined;
       stats->matches += s.matches;
     }
+  }
+
+  if (!first_error.ok()) return first_error;
+  // The caller's own scope may have tripped after every claimed disjunct
+  // finished — still an error, never a silently partial union.
+  OREW_RETURN_IF_ERROR(options.eval.cancel.Check("parallel eval"));
+
+  std::set<Tuple> merged;
+  for (std::set<Tuple>& mine : partial) {
+    merged.merge(mine);
   }
   return std::vector<Tuple>(merged.begin(), merged.end());
 }

@@ -6,14 +6,18 @@
 #include <string>
 #include <vector>
 
+#include "base/deadline.h"
 #include "base/rng.h"
+#include "base/status.h"
 #include "core/pnode.h"
 #include "core/swr.h"
 #include "db/facts_io.h"
 #include "dl/dllite.h"
 #include "gtest/gtest.h"
 #include "logic/parser.h"
+#include "rewriting/rewriter.h"
 #include "test_util.h"
+#include "workload/generators.h"
 
 namespace ontorew {
 namespace {
@@ -123,6 +127,51 @@ TEST_P(PNodeCanonPropertyTest, InvariantUnderIsomorphism) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PNodeCanonPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- Rewriter fuzz sweep -----------------------------------------------------
+// Random small TGD programs and random CQs, rewritten under a 100ms
+// deadline with an effectively unbounded CQ cap: every run must come back
+// as a Status — ok on the (common) convergent programs, DeadlineExceeded
+// on divergent ones — never a crash and never a hang.
+
+class RewriterFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewriterFuzzTest, DeadlinedRewriteAlwaysReturnsStatus) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7368787ULL);
+  for (int round = 0; round < 15; ++round) {
+    Vocabulary vocab;
+    RandomProgramOptions program_options;
+    program_options.num_rules = rng.UniformIn(1, 6);
+    program_options.num_predicates = rng.UniformIn(2, 5);
+    program_options.max_arity = rng.UniformIn(1, 3);
+    program_options.max_body_atoms = rng.UniformIn(1, 3);
+    program_options.max_head_atoms = 1;  // Rewriter rejects multi-head.
+    program_options.existential_prob = 0.4;
+    program_options.repeat_prob = 0.2;
+    TgdProgram program = RandomProgram(program_options, &rng, &vocab);
+    UnionOfCqs query(
+        RandomCq(program, rng.UniformIn(1, 3), rng.UniformIn(0, 2), &rng,
+                 &vocab));
+
+    RewriterOptions options;
+    options.max_cqs = 50'000'000;  // The deadline is the binding bound.
+    options.cancel = CancelScope(Deadline::AfterMillis(100));
+    StatusOr<RewriteResult> result = RewriteUcq(query, program, options);
+    if (result.ok()) {
+      EXPECT_GE(result->ucq.size(), 1u) << "seed " << GetParam()
+                                        << ", round " << round;
+    } else {
+      // The only acceptable failure under an unbounded cap is the
+      // deadline firing on a divergent saturation.
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+          << "seed " << GetParam() << ", round " << round << ": "
+          << result.status();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriterFuzzTest,
+                         ::testing::Values(1, 2, 3, 4));
 
 TEST(WitnessProvenanceTest, WitnessNamesTheRule) {
   Vocabulary vocab;

@@ -1,7 +1,15 @@
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
 #include <vector>
 
+#include "base/deadline.h"
+#include "base/fault_point.h"
 #include "base/rng.h"
 #include "chase/chase.h"
+#include "classes/weakly_acyclic.h"
 #include "db/eval.h"
 #include "gtest/gtest.h"
 #include "serving/answer_engine.h"
@@ -35,13 +43,16 @@ TEST(ParallelEvalTest, DeterministicAcrossThreadCounts) {
 
     ParallelEvalOptions single;
     single.num_threads = 1;
-    std::vector<Tuple> reference = ParallelEvaluate(ucq, db, single);
-    EXPECT_EQ(reference, Evaluate(ucq, db, single.eval));
+    StatusOr<std::vector<Tuple>> reference = ParallelEvaluate(ucq, db, single);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    EXPECT_EQ(*reference, Evaluate(ucq, db, single.eval));
 
     for (int threads : {2, 3, 8}) {
       ParallelEvalOptions multi;
       multi.num_threads = threads;
-      EXPECT_EQ(ParallelEvaluate(ucq, db, multi), reference)
+      StatusOr<std::vector<Tuple>> parallel = ParallelEvaluate(ucq, db, multi);
+      ASSERT_TRUE(parallel.ok()) << parallel.status();
+      EXPECT_EQ(*parallel, *reference)
           << "seed " << seed << ", " << threads << " threads";
     }
   }
@@ -63,16 +74,87 @@ TEST(ParallelEvalTest, StatsAreSummedAcrossWorkers) {
   EvalStats sequential;
   ParallelEvalOptions single;
   single.num_threads = 1;
-  ParallelEvaluate(ucq, db, single, &sequential);
+  ASSERT_TRUE(ParallelEvaluate(ucq, db, single, &sequential).ok());
 
   EvalStats parallel;
   ParallelEvalOptions multi;
   multi.num_threads = 4;
-  ParallelEvaluate(ucq, db, multi, &parallel);
+  ASSERT_TRUE(ParallelEvaluate(ucq, db, multi, &parallel).ok());
 
   EXPECT_EQ(parallel.tuples_examined, sequential.tuples_examined);
   EXPECT_EQ(parallel.matches, sequential.matches);
   EXPECT_GT(parallel.matches, 0);
+}
+
+// --- Parallel evaluation: failure & clamping --------------------------------
+
+TEST(ParallelEvalTest, EffectiveThreadsClampsAbsurdRequests) {
+  // Never more workers than disjuncts: 10'000 threads on a 12-disjunct
+  // union is 12 workers, not a fork bomb.
+  EXPECT_EQ(EffectiveThreads(10'000, 12), 12);
+  EXPECT_EQ(EffectiveThreads(10'000, 1), 1);
+  // And never past the hard pool ceiling, however many tasks there are.
+  EXPECT_EQ(EffectiveThreads(10'000, 1'000'000), kMaxEvalThreads);
+  // Sane requests pass through; degenerate inputs resolve to >= 1.
+  EXPECT_EQ(EffectiveThreads(3, 12), 3);
+  EXPECT_EQ(EffectiveThreads(1, 0), 1);
+  EXPECT_GE(EffectiveThreads(0, 12), 1);   // Auto-pick.
+  EXPECT_GE(EffectiveThreads(-7, 12), 1);  // Negative is auto-pick too.
+}
+
+TEST(ParallelEvalTest, WorkerEvalFailurePropagatesAsStatus) {
+  // One disjunct of the union carries a schema bug (query arity disagrees
+  // with the stored relation). The worker's failure must surface as the
+  // call's error Status — with no partial answers from the healthy
+  // disjuncts — for every thread count.
+  Vocabulary vocab;
+  Database db;
+  PredicateId edge = vocab.MustPredicate("edge", 2);
+  for (int i = 0; i < 600; ++i) {
+    db.Insert(edge, {Value::Constant(vocab.InternConstant("a")),
+                     Value::Constant(vocab.InternConstant(
+                         std::string("b") + std::to_string(i)))});
+  }
+  UnionOfCqs ucq;
+  ucq.Add(MustQuery("q(X) :- edge(X, Y).", &vocab));
+  Atom unary_edge(edge, {Term::Var(vocab.InternVariable("Z"))});
+  ucq.Add(ConjunctiveQuery(std::vector<Term>{unary_edge.term(0)},
+                           {unary_edge}));
+  ucq.Add(MustQuery("q(Y) :- edge(X, Y).", &vocab));
+
+  for (int threads : {1, 2, 4}) {
+    ParallelEvalOptions options;
+    options.num_threads = threads;
+    StatusOr<std::vector<Tuple>> result = ParallelEvaluate(ucq, db, options);
+    ASSERT_FALSE(result.ok()) << threads << " threads";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find("arity mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(ParallelEvalTest, ExpiredDeadlineStopsEvaluation) {
+  Vocabulary vocab;
+  Database db;
+  PredicateId edge = vocab.MustPredicate("edge", 2);
+  for (int i = 0; i < 2000; ++i) {
+    db.Insert(edge, {Value::Constant(vocab.InternConstant("a")),
+                     Value::Constant(vocab.InternConstant(
+                         std::string("b") + std::to_string(i)))});
+  }
+  UnionOfCqs ucq;
+  ucq.Add(MustQuery("q(X, Y) :- edge(X, Y), edge(Y, Z).", &vocab));
+  ucq.Add(MustQuery("q(X, X) :- edge(X, X).", &vocab));
+
+  for (int threads : {1, 4}) {
+    ParallelEvalOptions options;
+    options.num_threads = threads;
+    options.eval.cancel =
+        CancelScope(Deadline::After(std::chrono::milliseconds(-1)));
+    StatusOr<std::vector<Tuple>> result = ParallelEvaluate(ucq, db, options);
+    ASSERT_FALSE(result.ok()) << threads << " threads";
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
 }
 
 // --- AnswerEngine: correctness ---------------------------------------------
@@ -280,6 +362,260 @@ TEST(AnswerEngineTest, ServeReportsCacheHitAndRewriting) {
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm->cache_hit);
   EXPECT_EQ(warm->rewriting, cold->rewriting);  // Same shared entry.
+}
+
+// --- AnswerEngine: deadlines, cancellation, faults, admission ---------------
+
+// Acceptance: a 1ms deadline on the divergent PaperExample2 rewriting
+// returns DeadlineExceeded well under 100ms — the saturation loop is
+// interrupted mid-flight instead of running to its divergence cap.
+TEST(AnswerEngineTest, DeadlinedServeOnDivergentWorkloadFailsFast) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  AnswerEngineOptions options;
+  // Make the deadline — not the CQ cap — the binding constraint.
+  options.rewriter.max_cqs = 50'000'000;
+  AnswerEngine engine(program, Database(), options);
+  ConjunctiveQuery query = MustQuery("q() :- r(\"a\", X).", &vocab);
+
+  ServeOptions serve;
+  serve.deadline = Deadline::AfterMillis(1);
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<AnswerResult> result = engine.Serve(UnionOfCqs(query), serve);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(100));
+  EXPECT_EQ(engine.metrics().Snapshot().Counter("deadline_exceeded"), 1);
+  // The aborted rewriting was not cached.
+  EXPECT_EQ(engine.cache_stats().size, 0u);
+}
+
+TEST(AnswerEngineTest, CancelledTokenAbortsServe) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  AnswerEngine engine(ontology, Database());
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  auto token = std::make_shared<CancelToken>();
+  token->Cancel();
+  ServeOptions serve;
+  serve.cancel = token;
+  StatusOr<AnswerResult> result = engine.Serve(query, serve);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+
+  // The same query without the token serves fine: nothing sticky leaked
+  // into the engine.
+  EXPECT_TRUE(engine.Serve(query).ok());
+}
+
+// Acceptance: a fault injected into a worker's tuple scan mid-evaluation
+// yields an error Status carrying zero tuples — never a partial answer
+// set from the disjuncts that happened to finish.
+TEST(AnswerEngineTest, InjectedMidEvalWorkerFaultYieldsErrorNotPartialAnswers) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(13);
+  UniversityInstanceOptions instance;
+  instance.num_students = 40;
+  AnswerEngineOptions options;
+  options.num_threads = 4;
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab),
+                      options);
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  // Warm the rewrite cache so the fault hits evaluation, not rewriting.
+  StatusOr<AnswerResult> healthy = engine.Serve(query);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_GT(healthy->answers.size(), 0u);
+  ASSERT_GT(healthy->eval.tuples_examined, 1);
+
+  {
+    // Trip halfway through the scan volume a clean serve needs: some
+    // workers are already done or deep into their disjuncts when the
+    // failure lands.
+    FaultPointConfig config;
+    config.after = healthy->eval.tuples_examined / 2;
+    ScopedFault fault("eval.scan", config);
+    StatusOr<AnswerResult> result = engine.Serve(query, {});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+    EXPECT_NE(result.status().message().find("eval.scan"),
+              std::string::npos);
+    EXPECT_GE(FaultRegistry::Global().trips("eval.scan"), 1);
+  }
+  FaultRegistry::Global().Reset();
+
+  // With the fault disarmed the same engine serves complete answers again.
+  StatusOr<AnswerResult> recovered = engine.Serve(query);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->answers, healthy->answers);
+}
+
+TEST(AnswerEngineTest, AdmissionControlShedsBeyondMaxInflight) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(3);
+  UniversityInstanceOptions instance;
+  instance.num_students = 20;
+  AnswerEngineOptions options;
+  options.max_inflight = 1;  // admission_timeout 0: shed immediately.
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab),
+                      options);
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  // Hold one admitted request in flight deterministically: the
+  // "serve.admit" fault point fires after admission, and its handler
+  // blocks until we release it (then suppresses the fault).
+  std::promise<void> reached_promise;
+  std::promise<void> release_promise;
+  std::future<void> reached = reached_promise.get_future();
+  std::shared_future<void> release = release_promise.get_future().share();
+  FaultPointConfig hold;
+  hold.handler = [&reached_promise, release](std::string_view) {
+    reached_promise.set_value();
+    release.wait();
+    return Status::Ok();
+  };
+  std::optional<StatusOr<AnswerResult>> held;
+  {
+    ScopedFault fault("serve.admit", hold);
+    std::thread holder([&] { held = engine.Serve(query); });
+    reached.wait();
+    EXPECT_EQ(engine.inflight(), 1u);
+    EXPECT_EQ(engine.metrics().Snapshot().Gauge("inflight"), 1);
+
+    // The slot is taken: the next request is shed, not queued.
+    StatusOr<AnswerResult> shed = engine.Serve(query);
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(shed.status().message().find("shed"), std::string::npos);
+    EXPECT_EQ(engine.metrics().Snapshot().Counter("requests_shed"), 1);
+
+    release_promise.set_value();
+    holder.join();
+  }
+  ASSERT_TRUE(held.has_value());
+  EXPECT_TRUE(held->ok()) << held->status();
+  // The slot was released; the gauge is back to zero and new requests
+  // are admitted again.
+  EXPECT_EQ(engine.inflight(), 0u);
+  EXPECT_EQ(engine.metrics().Snapshot().Gauge("inflight"), 0);
+  EXPECT_TRUE(engine.Serve(query).ok());
+}
+
+TEST(AnswerEngineTest, QueuedRequestAdmittedWhenSlotFrees) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  AnswerEngineOptions options;
+  options.max_inflight = 1;
+  options.admission_timeout = std::chrono::seconds(30);
+  AnswerEngine engine(ontology, Database(), options);
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  std::promise<void> reached_promise;
+  std::promise<void> release_promise;
+  std::future<void> reached = reached_promise.get_future();
+  std::shared_future<void> release = release_promise.get_future().share();
+  FaultPointConfig hold;
+  hold.after = 0;
+  bool signalled = false;
+  hold.handler = [&, release](std::string_view) {
+    // Only the first admitted request blocks; the queued one sails
+    // through once admitted.
+    if (!signalled) {
+      signalled = true;
+      reached_promise.set_value();
+      release.wait();
+    }
+    return Status::Ok();
+  };
+  ScopedFault fault("serve.admit", hold);
+
+  std::optional<StatusOr<AnswerResult>> held;
+  std::thread holder([&] { held = engine.Serve(query); });
+  reached.wait();
+
+  // This request queues behind the held slot...
+  std::optional<StatusOr<AnswerResult>> queued;
+  std::thread waiter([&] { queued = engine.Serve(query); });
+  // ...and is admitted (not shed) once the holder finishes.
+  release_promise.set_value();
+  holder.join();
+  waiter.join();
+
+  ASSERT_TRUE(held.has_value());
+  EXPECT_TRUE(held->ok()) << held->status();
+  ASSERT_TRUE(queued.has_value());
+  EXPECT_TRUE(queued->ok()) << queued->status();
+  EXPECT_EQ(engine.metrics().Snapshot().Counter("requests_shed"), 0);
+}
+
+// --- AnswerEngine: graceful degradation --------------------------------------
+
+TEST(AnswerEngineTest, FallsBackToChaseWhenRewriteBudgetFires) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  // The fallback gate: the university ontology is weakly acyclic, so the
+  // chase provably terminates on it.
+  ASSERT_TRUE(IsWeaklyAcyclic(ontology));
+
+  Rng rng(21);
+  UniversityInstanceOptions instance;
+  instance.num_students = 15;
+  Database db = UniversityInstance(instance, &rng, &vocab);
+  ConjunctiveQuery query = MustQuery("q(X) :- person(X).", &vocab);
+
+  // Reference answers, computed with an unconstrained engine.
+  AnswerEngine reference(ontology, db);
+  StatusOr<std::vector<Tuple>> expected = reference.CertainAnswers(query);
+  ASSERT_TRUE(expected.ok());
+
+  AnswerEngineOptions options;
+  options.rewriter.max_cqs = 1;  // Any real rewriting blows this budget.
+  options.chase_fallback = true;
+  AnswerEngine engine(ontology, db, options);
+  EXPECT_TRUE(engine.ChaseTerminates());
+
+  StatusOr<AnswerResult> result = engine.Serve(UnionOfCqs(query));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->served_via_chase);
+  EXPECT_EQ(result->rewriting, nullptr);
+  EXPECT_EQ(result->answers, *expected);
+  EXPECT_EQ(engine.metrics().Snapshot().Counter("fallback_chase_served"), 1);
+
+  // Without the fallback the same budget failure is surfaced as-is.
+  options.chase_fallback = false;
+  AnswerEngine strict(ontology, db, options);
+  StatusOr<AnswerResult> failed = strict.Serve(UnionOfCqs(query));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AnswerEngineTest, FallbackRefusedWhenChaseMayDiverge) {
+  Vocabulary vocab;
+  // PaperExample2 alone would not do here: its rewriting diverges but it
+  // IS weakly acyclic (which FallsBackToChaseWhenRewriteBudgetFires
+  // exploits). Adding a rule whose existential Z feeds back into u's own
+  // position breaks weak acyclicity without touching the query's
+  // divergent saturation — so the rewrite still fails on budget, and the
+  // fallback gate must refuse and surface that failure unchanged.
+  TgdProgram program = PaperExample2(&vocab);
+  program.Add(MustTgd("u(X, Y) -> u(Y, Z).", &vocab));
+  ASSERT_FALSE(IsWeaklyAcyclic(program));
+  AnswerEngineOptions options;
+  options.rewriter.max_cqs = 100;
+  options.chase_fallback = true;
+  AnswerEngine engine(program, Database(), options);
+  EXPECT_FALSE(engine.ChaseTerminates());
+
+  ConjunctiveQuery query = MustQuery("q() :- r(\"a\", X).", &vocab);
+  StatusOr<AnswerResult> result = engine.Serve(UnionOfCqs(query));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine.metrics().Snapshot().Counter("fallback_chase_served"), 0);
 }
 
 }  // namespace
