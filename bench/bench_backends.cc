@@ -1,0 +1,133 @@
+// Backend comparison (DESIGN.md "Backends"): the same rewritten UCQs
+// executed by the two Backend implementations — InMemoryBackend (the
+// built-in evaluator behind the Backend interface) and SqliteBackend
+// (facts loaded into an in-memory SQLite database, the rewriting run as
+// plain SQL). Two costs matter operationally:
+//
+//  - load time: InMemory copies the Database; SQLite creates tables and
+//    bulk-inserts every fact inside one transaction. Paid once per
+//    ReplaceDatabase, amortized over all queries.
+//  - per-query latency: hash-join evaluator vs SQLite's planner over
+//    the emitted SELECT ... UNION ... text.
+//
+// Answers are cross-checked between the backends every iteration — a
+// disagreement is a correctness bug, not a benchmark artifact, and
+// aborts the run.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "backend/backend.h"
+#include "backend/sqlite_backend.h"
+#include "base/logging.h"
+#include "base/rng.h"
+#include "logic/parser.h"
+#include "rewriting/rewriter.h"
+#include "workload/university.h"
+
+namespace ontorew {
+namespace {
+
+struct Scenario {
+  Vocabulary vocab;
+  TgdProgram ontology;
+  Database db;
+  // One narrow join and one wide union (person unfolds into a disjunct
+  // per raw predicate) — the two shapes backends see in practice.
+  UnionOfCqs join_ucq;
+  UnionOfCqs wide_ucq;
+};
+
+Scenario MakeScenario(int scale) {
+  Scenario scenario;
+  scenario.ontology = UniversityOntology(&scenario.vocab);
+  Rng rng(77);
+  UniversityInstanceOptions options;
+  options.num_professors = 2 * scale;
+  options.num_lecturers = 3 * scale;
+  options.num_students = 40 * scale;
+  options.num_phd_students = 4 * scale;
+  options.num_courses = 5 * scale;
+  scenario.db = UniversityInstance(options, &rng, &scenario.vocab);
+  StatusOr<ConjunctiveQuery> join = ParseQuery(
+      "q(S) :- enrolled(S, C), teaches(T, C), faculty(T).", &scenario.vocab);
+  OREW_CHECK(join.ok());
+  StatusOr<RewriteResult> join_rewriting =
+      RewriteCq(*join, scenario.ontology);
+  OREW_CHECK(join_rewriting.ok());
+  scenario.join_ucq = std::move(join_rewriting->ucq);
+  StatusOr<ConjunctiveQuery> wide =
+      ParseQuery("q(X) :- person(X).", &scenario.vocab);
+  OREW_CHECK(wide.ok());
+  StatusOr<RewriteResult> wide_rewriting =
+      RewriteCq(*wide, scenario.ontology);
+  OREW_CHECK(wide_rewriting.ok());
+  scenario.wide_ucq = std::move(wide_rewriting->ucq);
+  return scenario;
+}
+
+std::unique_ptr<Backend> MakeBackend(int which, Vocabulary* vocab) {
+  if (which == 0) return std::make_unique<InMemoryBackend>();
+  return std::make_unique<SqliteBackend>(vocab);
+}
+
+// Load cost: program schema + every fact into a fresh backend.
+void BM_BackendLoad(benchmark::State& state) {
+  Scenario scenario = MakeScenario(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    std::unique_ptr<Backend> backend =
+        MakeBackend(static_cast<int>(state.range(0)), &scenario.vocab);
+    Status status = backend->Load(scenario.ontology, scenario.db);
+    OREW_CHECK(status.ok()) << status;
+    benchmark::DoNotOptimize(backend);
+  }
+  state.counters["db_tuples"] = scenario.db.TotalTuples();
+  state.SetLabel(state.range(0) == 0 ? "inmemory" : "sqlite");
+}
+BENCHMARK(BM_BackendLoad)->ArgsProduct({{0, 1}, {1, 16, 64}});
+
+// Per-query latency on a loaded backend, answers cross-checked against
+// the other backend once up front.
+void RunExecBenchmark(benchmark::State& state, const UnionOfCqs& ucq,
+                      Scenario& scenario) {
+  std::unique_ptr<Backend> backend =
+      MakeBackend(static_cast<int>(state.range(0)), &scenario.vocab);
+  std::unique_ptr<Backend> other =
+      MakeBackend(1 - static_cast<int>(state.range(0)), &scenario.vocab);
+  OREW_CHECK(backend->Load(scenario.ontology, scenario.db).ok());
+  OREW_CHECK(other->Load(scenario.ontology, scenario.db).ok());
+  BackendExecOptions exec;
+  StatusOr<std::vector<Tuple>> reference = other->Execute(ucq, exec);
+  OREW_CHECK(reference.ok()) << reference.status();
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    StatusOr<std::vector<Tuple>> result = backend->Execute(ucq, exec);
+    OREW_CHECK(result.ok()) << result.status();
+    OREW_CHECK(*result == *reference) << "backends disagree";
+    answers = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["db_tuples"] = scenario.db.TotalTuples();
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["ucq_disjuncts"] = ucq.size();
+  state.SetLabel(state.range(0) == 0 ? "inmemory" : "sqlite");
+}
+
+void BM_BackendExecJoin(benchmark::State& state) {
+  Scenario scenario = MakeScenario(static_cast<int>(state.range(1)));
+  RunExecBenchmark(state, scenario.join_ucq, scenario);
+}
+BENCHMARK(BM_BackendExecJoin)->ArgsProduct({{0, 1}, {1, 16, 64}});
+
+void BM_BackendExecWideUnion(benchmark::State& state) {
+  Scenario scenario = MakeScenario(static_cast<int>(state.range(1)));
+  RunExecBenchmark(state, scenario.wide_ucq, scenario);
+}
+BENCHMARK(BM_BackendExecWideUnion)->ArgsProduct({{0, 1}, {1, 16, 64}});
+
+}  // namespace
+}  // namespace ontorew
+
+BENCHMARK_MAIN();

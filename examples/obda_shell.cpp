@@ -1,6 +1,7 @@
 // obda_shell: the full OBDA workflow as a command-line tool.
 //
-//   $ ./build/examples/obda_shell ONTOLOGY.tgd FACTS.facts QUERY [TIMEOUT_MS]
+//   $ ./build/examples/obda_shell ONTOLOGY.tgd FACTS.facts QUERY
+//         [TIMEOUT_MS] [BACKEND]
 //
 // Loads a TGD ontology and a ground-fact file, reports the ontology's
 // classification and chase-termination guarantee, analyzes the query's
@@ -8,17 +9,21 @@
 // guaranteed to terminate) cross-checks the answers against the chase.
 // The optional TIMEOUT_MS bounds each serve end-to-end: a divergent
 // saturation comes back as a DeadlineExceeded error instead of hanging
-// the shell.
+// the shell. BACKEND picks where the rewriting executes: "memory"
+// (default, the built-in evaluator) or "sqlite" (an in-memory SQLite
+// database loaded with the facts; the rewriting runs as plain SQL).
 //
 //   $ ./build/examples/obda_shell data/university.tgd /dev/null
-//         "q(X) :- person(X)." 500
+//         "q(X) :- person(X)." 500 sqlite
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "backend/sqlite_backend.h"
 #include "base/deadline.h"
 #include "base/logging.h"
 #include "chase/chase.h"
@@ -48,18 +53,26 @@ ontorew::StatusOr<std::string> ReadFile(const char* path) {
 
 int main(int argc, char** argv) {
   using namespace ontorew;
-  if (argc != 4 && argc != 5) {
-    std::fprintf(
-        stderr,
-        "usage: %s ONTOLOGY.tgd FACTS.facts \"q(X) :- ...\" [TIMEOUT_MS]\n",
-        argv[0]);
+  if (argc < 4 || argc > 6) {
+    std::fprintf(stderr,
+                 "usage: %s ONTOLOGY.tgd FACTS.facts \"q(X) :- ...\" "
+                 "[TIMEOUT_MS] [memory|sqlite]\n",
+                 argv[0]);
     return 1;
   }
   long timeout_ms = 0;  // 0 = no deadline.
-  if (argc == 5) {
+  if (argc >= 5) {
     timeout_ms = std::strtol(argv[4], nullptr, 10);
     if (timeout_ms <= 0) {
       std::fprintf(stderr, "TIMEOUT_MS must be a positive integer\n");
+      return 1;
+    }
+  }
+  std::string backend_name = "memory";
+  if (argc == 6) {
+    backend_name = argv[5];
+    if (backend_name != "memory" && backend_name != "sqlite") {
+      std::fprintf(stderr, "BACKEND must be \"memory\" or \"sqlite\"\n");
       return 1;
     }
   }
@@ -111,7 +124,12 @@ int main(int argc, char** argv) {
   // Serve through the caching engine: the first query pays the rewriting
   // (cache miss), the repeat is evaluation-only (cache hit) — the paper's
   // "rewrite once, then plain query evaluation" serving story.
-  AnswerEngine engine(*std::move(ontology), *std::move(db));
+  AnswerEngineOptions engine_options;
+  if (backend_name == "sqlite") {
+    engine_options.backend = std::make_shared<SqliteBackend>(&vocab);
+    std::printf("execution backend: sqlite (in-memory database)\n");
+  }
+  AnswerEngine engine(*std::move(ontology), *std::move(db), engine_options);
   ServeOptions per_request;
   if (timeout_ms > 0) {
     per_request.deadline = Deadline::AfterMillis(timeout_ms);

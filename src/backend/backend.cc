@@ -1,0 +1,29 @@
+#include "backend/backend.h"
+
+#include "serving/parallel_eval.h"
+
+namespace ontorew {
+
+Status InMemoryBackend::Load(const TgdProgram& program, const Database& db) {
+  // The evaluator treats a missing relation as empty, so the program's
+  // signature needs no materialization here — only the facts matter.
+  (void)program;
+  db_ = db;
+  loaded_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Tuple>> InMemoryBackend::Execute(
+    const UnionOfCqs& ucq, const BackendExecOptions& options,
+    EvalStats* stats) {
+  if (!loaded_) {
+    return FailedPreconditionError("InMemoryBackend: Execute before Load");
+  }
+  ParallelEvalOptions eval;
+  eval.num_threads = options.num_threads;
+  eval.eval.drop_tuples_with_nulls = options.drop_tuples_with_nulls;
+  eval.eval.cancel = options.cancel;
+  return ParallelEvaluate(ucq, db_, eval, stats);
+}
+
+}  // namespace ontorew

@@ -1,0 +1,89 @@
+#ifndef ONTOREW_BACKEND_BACKEND_H_
+#define ONTOREW_BACKEND_BACKEND_H_
+
+#include <string_view>
+#include <vector>
+
+#include "base/deadline.h"
+#include "base/status.h"
+#include "db/database.h"
+#include "db/eval.h"
+#include "logic/program.h"
+#include "logic/query.h"
+
+// Execution backends: where a (rewritten) UCQ actually runs. The paper's
+// punchline is that FO-rewritability lets certain-answer computation be
+// delegated to a plain SQL engine; a Backend is that delegation point.
+// The serving layer (AnswerEngine) computes the rewriting and hands the
+// resulting UCQ to a Backend, which holds the extensional data and
+// returns answer tuples as Value rows.
+//
+// Contract (asserted by tests/differential_test.cc against the chase
+// oracle): for the same loaded database, every backend returns the *same*
+// sorted, deduplicated answer set for every valid UCQ —
+//  * a predicate without stored facts is an empty relation, not an error;
+//  * labeled nulls join only with themselves (Value identity), and
+//    answer tuples containing nulls are dropped when
+//    drop_tuples_with_nulls is set (certain-answer semantics);
+//  * a 0-ary (boolean) UCQ answers with one empty tuple or none;
+//  * cancellation is cooperative: a tripped deadline/token returns
+//    DeadlineExceeded/Cancelled, never a partial answer set.
+
+namespace ontorew {
+
+struct BackendExecOptions {
+  // Drop answer tuples containing labeled nulls (certain-answer
+  // semantics when the loaded data came from a chase).
+  bool drop_tuples_with_nulls = true;
+  // Deadline/cancellation for the execution; inert by default. SQLite
+  // maps this onto sqlite3_progress_handler, the in-memory evaluator
+  // onto its strided scan checks.
+  CancelScope cancel;
+  // Worker threads for backends that fan disjuncts out (in-memory);
+  // single-connection backends ignore it.
+  int num_threads = 0;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // Stable short name, used in metric names ("inmemory", "sqlite").
+  virtual std::string_view name() const = 0;
+
+  // Replaces all stored facts with `db`'s contents; `program` fixes the
+  // schema (predicates the data does not mention yet are still created,
+  // empty). Must be called before Execute.
+  virtual Status Load(const TgdProgram& program, const Database& db) = 0;
+
+  // Executes a UCQ over the loaded facts and returns the sorted,
+  // deduplicated answer tuples. Accumulates scan counters into *stats
+  // (may be nullptr; backends fill what they can observe).
+  virtual StatusOr<std::vector<Tuple>> Execute(
+      const UnionOfCqs& ucq, const BackendExecOptions& options,
+      EvalStats* stats = nullptr) = 0;
+};
+
+// The reference backend: a copy of the Database evaluated with the
+// existing index-nested-loop evaluator, disjuncts fanned across the
+// parallel_eval worker pool.
+class InMemoryBackend : public Backend {
+ public:
+  InMemoryBackend() = default;
+
+  std::string_view name() const override { return "inmemory"; }
+  Status Load(const TgdProgram& program, const Database& db) override;
+  StatusOr<std::vector<Tuple>> Execute(const UnionOfCqs& ucq,
+                                       const BackendExecOptions& options,
+                                       EvalStats* stats = nullptr) override;
+
+  const Database& db() const { return db_; }
+
+ private:
+  Database db_;
+  bool loaded_ = false;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_BACKEND_BACKEND_H_

@@ -1,0 +1,319 @@
+#include "backend/sqlite_backend.h"
+
+#include <sqlite3.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/fault_point.h"
+#include "base/strings.h"
+#include "logic/atom.h"
+#include "rewriting/sql.h"
+
+namespace ontorew {
+namespace {
+
+// Stored form of labeled null N_i: "\x1b:n<i>". The ESC byte cannot open
+// a parsed constant (Load rejects it), so nulls and constants never
+// collide in a column.
+constexpr char kNullPrefix[] = "\x1b:n";
+constexpr std::size_t kNullPrefixLen = 3;
+
+std::string EncodeValue(Value value, const Vocabulary& vocab) {
+  if (value.is_null()) return StrCat(kNullPrefix, value.id());
+  return SqlConstantText(value.id(), vocab);
+}
+
+bool IsNullEncoding(std::string_view text) {
+  return text.size() > kNullPrefixLen &&
+         text.compare(0, kNullPrefixLen, kNullPrefix) == 0;
+}
+
+Status SqliteError(sqlite3* conn, std::string_view what) {
+  return InternalError(
+      StrCat("sqlite: ", what, ": ",
+             conn != nullptr ? sqlite3_errmsg(conn) : "no connection"));
+}
+
+// One finalize on every exit path.
+class StmtGuard {
+ public:
+  explicit StmtGuard(sqlite3_stmt* stmt) : stmt_(stmt) {}
+  StmtGuard(const StmtGuard&) = delete;
+  StmtGuard& operator=(const StmtGuard&) = delete;
+  ~StmtGuard() { sqlite3_finalize(stmt_); }
+
+ private:
+  sqlite3_stmt* stmt_;
+};
+
+// Polls the request's cancel scope from SQLite's VM; nonzero interrupts
+// the running statement.
+int ProgressPoll(void* scope) {
+  return static_cast<const CancelScope*>(scope)->Check("sqlite.exec").ok()
+             ? 0
+             : 1;
+}
+
+// Uninstalls the progress handler on every exit path.
+class ProgressGuard {
+ public:
+  ProgressGuard(sqlite3* conn, const CancelScope& scope, int instructions)
+      : conn_(conn), installed_(scope.active()) {
+    if (installed_) {
+      sqlite3_progress_handler(conn_, instructions, &ProgressPoll,
+                               const_cast<CancelScope*>(&scope));
+    }
+  }
+  ProgressGuard(const ProgressGuard&) = delete;
+  ProgressGuard& operator=(const ProgressGuard&) = delete;
+  ~ProgressGuard() {
+    if (installed_) sqlite3_progress_handler(conn_, 0, nullptr, nullptr);
+  }
+
+ private:
+  sqlite3* conn_;
+  bool installed_;
+};
+
+}  // namespace
+
+SqliteBackend::SqliteBackend(Vocabulary* vocab, SqliteBackendOptions options)
+    : vocab_(vocab), options_(std::move(options)) {
+  const int rc =
+      sqlite3_open_v2(options_.path.c_str(), &conn_,
+                      SQLITE_OPEN_READWRITE | SQLITE_OPEN_CREATE |
+                          SQLITE_OPEN_FULLMUTEX,
+                      nullptr);
+  if (rc != SQLITE_OK) {
+    open_status_ = InternalError(StrCat(
+        "sqlite: cannot open '", options_.path, "': ",
+        conn_ != nullptr ? sqlite3_errmsg(conn_) : sqlite3_errstr(rc)));
+    sqlite3_close(conn_);
+    conn_ = nullptr;
+  }
+}
+
+SqliteBackend::~SqliteBackend() { sqlite3_close(conn_); }
+
+Status SqliteBackend::RunSql(const std::string& sql) {
+  char* error = nullptr;
+  if (sqlite3_exec(conn_, sql.c_str(), nullptr, nullptr, &error) !=
+      SQLITE_OK) {
+    Status status = InternalError(
+        StrCat("sqlite: ", error != nullptr ? error : "unknown error",
+               " while executing: ", sql));
+    sqlite3_free(error);
+    return status;
+  }
+  return Status::Ok();
+}
+
+Status SqliteBackend::RegisterConstant(ConstantId id) {
+  std::string text = SqlConstantText(id, *vocab_);
+  if (!text.empty() && text.front() == kNullPrefix[0]) {
+    return InvalidArgumentError(
+        StrCat("constant '", vocab_->ConstantName(id),
+               "' begins with the byte reserved for labeled-null encoding"));
+  }
+  auto [it, inserted] = decode_.emplace(std::move(text), id);
+  if (!inserted && it->second != id) {
+    return InvalidArgumentError(StrCat(
+        "constants '", vocab_->ConstantName(it->second), "' and '",
+        vocab_->ConstantName(id),
+        "' have identical SQL encodings ('", it->first,
+        "'): SQL would equate values the in-memory evaluator distinguishes"));
+  }
+  return Status::Ok();
+}
+
+Status SqliteBackend::EnsureTable(PredicateId p) {
+  if (created_.count(p) > 0) return Status::Ok();
+  OREW_RETURN_IF_ERROR(RunSql(TableToSql(p, *vocab_)));
+  created_.insert(p);
+  return Status::Ok();
+}
+
+Status SqliteBackend::Load(const TgdProgram& program, const Database& db) {
+  OREW_RETURN_IF_ERROR(open_status_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  loaded_ = false;
+
+  // Replace, don't merge: drop the previous schema entirely.
+  for (PredicateId p : created_) {
+    OREW_RETURN_IF_ERROR(RunSql(StrCat(
+        "DROP TABLE IF EXISTS ", SqlIdentifier(vocab_->PredicateName(p)),
+        ";")));
+  }
+  created_.clear();
+  decode_.clear();
+
+  std::vector<PredicateId> predicates = program.Predicates();
+  for (PredicateId p : db.PredicatesPresent()) predicates.push_back(p);
+  std::sort(predicates.begin(), predicates.end());
+  predicates.erase(std::unique(predicates.begin(), predicates.end()),
+                   predicates.end());
+
+  OREW_RETURN_IF_ERROR(RunSql("BEGIN;"));
+  Status status = Status::Ok();
+  for (PredicateId p : predicates) {
+    status = EnsureTable(p);
+    if (!status.ok()) break;
+    const Relation* relation = db.Find(p);
+    if (relation == nullptr || relation->size() == 0) continue;
+
+    std::string insert = StrCat(
+        "INSERT INTO ", SqlIdentifier(vocab_->PredicateName(p)), " VALUES (");
+    std::vector<std::string> holes;
+    for (int j = 0; j < relation->arity(); ++j) holes.push_back("?");
+    if (holes.empty()) holes.push_back("1");  // 0-ary sentinel column.
+    insert += StrJoin(holes, ", ");
+    insert += ");";
+    sqlite3_stmt* stmt = nullptr;
+    if (sqlite3_prepare_v2(conn_, insert.c_str(), -1, &stmt, nullptr) !=
+        SQLITE_OK) {
+      status = SqliteError(conn_, StrCat("prepare: ", insert));
+      break;
+    }
+    StmtGuard guard(stmt);
+    for (const Tuple& tuple : relation->tuples()) {
+      for (int j = 0; j < relation->arity(); ++j) {
+        Value v = tuple[static_cast<std::size_t>(j)];
+        if (v.is_constant()) {
+          status = RegisterConstant(v.id());
+          if (!status.ok()) break;
+        }
+        std::string text = EncodeValue(v, *vocab_);
+        if (sqlite3_bind_text(stmt, j + 1, text.data(),
+                              static_cast<int>(text.size()),
+                              SQLITE_TRANSIENT) != SQLITE_OK) {
+          status = SqliteError(conn_, "bind");
+          break;
+        }
+      }
+      if (!status.ok()) break;
+      if (sqlite3_step(stmt) != SQLITE_DONE) {
+        status = SqliteError(conn_, "insert step");
+        break;
+      }
+      sqlite3_reset(stmt);
+    }
+    if (!status.ok()) break;
+  }
+  if (!status.ok()) {
+    (void)RunSql("ROLLBACK;");
+    return status;
+  }
+  OREW_RETURN_IF_ERROR(RunSql("COMMIT;"));
+  loaded_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Tuple>> SqliteBackend::Execute(
+    const UnionOfCqs& ucq, const BackendExecOptions& options,
+    EvalStats* stats) {
+  OREW_RETURN_IF_ERROR(open_status_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!loaded_) {
+    return FailedPreconditionError("SqliteBackend: Execute before Load");
+  }
+  OREW_RETURN_IF_ERROR(options.cancel.Check("sqlite.exec"));
+  OREW_RETURN_IF_ERROR(CheckFaultPoint("backend.exec"));
+  OREW_ASSIGN_OR_RETURN(std::string sql, UcqToSql(ucq, *vocab_));
+
+  // Constants that appear only in the query still need a decoding (a
+  // constant answer term comes back as a result cell), and their
+  // encodings must not collide with loaded ones.
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    for (Term t : cq.answer_terms()) {
+      if (t.is_constant()) OREW_RETURN_IF_ERROR(RegisterConstant(t.id()));
+    }
+    for (const Atom& atom : cq.body()) {
+      OREW_RETURN_IF_ERROR(EnsureTable(atom.predicate()));
+      for (Term t : atom.terms()) {
+        if (t.is_constant()) OREW_RETURN_IF_ERROR(RegisterConstant(t.id()));
+      }
+    }
+  }
+
+  sqlite3_stmt* stmt = nullptr;
+  if (sqlite3_prepare_v2(conn_, sql.c_str(), -1, &stmt, nullptr) !=
+      SQLITE_OK) {
+    return SqliteError(conn_, StrCat("prepare: ", sql));
+  }
+  StmtGuard guard(stmt);
+  ProgressGuard progress(conn_, options.cancel,
+                         options_.progress_poll_instructions);
+
+  const int arity = ucq.arity();
+  std::vector<Tuple> answers;
+  for (;;) {
+    const int rc = sqlite3_step(stmt);
+    if (rc == SQLITE_DONE) break;
+    if (rc == SQLITE_INTERRUPT) {
+      Status tripped = options.cancel.Check("sqlite.exec");
+      return tripped.ok() ? CancelledError("sqlite: statement interrupted")
+                          : tripped;
+    }
+    if (rc != SQLITE_ROW) return SqliteError(conn_, "step");
+    if (stats != nullptr) ++stats->matches;
+    Tuple tuple;
+    tuple.reserve(static_cast<std::size_t>(arity));
+    bool has_null = false;
+    for (int j = 0; j < arity; ++j) {
+      const unsigned char* raw = sqlite3_column_text(stmt, j);
+      std::string text(raw != nullptr
+                           ? reinterpret_cast<const char*>(raw)
+                           : "");
+      if (IsNullEncoding(text)) {
+        has_null = true;
+        tuple.push_back(Value::Null(static_cast<std::int32_t>(
+            std::atoi(text.c_str() + kNullPrefixLen))));
+        continue;
+      }
+      auto it = decode_.find(text);
+      ConstantId id =
+          it != decode_.end() ? it->second : vocab_->InternConstant(text);
+      if (it == decode_.end()) decode_.emplace(std::move(text), id);
+      tuple.push_back(Value::Constant(id));
+    }
+    if (has_null && options.drop_tuples_with_nulls) continue;
+    answers.push_back(std::move(tuple));
+  }
+  if (stats != nullptr) {
+    stats->tuples_examined +=
+        sqlite3_stmt_status(stmt, SQLITE_STMTSTATUS_FULLSCAN_STEP, 0);
+  }
+
+  // SQL's UNION already deduplicates *encodings*; sort and deduplicate in
+  // Value order so the result is byte-identical to the in-memory path.
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+StatusOr<std::int64_t> SqliteBackend::StoredTuples() {
+  OREW_RETURN_IF_ERROR(open_status_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t total = 0;
+  for (PredicateId p : created_) {
+    std::string sql = StrCat("SELECT COUNT(*) FROM ",
+                             SqlIdentifier(vocab_->PredicateName(p)), ";");
+    sqlite3_stmt* stmt = nullptr;
+    if (sqlite3_prepare_v2(conn_, sql.c_str(), -1, &stmt, nullptr) !=
+        SQLITE_OK) {
+      return SqliteError(conn_, StrCat("prepare: ", sql));
+    }
+    StmtGuard guard(stmt);
+    if (sqlite3_step(stmt) != SQLITE_ROW) {
+      return SqliteError(conn_, "count step");
+    }
+    total += sqlite3_column_int64(stmt, 0);
+  }
+  return total;
+}
+
+}  // namespace ontorew

@@ -14,13 +14,7 @@ namespace {
 
 // Escapes a constant for a single-quoted SQL string literal.
 std::string SqlLiteral(ConstantId id, const Vocabulary& vocab) {
-  std::string_view name = vocab.ConstantName(id);
-  // Strip only the *surrounding* double quotes our parser keeps around
-  // string literals; interior quotes are part of the constant's value.
-  if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
-    name.remove_prefix(1);
-    name.remove_suffix(1);
-  }
+  std::string name = SqlConstantText(id, vocab);
   std::string escaped;
   escaped.reserve(name.size() + 2);
   escaped += '\'';
@@ -36,14 +30,27 @@ std::string SqlLiteral(ConstantId id, const Vocabulary& vocab) {
 }
 
 // SQL reserved words that clash with plausible predicate names. A bare
-// identifier with one of these names (any case) must be quoted.
+// identifier with one of these names (any case) must be quoted. The list
+// is the SQLite keyword set minus words its grammar accepts as bare table
+// names anyway — executing `CREATE TABLE distinct (...)` is how gaps get
+// caught, so the backend round-trip tests sweep this list.
 bool IsSqlReservedWord(std::string_view name) {
-  static constexpr std::array<std::string_view, 32> kReserved = {
-      "all",    "and",   "as",     "by",     "case",   "create", "cross",
-      "delete", "drop",  "else",   "from",   "group",  "having", "in",
-      "insert", "into",  "join",   "like",   "not",    "null",   "on",
-      "or",     "order", "select", "set",    "table",  "then",   "union",
-      "update", "values", "when",  "where"};
+  static constexpr std::array<std::string_view, 72> kReserved = {
+      "add",        "all",       "alter",     "and",        "as",
+      "autoincrement",           "between",   "by",         "case",
+      "check",      "collate",   "commit",    "constraint", "create",
+      "cross",      "default",   "deferrable","delete",     "distinct",
+      "drop",       "else",      "escape",    "except",     "exists",
+      "foreign",    "from",      "full",      "group",      "having",
+      "in",         "index",     "inner",     "insert",     "intersect",
+      "into",       "is",        "isnull",    "join",       "left",
+      "like",       "limit",     "natural",   "not",        "notnull",
+      "null",       "on",        "or",        "order",      "outer",
+      "primary",    "references","right",     "select",     "set",
+      "table",      "then",      "to",        "transaction","union",
+      "unique",     "update",    "using",     "values",     "when",
+      "where",      "glob",      "regexp",    "match",      "offset",
+      "cast",       "returning", "nothing"};
   std::string lower;
   lower.reserve(name.size());
   for (char c : name) {
@@ -55,8 +62,19 @@ bool IsSqlReservedWord(std::string_view name) {
   return false;
 }
 
-// Renders a table name: bare when it is a plain identifier and not a
-// reserved word, otherwise double-quoted with interior quotes doubled.
+}  // namespace
+
+std::string SqlConstantText(ConstantId id, const Vocabulary& vocab) {
+  std::string_view name = vocab.ConstantName(id);
+  // Strip only the *surrounding* double quotes our parser keeps around
+  // string literals; interior quotes are part of the constant's value.
+  if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+    name.remove_prefix(1);
+    name.remove_suffix(1);
+  }
+  return std::string(name);
+}
+
 std::string SqlIdentifier(std::string_view name) {
   bool plain = !name.empty() && !IsSqlReservedWord(name);
   for (std::size_t i = 0; plain && i < name.size(); ++i) {
@@ -76,8 +94,6 @@ std::string SqlIdentifier(std::string_view name) {
   quoted += '"';
   return quoted;
 }
-
-}  // namespace
 
 StatusOr<std::string> CqToSql(const ConjunctiveQuery& cq,
                               const Vocabulary& vocab) {
@@ -135,17 +151,25 @@ StatusOr<std::string> UcqToSql(const UnionOfCqs& ucq,
   return StrJoin(parts, "\nUNION\n");
 }
 
+std::string TableToSql(PredicateId predicate, const Vocabulary& vocab) {
+  std::string ddl = StrCat(
+      "CREATE TABLE ", SqlIdentifier(vocab.PredicateName(predicate)), " (");
+  std::vector<std::string> columns;
+  for (int j = 0; j < vocab.PredicateArity(predicate); ++j) {
+    columns.push_back(StrCat("c", j + 1, " TEXT NOT NULL"));
+  }
+  // `CREATE TABLE p ()` is a syntax error: a propositional predicate
+  // stores a sentinel column no emitted query references.
+  if (columns.empty()) columns.push_back("c0 INTEGER NOT NULL");
+  ddl += StrJoin(columns, ", ");
+  ddl += ");\n";
+  return ddl;
+}
+
 std::string SchemaToSql(const TgdProgram& program, const Vocabulary& vocab) {
   std::string ddl;
   for (PredicateId p : program.Predicates()) {
-    ddl += StrCat("CREATE TABLE ", SqlIdentifier(vocab.PredicateName(p)),
-                  " (");
-    std::vector<std::string> columns;
-    for (int j = 0; j < vocab.PredicateArity(p); ++j) {
-      columns.push_back(StrCat("c", j + 1, " TEXT NOT NULL"));
-    }
-    ddl += StrJoin(columns, ", ");
-    ddl += ");\n";
+    ddl += TableToSql(p, vocab);
   }
   return ddl;
 }

@@ -2,6 +2,7 @@
 #define ONTOREW_REWRITING_SQL_H_
 
 #include <string>
+#include <string_view>
 
 #include "base/status.h"
 #include "logic/program.h"
@@ -33,6 +34,24 @@ StatusOr<std::string> CqToSql(const ConjunctiveQuery& cq,
 // Renders the whole union. Errors on an invalid or empty UCQ.
 StatusOr<std::string> UcqToSql(const UnionOfCqs& ucq,
                                const Vocabulary& vocab);
+
+// The text a constant's SQL literal *contains* (surrounding double quotes
+// from the parser's string-literal syntax stripped, no SQL escaping).
+// This is the canonical stored form: backends that load facts into a real
+// database must store exactly this text so that the literals the query
+// emitter produces compare equal to the stored values.
+std::string SqlConstantText(ConstantId id, const Vocabulary& vocab);
+
+// Renders a table/column identifier: bare when it is a plain identifier
+// and not a reserved word, otherwise double-quoted with interior quotes
+// doubled.
+std::string SqlIdentifier(std::string_view name);
+
+// The CREATE TABLE statement for one predicate (text columns c1..ck). A
+// 0-ary (propositional) predicate gets a single sentinel column c0 —
+// zero-column tables are not valid SQL — which no emitted query ever
+// references; presence of any row encodes "true".
+std::string TableToSql(PredicateId predicate, const Vocabulary& vocab);
 
 // The CREATE TABLE statements for every predicate of `program`'s
 // signature (text columns), for loading the extensional data.

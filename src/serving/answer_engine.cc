@@ -57,14 +57,32 @@ AnswerEngine::AnswerEngine(TgdProgram program, Database db,
                            AnswerEngineOptions options)
     : program_(std::move(program)), db_(std::move(db)),
       options_(std::move(options)),
-      fingerprint_(FingerprintProgram(program_)) {}
+      fingerprint_(FingerprintProgram(program_)) {
+  ReloadBackend();
+}
+
+void AnswerEngine::ReloadBackend() {
+  if (options_.backend == nullptr) {
+    backend_load_status_ = Status::Ok();
+    return;
+  }
+  const std::string prefix = StrCat("backend_", options_.backend->name());
+  ScopedTimer timer(&metrics_, StrCat(prefix, "_load_ns"));
+  backend_load_status_ = options_.backend->Load(program_, db_);
+  if (backend_load_status_.ok()) metrics_.Increment(StrCat(prefix, "_load"));
+}
 
 void AnswerEngine::AddTgd(Tgd tgd) {
   program_.Add(std::move(tgd));
   fingerprint_ = FingerprintProgram(program_);
+  // The schema grew: the backend must know the new predicates.
+  ReloadBackend();
 }
 
-void AnswerEngine::ReplaceDatabase(Database db) { db_ = std::move(db); }
+void AnswerEngine::ReplaceDatabase(Database db) {
+  db_ = std::move(db);
+  ReloadBackend();
+}
 
 std::string AnswerEngine::CacheKey(const UnionOfCqs& query) const {
   std::vector<std::string> keys;
@@ -252,14 +270,30 @@ StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(const UnionOfCqs& query,
   result.rewriting = *std::move(rewriting);
   result.cache_hit = cache_stats().hits > hits_before;
 
-  ParallelEvalOptions eval_options;
-  eval_options.num_threads = options_.num_threads;
-  eval_options.eval = options_.eval;
-  eval_options.eval.cancel = CancelScope(
+  // The per-request scope tightens the engine-wide eval options.
+  const CancelScope eval_scope(
       Deadline::Earlier(options_.eval.cancel.deadline(), scope.deadline()),
       scope.token() != nullptr ? scope.token()
                                : options_.eval.cancel.token());
-  {
+  if (options_.backend != nullptr) {
+    // Delegated execution: the rewriting runs on the configured backend
+    // (the paper's "plain SQL over the original database" stage).
+    OREW_RETURN_IF_ERROR(backend_load_status_);
+    BackendExecOptions exec;
+    exec.drop_tuples_with_nulls = options_.eval.drop_tuples_with_nulls;
+    exec.cancel = eval_scope;
+    exec.num_threads = options_.num_threads;
+    const std::string prefix = StrCat("backend_", options_.backend->name());
+    ScopedTimer timer(&metrics_, StrCat(prefix, "_exec_ns"));
+    OREW_ASSIGN_OR_RETURN(
+        result.answers,
+        options_.backend->Execute(*result.rewriting, exec, &result.eval));
+    metrics_.Increment(StrCat(prefix, "_exec"));
+  } else {
+    ParallelEvalOptions eval_options;
+    eval_options.num_threads = options_.num_threads;
+    eval_options.eval = options_.eval;
+    eval_options.eval.cancel = eval_scope;
     ScopedTimer timer(&metrics_, "eval_ns");
     OREW_ASSIGN_OR_RETURN(
         result.answers,

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "backend/backend.h"
 #include "base/deadline.h"
 #include "base/metrics.h"
 #include "base/status.h"
@@ -69,6 +70,19 @@ struct AnswerEngineOptions {
   // Certain-answer semantics: answers containing labeled nulls are not
   // certain, so they are dropped by default.
   EvalOptions eval{.drop_tuples_with_nulls = true, .cancel = {}};
+
+  // --- Execution backend ---------------------------------------------------
+  // Where the rewritten UCQ runs. Null (the default) keeps the built-in
+  // path: ParallelEvaluate directly over the engine's own Database, no
+  // copy. A non-null backend (e.g. a SqliteBackend sharing the caller's
+  // Vocabulary) is Load()ed with the engine's program and data at
+  // construction and on every ReplaceDatabase/AddTgd, and every Serve
+  // evaluates through it — the paper's "delegate to a plain SQL engine"
+  // architecture. Per-backend metrics: counters backend_<name>_exec /
+  // backend_<name>_load, timers backend_<name>_exec_ns /
+  // backend_<name>_load_ns. A failed Load surfaces from the next Serve
+  // as that error (the engine stays usable after a successful reload).
+  std::shared_ptr<Backend> backend;
 
   // --- Admission control ---------------------------------------------------
   // Concurrent Serve calls admitted at once; 0 = unlimited. Requests over
@@ -187,6 +201,10 @@ class AnswerEngine {
   Status Admit(const CancelScope& scope);
   void Release();
 
+  // (Re)loads options_.backend with the current program and data,
+  // recording load metrics; remembers the status for Serve.
+  void ReloadBackend();
+
   StatusOr<AnswerResult> ServeAdmitted(const UnionOfCqs& query,
                                        const CancelScope& scope);
 
@@ -197,6 +215,8 @@ class AnswerEngine {
   Database db_;
   AnswerEngineOptions options_;
   std::uint64_t fingerprint_;
+  // Outcome of the last backend Load (OK when no backend is configured).
+  Status backend_load_status_;
 
   mutable std::mutex mutex_;  // Guards cache_, index_, stats_, wa_cache_.
   std::list<CacheEntry> cache_;

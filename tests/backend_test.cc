@@ -1,0 +1,413 @@
+#include "backend/backend.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/sqlite_backend.h"
+#include "base/deadline.h"
+#include "base/fault_point.h"
+#include "base/rng.h"
+#include "db/eval.h"
+#include "gtest/gtest.h"
+#include "rewriting/rewriter.h"
+#include "rewriting/sql.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/university.h"
+
+// Round-trip tests: the emitted SQL is *executed* on real SQLite and the
+// decoded answers compared against the in-memory evaluator — asserting
+// results, not strings. Every historical emission bug class (reserved
+// words, quote escaping, boolean queries, repeated variables, 0-ary DDL)
+// gets an executed regression here.
+
+namespace ontorew {
+namespace {
+
+// Loads `db` into both backends and checks that they agree with the
+// reference evaluator on `ucq`; returns the answers.
+std::vector<Tuple> ExpectBackendsAgree(const TgdProgram& program,
+                                       const Database& db,
+                                       const UnionOfCqs& ucq,
+                                       Vocabulary* vocab) {
+  EvalOptions reference_options{.drop_tuples_with_nulls = true, .cancel = {}};
+  std::vector<Tuple> reference = Evaluate(ucq, db, reference_options);
+
+  InMemoryBackend memory;
+  EXPECT_TRUE(memory.Load(program, db).ok());
+  SqliteBackend sqlite(vocab);
+  Status load = sqlite.Load(program, db);
+  EXPECT_TRUE(load.ok()) << load;
+
+  BackendExecOptions exec;
+  StatusOr<std::vector<Tuple>> from_memory = memory.Execute(ucq, exec);
+  StatusOr<std::vector<Tuple>> from_sqlite = sqlite.Execute(ucq, exec);
+  EXPECT_TRUE(from_memory.ok()) << from_memory.status();
+  EXPECT_TRUE(from_sqlite.ok()) << from_sqlite.status();
+  if (from_memory.ok() && from_sqlite.ok()) {
+    EXPECT_EQ(*from_memory, reference);
+    EXPECT_EQ(*from_sqlite, reference);
+  }
+  return reference;
+}
+
+TEST(BackendTest, SingleTableProjectionExecutes) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("r(X, Y) -> s(X).", &vocab);
+  Database db;
+  PredicateId r = vocab.FindPredicate("r");
+  auto c = [&](const char* name) {
+    return Value::Constant(vocab.InternConstant(name));
+  };
+  db.Insert(r, {c("a"), c("b")});
+  db.Insert(r, {c("b"), c("c")});
+
+  UnionOfCqs q(MustQuery("q(X, Y) :- r(X, Y).", &vocab));
+  std::vector<Tuple> answers = ExpectBackendsAgree(program, db, q, &vocab);
+  EXPECT_EQ(answers.size(), 2u);
+}
+
+TEST(BackendTest, ReservedWordPredicatesExecute) {
+  // Every one of these predicate names is a SQL keyword; executing the
+  // DDL and the query on real SQLite is the only honest test that the
+  // quoting sweep in SqlIdentifier is complete enough.
+  Vocabulary vocab;
+  for (const char* keyword :
+       {"order", "select", "group", "distinct", "limit", "index", "primary",
+        "between", "exists", "join", "union", "check", "default", "left",
+        "natural", "transaction", "values", "offset", "cast"}) {
+    TgdProgram program;
+    PredicateId p = vocab.MustPredicate(keyword, 2);
+    Database db;
+    auto c = [&](const char* name) {
+      return Value::Constant(vocab.InternConstant(name));
+    };
+    db.Insert(p, {c("a"), c("b")});
+    db.Insert(p, {c("b"), c("b")});
+
+    ConjunctiveQuery q(
+        std::vector<Term>{Term::Var(vocab.InternVariable("X"))},
+        {Atom(p, {Term::Var(vocab.InternVariable("X")),
+                  Term::Const(vocab.InternConstant("b"))})});
+    std::vector<Tuple> answers =
+        ExpectBackendsAgree(program, db, UnionOfCqs(q), &vocab);
+    EXPECT_EQ(answers.size(), 2u) << "predicate '" << keyword << "'";
+  }
+}
+
+TEST(BackendTest, EmbeddedQuotesRoundTrip) {
+  // Constants with interior single and double quotes survive insert,
+  // comparison and decode.
+  Vocabulary vocab;
+  TgdProgram program;
+  PredicateId r = vocab.MustPredicate("r", 2);
+  ConstantId ohara = vocab.InternConstant("\"o'hara\"");
+  ConstantId tall = vocab.InternConstant("\"5\" tall\"");
+  ConstantId plain = vocab.InternConstant("plain");
+  Database db;
+  db.Insert(r, {Value::Constant(plain), Value::Constant(ohara)});
+  db.Insert(r, {Value::Constant(ohara), Value::Constant(tall)});
+
+  // q(X) :- r(X, "o'hara"): matches exactly the first tuple.
+  ConjunctiveQuery q(std::vector<Term>{Term::Var(vocab.InternVariable("X"))},
+                     {Atom(r, {Term::Var(vocab.InternVariable("X")),
+                               Term::Const(ohara)})});
+  std::vector<Tuple> answers =
+      ExpectBackendsAgree(program, db, UnionOfCqs(q), &vocab);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], Tuple{Value::Constant(plain)});
+
+  // The decoded answer value round-trips through the interner: asking
+  // for the tuple whose *answer* is the quoted constant works too.
+  ConjunctiveQuery q2(std::vector<Term>{Term::Var(vocab.InternVariable("Y"))},
+                      {Atom(r, {Term::Const(ohara),
+                                Term::Var(vocab.InternVariable("Y"))})});
+  std::vector<Tuple> answers2 =
+      ExpectBackendsAgree(program, db, UnionOfCqs(q2), &vocab);
+  ASSERT_EQ(answers2.size(), 1u);
+  EXPECT_EQ(answers2[0], Tuple{Value::Constant(tall)});
+}
+
+TEST(BackendTest, BooleanQueryExecutes) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("r(X, Y) -> s(X).", &vocab);
+  Database db;
+  PredicateId r = vocab.FindPredicate("r");
+  db.Insert(r, {Value::Constant(vocab.InternConstant("a")),
+                Value::Constant(vocab.InternConstant("b"))});
+
+  // True: one empty tuple, not a tuple containing the literal 1.
+  UnionOfCqs yes(MustQuery("q() :- r(X, Y).", &vocab));
+  std::vector<Tuple> truthy = ExpectBackendsAgree(program, db, yes, &vocab);
+  ASSERT_EQ(truthy.size(), 1u);
+  EXPECT_TRUE(truthy[0].empty());
+
+  // False: no rows at all (s holds no facts).
+  UnionOfCqs no(MustQuery("q() :- s(X).", &vocab));
+  EXPECT_TRUE(ExpectBackendsAgree(program, db, no, &vocab).empty());
+
+  // A union of boolean disjuncts still collapses to a single empty tuple.
+  UnionOfCqs both;
+  both.Add(MustQuery("q() :- r(X, Y).", &vocab));
+  both.Add(MustQuery("q() :- r(Y, X).", &vocab));
+  EXPECT_EQ(ExpectBackendsAgree(program, db, both, &vocab).size(), 1u);
+}
+
+TEST(BackendTest, RepeatedVariableInOneAtomExecutes) {
+  Vocabulary vocab;
+  TgdProgram program;
+  PredicateId r = vocab.MustPredicate("r", 3);
+  auto c = [&](const char* name) {
+    return Value::Constant(vocab.InternConstant(name));
+  };
+  Database db;
+  db.Insert(r, {c("a"), c("a"), c("b")});
+  db.Insert(r, {c("a"), c("b"), c("b")});
+  db.Insert(r, {c("c"), c("c"), c("c")});
+
+  // q(X, Z) :- r(X, X, Z): only the diagonal-in-the-first-two tuples.
+  VariableId x = vocab.InternVariable("X");
+  VariableId z = vocab.InternVariable("Z");
+  ConjunctiveQuery q(std::vector<Term>{Term::Var(x), Term::Var(z)},
+                     {Atom(r, {Term::Var(x), Term::Var(x), Term::Var(z)})});
+  std::vector<Tuple> answers =
+      ExpectBackendsAgree(program, db, UnionOfCqs(q), &vocab);
+  ASSERT_EQ(answers.size(), 2u);
+}
+
+TEST(BackendTest, ZeroAryPredicateExecutes) {
+  // CREATE TABLE p () is a SQL syntax error; the sentinel-column DDL from
+  // TableToSql must make propositional predicates executable.
+  Vocabulary vocab;
+  TgdProgram program;
+  PredicateId marked = vocab.MustPredicate("marked", 0);
+  PredicateId unmarked = vocab.MustPredicate("unmarked", 0);
+  Database db;
+  db.Insert(marked, {});
+
+  ConjunctiveQuery q_true(std::vector<Term>{}, {Atom(marked, {})});
+  std::vector<Tuple> truthy =
+      ExpectBackendsAgree(program, db, UnionOfCqs(q_true), &vocab);
+  ASSERT_EQ(truthy.size(), 1u);
+  EXPECT_TRUE(truthy[0].empty());
+
+  ConjunctiveQuery q_false(std::vector<Term>{}, {Atom(unmarked, {})});
+  EXPECT_TRUE(
+      ExpectBackendsAgree(program, db, UnionOfCqs(q_false), &vocab).empty());
+}
+
+TEST(BackendTest, ConstantAnswerTermRoundTrips) {
+  Vocabulary vocab;
+  TgdProgram program;
+  PredicateId r = vocab.MustPredicate("r", 1);
+  ConstantId tag = vocab.InternConstant("tag");
+  Database db;
+  db.Insert(r, {Value::Constant(vocab.InternConstant("a"))});
+
+  VariableId x = vocab.InternVariable("X");
+  ConjunctiveQuery q(std::vector<Term>{Term::Const(tag), Term::Var(x)},
+                     {Atom(r, {Term::Var(x)})});
+  std::vector<Tuple> answers =
+      ExpectBackendsAgree(program, db, UnionOfCqs(q), &vocab);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], Value::Constant(tag));
+}
+
+TEST(BackendTest, NullsJoinByIdentityAndAreDroppedFromAnswers) {
+  // A chase-produced database stores labeled nulls; the SQL encoding must
+  // equate a null only with itself, and certain-answer execution must
+  // drop tuples that still contain one.
+  Vocabulary vocab;
+  TgdProgram program;
+  PredicateId r = vocab.MustPredicate("r", 2);
+  PredicateId s = vocab.MustPredicate("s", 1);
+  Database db;
+  Value a = Value::Constant(vocab.InternConstant("a"));
+  Value n0 = db.FreshNull();
+  Value n1 = db.FreshNull();
+  db.Insert(r, {a, n0});
+  db.Insert(r, {n1, a});
+  db.Insert(s, {n0});
+
+  // q(X) :- r(X, Y), s(Y): Y must bind the same null in both atoms, so
+  // only (a, n0) joins — and the answer `a` is null-free.
+  UnionOfCqs q(MustQuery("q(X) :- r(X, Y), s(Y).", &vocab));
+  std::vector<Tuple> certain =
+      ExpectBackendsAgree(program, db, q, &vocab);
+  ASSERT_EQ(certain.size(), 1u);
+  EXPECT_EQ(certain[0], Tuple{a});
+
+  // With drop_tuples_with_nulls off, the null answers come back — and
+  // decode to the same null ids the in-memory path reports.
+  UnionOfCqs all(MustQuery("q(X) :- r(X, Y).", &vocab));
+  SqliteBackend sqlite(&vocab);
+  ASSERT_TRUE(sqlite.Load(program, db).ok());
+  BackendExecOptions keep_nulls;
+  keep_nulls.drop_tuples_with_nulls = false;
+  StatusOr<std::vector<Tuple>> answers = sqlite.Execute(all, keep_nulls);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(*answers, (std::vector<Tuple>{{a}, {n1}}));
+}
+
+TEST(BackendTest, AmbiguousConstantEncodingRejectedAtLoad) {
+  // `a` and `"a"` are distinct constants in-memory but identical TEXT in
+  // SQL; silently loading them would make the backends disagree, so Load
+  // must refuse.
+  Vocabulary vocab;
+  TgdProgram program;
+  PredicateId r = vocab.MustPredicate("r", 1);
+  Database db;
+  db.Insert(r, {Value::Constant(vocab.InternConstant("a"))});
+  db.Insert(r, {Value::Constant(vocab.InternConstant("\"a\""))});
+
+  SqliteBackend sqlite(&vocab);
+  Status load = sqlite.Load(program, db);
+  EXPECT_EQ(load.code(), StatusCode::kInvalidArgument) << load;
+}
+
+TEST(BackendTest, UnknownPredicateIsEmptyNotError) {
+  // The in-memory evaluator treats a relation with no facts as empty;
+  // SQLite must not answer "no such table" instead.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("r(X, Y) -> s(X).", &vocab);
+  Database db;
+
+  SqliteBackend sqlite(&vocab);
+  ASSERT_TRUE(sqlite.Load(program, db).ok());
+  // `fresh` is not in the program or the data: interned after Load.
+  UnionOfCqs q(MustQuery("q(X) :- fresh(X, Y).", &vocab));
+  StatusOr<std::vector<Tuple>> answers = sqlite.Execute(q, {});
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_TRUE(answers->empty());
+}
+
+TEST(BackendTest, ExecuteBeforeLoadFails) {
+  Vocabulary vocab;
+  UnionOfCqs q(MustQuery("q(X) :- r(X).", &vocab));
+  SqliteBackend sqlite(&vocab);
+  EXPECT_EQ(sqlite.Execute(q, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+  InMemoryBackend memory;
+  EXPECT_EQ(memory.Execute(q, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BackendTest, DeadlineMapsToProgressHandler) {
+  // A cartesian product far too large to finish: the progress handler
+  // must notice the deadline mid-statement and interrupt, returning
+  // DeadlineExceeded promptly instead of scanning to completion.
+  Vocabulary vocab;
+  TgdProgram program;
+  PredicateId r = vocab.MustPredicate("r", 2);
+  Database db;
+  for (int i = 0; i < 300; ++i) {
+    db.Insert(r, {Value::Constant(vocab.InternConstant("x" +
+                                                       std::to_string(i))),
+                  Value::Constant(vocab.InternConstant("y" +
+                                                       std::to_string(i)))});
+  }
+  SqliteBackend sqlite(&vocab);
+  ASSERT_TRUE(sqlite.Load(program, db).ok());
+
+  UnionOfCqs q(MustQuery("q() :- r(A, B), r(C, D), r(E, F), r(G, H).",
+                         &vocab));
+  BackendExecOptions exec;
+  exec.cancel = CancelScope(Deadline::AfterMillis(50));
+  const auto start = Deadline::Clock::now();
+  StatusOr<std::vector<Tuple>> answers = sqlite.Execute(q, exec);
+  const auto elapsed = Deadline::Clock::now() - start;
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kDeadlineExceeded)
+      << answers.status();
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST(BackendTest, CancelledTokenInterruptsExecution) {
+  Vocabulary vocab;
+  TgdProgram program;
+  PredicateId r = vocab.MustPredicate("r", 1);
+  Database db;
+  db.Insert(r, {Value::Constant(vocab.InternConstant("a"))});
+  SqliteBackend sqlite(&vocab);
+  ASSERT_TRUE(sqlite.Load(program, db).ok());
+
+  auto token = std::make_shared<CancelToken>();
+  token->Cancel();
+  BackendExecOptions exec;
+  exec.cancel = CancelScope(Deadline::Infinite(), token);
+  UnionOfCqs q(MustQuery("q(X) :- r(X).", &vocab));
+  EXPECT_EQ(sqlite.Execute(q, exec).status().code(), StatusCode::kCancelled);
+}
+
+TEST(BackendTest, InjectedBackendFaultSurfaces) {
+  Vocabulary vocab;
+  TgdProgram program;
+  PredicateId r = vocab.MustPredicate("r", 1);
+  Database db;
+  db.Insert(r, {Value::Constant(vocab.InternConstant("a"))});
+  SqliteBackend sqlite(&vocab);
+  ASSERT_TRUE(sqlite.Load(program, db).ok());
+
+  ScopedFault fault("backend.exec", {});
+  UnionOfCqs q(MustQuery("q(X) :- r(X).", &vocab));
+  EXPECT_EQ(sqlite.Execute(q, {}).status().code(), StatusCode::kInternal);
+}
+
+TEST(BackendTest, ReloadReplacesAllData) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("r(X, Y) -> s(X).", &vocab);
+  PredicateId r = vocab.FindPredicate("r");
+  auto c = [&](const char* name) {
+    return Value::Constant(vocab.InternConstant(name));
+  };
+  Database first;
+  first.Insert(r, {c("a"), c("b")});
+  first.Insert(r, {c("c"), c("d")});
+  Database second;
+  second.Insert(r, {c("e"), c("f")});
+
+  SqliteBackend sqlite(&vocab);
+  ASSERT_TRUE(sqlite.Load(program, first).ok());
+  StatusOr<std::int64_t> stored = sqlite.StoredTuples();
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(*stored, 2);
+
+  ASSERT_TRUE(sqlite.Load(program, second).ok());
+  stored = sqlite.StoredTuples();
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(*stored, 1);
+
+  UnionOfCqs q(MustQuery("q(X) :- r(X, Y).", &vocab));
+  StatusOr<std::vector<Tuple>> answers = sqlite.Execute(q, {});
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, std::vector<Tuple>{{c("e")}});
+}
+
+TEST(BackendTest, UniversityRewritingAgreesAcrossBackends) {
+  // The acceptance workload: every rewritten university query returns
+  // identical certain-answer sets on both backends.
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(20240806);
+  UniversityInstanceOptions options;
+  options.num_professors = 5;
+  options.num_lecturers = 5;
+  options.num_students = 40;
+  options.num_phd_students = 6;
+  options.num_courses = 10;
+  Database db = UniversityInstance(options, &rng, &vocab);
+
+  for (const char* text :
+       {"q(X) :- person(X).", "q(X) :- faculty(X).", "q(X) :- course(X).",
+        "q(X, Y) :- teaches(X, Y).", "q(X) :- advises(X, Y), student(Y).",
+        "q() :- phd(X)."}) {
+    StatusOr<RewriteResult> rewriting =
+        RewriteCq(MustQuery(text, &vocab), ontology);
+    ASSERT_TRUE(rewriting.ok()) << text << ": " << rewriting.status();
+    ExpectBackendsAgree(ontology, db, rewriting->ucq, &vocab);
+  }
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -176,6 +176,47 @@ TEST(RewriterTest, DescribeDerivationBoundsChecked) {
             std::string::npos);
 }
 
+TEST(RewriterTest, DescribeDerivationMultiStepChain) {
+  // Two chained rules: the rewriting of q over p2 resolves first with R2
+  // (p1 -> p2), then with R1 (p0 -> p1). The derivation string records
+  // the full chain in application order.
+  Vocabulary vocab;
+  TgdProgram program =
+      MustProgram("p0(X) -> p1(X). p1(X) -> p2(X).", &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(X) :- p2(X).", &vocab), program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(static_cast<int>(result->derivations.size()), 3);
+  EXPECT_EQ(DescribeDerivation(*result, 0), "q0");
+  EXPECT_EQ(DescribeDerivation(*result, 1), "q0 =R2=> q1");
+  EXPECT_EQ(DescribeDerivation(*result, 2), "q0 =R2=> q1 =R1=> q2");
+}
+
+TEST(RewriterTest, DescribeDerivationFactorizationChain) {
+  // q() :- r("a", X), r(Y, "b") — neither atom maps onto the other, so
+  // reduction leaves the query alone, while factorization unifies the
+  // two atoms into r("a", "b"). The derivation must label that step
+  // =factorize=> rather than with a rule name.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("s(X) -> r(X, X).", &vocab);
+  StatusOr<RewriteResult> result = RewriteCq(
+      MustQuery("q() :- r(\"a\", X), r(Y, \"b\").", &vocab), program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  bool saw_factorize = false;
+  for (int i = 0; i < static_cast<int>(result->derivations.size()); ++i) {
+    const std::string description = DescribeDerivation(*result, i);
+    EXPECT_EQ(description.find("out of range"), std::string::npos)
+        << description;
+    if (description.find("=factorize=>") != std::string::npos) {
+      saw_factorize = true;
+      // A factorization step composes with rule steps downstream: the
+      // chain always starts at the original query.
+      EXPECT_EQ(description.rfind("q0", 0), 0) << description;
+    }
+  }
+  EXPECT_TRUE(saw_factorize);
+}
+
 TEST(RewriterTest, UniversityConcertedRewriting) {
   Vocabulary vocab;
   TgdProgram ontology = UniversityOntology(&vocab);

@@ -148,6 +148,50 @@ TEST(SqlTest, SchemaDdl) {
             std::string::npos);
 }
 
+TEST(SqlTest, SqliteOnlyKeywordsAreQuoted) {
+  // Regression: the original reserved-word list stopped at the common
+  // SQL-92 keywords, so predicates named `distinct`, `limit`, `index`
+  // or `primary` were emitted bare — and SQLite rejects
+  // `CREATE TABLE distinct (...)` outright.
+  Vocabulary vocab;
+  for (const char* word : {"distinct", "limit", "index", "primary",
+                           "between", "exists", "transaction", "cast"}) {
+    ConjunctiveQuery cq =
+        MustQuery(std::string("q(X) :- ") + word + "(X).", &vocab);
+    StatusOr<std::string> sql = CqToSql(cq, vocab);
+    ASSERT_TRUE(sql.ok()) << word << ": " << sql.status();
+    EXPECT_NE(sql->find(std::string("FROM \"") + word + "\" AS t0"),
+              std::string::npos)
+        << word << ":\n"
+        << *sql;
+  }
+}
+
+TEST(SqlTest, ZeroAryTableGetsSentinelColumn) {
+  // Regression: a propositional predicate used to emit
+  // `CREATE TABLE p ();`, a SQLite syntax error. The table carries a
+  // sentinel column no emitted query ever references.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("p() -> r(X).", &vocab);
+  std::string ddl = SchemaToSql(program, vocab);
+  EXPECT_NE(ddl.find("CREATE TABLE p (c0 INTEGER NOT NULL);"),
+            std::string::npos)
+      << ddl;
+  EXPECT_EQ(ddl.find("p ();"), std::string::npos) << ddl;
+}
+
+TEST(SqlTest, SingleTableDdlMatchesSchemaEntry) {
+  // TableToSql is the per-predicate unit SchemaToSql is built from; the
+  // SQLite backend calls it for predicates discovered after Load.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("order(X, Y) -> s(X).", &vocab);
+  PredicateId order = vocab.FindPredicate("order");
+  const std::string ddl = TableToSql(order, vocab);
+  EXPECT_EQ(
+      ddl, "CREATE TABLE \"order\" (c1 TEXT NOT NULL, c2 TEXT NOT NULL);\n");
+  EXPECT_NE(SchemaToSql(program, vocab).find(ddl), std::string::npos);
+}
+
 TEST(SqlTest, InvalidQueryRejected) {
   Vocabulary vocab;
   ConjunctiveQuery invalid;
