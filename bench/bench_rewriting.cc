@@ -4,12 +4,25 @@
 // saturation. Expected shape: linear growth along hierarchy depth for
 // DL-Lite-style ontologies; growth with query size for composition
 // ontologies; constant-ish for the fixed paper examples.
+//
+// Two modes:
+//   bench_rewriting [benchmark flags]   google-benchmark microbenchmarks
+//   bench_rewriting --json [--out=F]    machine-readable perf harness —
+//     runs each named workload at threads 1 and 4, reports best-of-3
+//     wall time, steps/sec and saturation counters as
+//     "ontorew-bench-rewrite/1" JSON (see README "Benchmarking" and the
+//     checked-in baseline BENCH_rewrite.json guarded by the CI
+//     bench-smoke step via bench/check_bench.py).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <string>
+#include <vector>
 
 #include "base/logging.h"
+#include "base/strings.h"
 #include "logic/parser.h"
 #include "logic/vocabulary.h"
 #include "rewriting/rewriter.h"
@@ -121,7 +134,136 @@ void BM_RewriteExample2DivergenceCap(benchmark::State& state) {
 }
 BENCHMARK(BM_RewriteExample2DivergenceCap)->Arg(100)->Arg(400)->Arg(1600);
 
+// --- JSON perf harness ------------------------------------------------------
+
+// A named workload: the program/query pair plus the saturation options it
+// needs. The vocabulary lives in the struct so the ids in program/query
+// stay valid.
+struct JsonWorkload {
+  std::string name;
+  Vocabulary vocab;
+  TgdProgram program;
+  ConjunctiveQuery query;
+  RewriterOptions options;
+};
+
+std::vector<JsonWorkload> BuildJsonWorkloads() {
+  std::vector<JsonWorkload> workloads(6);
+
+  workloads[0].name = "paper_example1";
+  workloads[0].program = PaperExample1(&workloads[0].vocab);
+  workloads[0].query = MustQuery("q(X, Y) :- r(X, Y).", &workloads[0].vocab);
+
+  workloads[1].name = "paper_example3";
+  workloads[1].program = PaperExample3(&workloads[1].vocab);
+  workloads[1].query = MustQuery("q(X) :- t(X, Y, Z).", &workloads[1].vocab);
+
+  workloads[2].name = "university_q2";
+  workloads[2].program = UniversityOntology(&workloads[2].vocab);
+  workloads[2].query = MustQuery(
+      "q(X0) :- person(X0), knows(X0, X1), person(X1).", &workloads[2].vocab);
+
+  workloads[3].name = "university_q3";
+  workloads[3].program = UniversityOntology(&workloads[3].vocab);
+  workloads[3].query = MustQuery(
+      "q(X0) :- person(X0), knows(X0, X1), person(X1), knows(X1, X2), "
+      "person(X2).",
+      &workloads[3].vocab);
+  workloads[3].options.max_cqs = 300000;
+
+  workloads[4].name = "chain_256";
+  workloads[4].program = ChainFamily(256, /*arity=*/1, &workloads[4].vocab);
+  workloads[4].query = MustQuery("q(X0) :- p256(X0).", &workloads[4].vocab);
+
+  // Deep recursion: composition chains unfold into a tree of join CQs.
+  // The saturation is doubly exponential in the depth (n = 4 is already
+  // out of reach), so depth 3 is the deep end of the measurable range.
+  workloads[5].name = "composition_deep";
+  workloads[5].program = CompositionFamily(3, &workloads[5].vocab);
+  workloads[5].query = MustQuery("q(X, Z) :- r3(X, Z).", &workloads[5].vocab);
+  workloads[5].options.max_cqs = 300000;
+
+  return workloads;
+}
+
+int RunJsonHarness(const std::string& out_path) {
+  std::string json = "{\n  \"schema\": \"ontorew-bench-rewrite/1\",\n"
+                     "  \"results\": [\n";
+  bool first = true;
+  for (JsonWorkload& workload : BuildJsonWorkloads()) {
+    for (int threads : {1, 4}) {
+      RewriterOptions options = workload.options;
+      options.threads = threads;
+      double best_ms = 0.0;
+      RewriteResult measured;
+      constexpr int kRuns = 3;
+      for (int run = 0; run < kRuns; ++run) {
+        const auto start = std::chrono::steady_clock::now();
+        StatusOr<RewriteResult> result =
+            RewriteCq(workload.query, workload.program, options);
+        const auto stop = std::chrono::steady_clock::now();
+        OREW_CHECK(result.ok())
+            << workload.name << " threads=" << threads << ": "
+            << result.status();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (run == 0 || ms < best_ms) {
+          best_ms = ms;
+          measured = *std::move(result);
+        }
+      }
+      const double steps_per_sec =
+          best_ms > 0.0 ? measured.steps / (best_ms / 1000.0) : 0.0;
+      char line[512];
+      std::snprintf(
+          line, sizeof(line),
+          "    {\"name\": \"%s\", \"threads\": %d, \"wall_ms\": %.3f, "
+          "\"steps\": %d, \"steps_per_sec\": %.1f, \"generated\": %d, "
+          "\"pruned\": %d, \"disjuncts\": %d}",
+          workload.name.c_str(), threads, best_ms,
+          measured.steps, steps_per_sec, measured.generated, measured.pruned,
+          measured.ucq.size());
+      if (!first) json += ",\n";
+      first = false;
+      json += line;
+      std::fprintf(stderr, "%-20s threads=%d  %8.3f ms  %d disjuncts\n",
+                   workload.name.c_str(), threads, best_ms,
+                   measured.ucq.size());
+    }
+  }
+  json += "\n  ]\n}\n";
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace ontorew
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    }
+  }
+  if (json) return ontorew::RunJsonHarness(out_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_rewriting --json run against the checked-in baseline.
+
+Usage: check_bench.py CURRENT.json [BASELINE.json]
+
+BASELINE defaults to BENCH_rewrite.json at the repository root. A workload
+fails if its wall time regressed more than MAX_RATIO x the baseline AND the
+absolute regression exceeds ABS_FLOOR_MS — sub-millisecond workloads jitter
+far beyond 2x on shared CI runners, so tiny absolute deltas never fail the
+build. Workloads present only on one side are reported but do not fail
+(renames land together with a baseline refresh in the same commit).
+
+Exit status: 0 when no workload regressed, 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+MAX_RATIO = 2.0
+ABS_FLOOR_MS = 20.0
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ontorew-bench-rewrite/1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(r["name"], r["threads"]): r for r in doc["results"]}
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        sys.exit(__doc__)
+    current_path = argv[1]
+    baseline_path = (
+        argv[2]
+        if len(argv) == 3
+        else os.path.join(os.path.dirname(__file__), "..", "BENCH_rewrite.json")
+    )
+    current = load(current_path)
+    baseline = load(baseline_path)
+
+    failed = []
+    for key in sorted(baseline.keys() | current.keys()):
+        name = f"{key[0]} (threads={key[1]})"
+        if key not in current:
+            print(f"NOTE  {name}: in baseline only (removed workload?)")
+            continue
+        if key not in baseline:
+            print(f"NOTE  {name}: new workload, no baseline")
+            continue
+        base_ms = baseline[key]["wall_ms"]
+        cur_ms = current[key]["wall_ms"]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        regressed = (
+            cur_ms > base_ms * MAX_RATIO and cur_ms - base_ms > ABS_FLOOR_MS
+        )
+        status = "FAIL" if regressed else "ok"
+        print(
+            f"{status:5s} {name}: {cur_ms:.3f} ms vs baseline "
+            f"{base_ms:.3f} ms ({ratio:.2f}x)"
+        )
+        if regressed:
+            failed.append(name)
+
+    if failed:
+        print(f"\n{len(failed)} workload(s) regressed more than "
+              f"{MAX_RATIO}x: {', '.join(failed)}")
+        return 1
+    print("\nall workloads within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -265,6 +265,56 @@ ConjunctiveQuery CanonicalizeCq(const ConjunctiveQuery& cq) {
   return CanonicalLabeler(cq).Run();
 }
 
+std::uint64_t CanonicalCqHash(const ConjunctiveQuery& canonical) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  auto mix_term = [&h](Term t) {
+    h = HashCombine(h, t.is_constant()
+                           ? 0xC000000000ULL +
+                                 static_cast<std::uint64_t>(t.id())
+                           : 0xB000000000ULL +
+                                 static_cast<std::uint64_t>(t.id()));
+  };
+  h = HashCombine(h, static_cast<std::uint64_t>(canonical.arity()));
+  for (Term t : canonical.answer_terms()) mix_term(t);
+  for (const Atom& atom : canonical.body()) {
+    h = HashCombine(h, 0xA000000000ULL +
+                           static_cast<std::uint64_t>(atom.predicate()));
+    for (Term t : atom.terms()) mix_term(t);
+  }
+  return h;
+}
+
+std::uint64_t InvariantCqHash(const ConjunctiveQuery& cq) {
+  std::unordered_map<VariableId, std::uint64_t> colors = ComputeColors(cq);
+  std::uint64_t h = 0x9ddfea08eb382d69ULL;
+  h = HashCombine(h, static_cast<std::uint64_t>(cq.arity()));
+  // Answer terms are positional: fold them in order.
+  for (Term t : cq.answer_terms()) {
+    h = HashCombine(h, t.is_constant()
+                           ? 0xC000000000ULL +
+                                 static_cast<std::uint64_t>(t.id())
+                           : colors.at(t.id()));
+  }
+  // The body is a multiset: hash each atom through the colors, then fold
+  // the sorted atom hashes so atom order cannot leak into the result.
+  std::vector<std::uint64_t> atom_hashes;
+  atom_hashes.reserve(cq.body().size());
+  for (const Atom& atom : cq.body()) {
+    std::uint64_t ah = 0xA000000000ULL +
+                       static_cast<std::uint64_t>(atom.predicate());
+    for (Term t : atom.terms()) {
+      ah = HashCombine(ah, t.is_constant()
+                               ? 0xC000000000ULL +
+                                     static_cast<std::uint64_t>(t.id())
+                               : colors.at(t.id()));
+    }
+    atom_hashes.push_back(ah);
+  }
+  std::sort(atom_hashes.begin(), atom_hashes.end());
+  for (std::uint64_t ah : atom_hashes) h = HashCombine(h, ah);
+  return h;
+}
+
 std::string CanonicalCqKey(const ConjunctiveQuery& cq) {
   ConjunctiveQuery canonical = CanonicalizeCq(cq);
   std::string key = StrCat("h", canonical.arity(), "[");

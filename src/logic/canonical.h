@@ -1,6 +1,7 @@
 #ifndef ONTOREW_LOGIC_CANONICAL_H_
 #define ONTOREW_LOGIC_CANONICAL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,26 @@ ConjunctiveQuery CanonicalizeCq(const ConjunctiveQuery& cq);
 // A deterministic string key for the canonicalized CQ; equal keys imply
 // isomorphic CQs. Suitable as a hash-map key.
 std::string CanonicalCqKey(const ConjunctiveQuery& cq);
+
+// A 64-bit structural hash of an *already canonicalized* CQ — the cheap
+// stand-in for CanonicalCqKey on the rewriting hot path. Equal canonical
+// forms hash equally; hash-equal CQs must be confirmed with a structural
+// compare (operator== on the canonical forms), which is exactly the
+// collision fallback the rewriter's dedup index performs. Unlike
+// CanonicalCqKey this does NOT re-canonicalize: calling it on a
+// non-canonical CQ gives a renaming-dependent value.
+std::uint64_t CanonicalCqHash(const ConjunctiveQuery& canonical);
+
+// A renaming-invariant 64-bit hash of ANY CQ, computed without the
+// canonical-labeling search: Weisfeiler–Lehman variable colors combined
+// into per-atom hashes, folded commutatively over the body (multiset
+// semantics) and positionally over the answer terms. Isomorphic CQs hash
+// equally; non-isomorphic CQs may (rarely) collide, so hash-equal CQs
+// must be confirmed — the rewriter confirms with a two-way containment
+// check, which also merges hom-equivalent duplicates that differ
+// syntactically. Much cheaper than CanonicalizeCq + CanonicalCqHash when
+// only duplicate detection (not a canonical form) is needed.
+std::uint64_t InvariantCqHash(const ConjunctiveQuery& cq);
 
 // Renames the variables of `atoms` by first occurrence to 0, 1, 2, ...
 // without reordering atoms. Returns the renamed copy.

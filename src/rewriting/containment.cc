@@ -1,9 +1,14 @@
 #include "rewriting/containment.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "base/fault_point.h"
 #include "logic/atom.h"
 #include "logic/term.h"
 
@@ -11,57 +16,152 @@ namespace ontorew {
 namespace {
 
 // Backtracking search for a homomorphism general -> specific.
+//
+// Throughput upgrades over the naive nested-loop search:
+//  - candidate targets come from per-predicate buckets of `specific`
+//    (prebuilt by the caller via CqMatchContext, so repeated probes
+//    against the same CQ pay the bucketing once);
+//  - the atoms of `general` are matched most-constrained-first: a greedy
+//    static order that at each step picks the atom with the most
+//    already-bound variable positions (ties: the smaller target bucket);
+//  - general's variables are interned into dense slots up front, so the
+//    inner matching loop runs on flat arrays — no hashing, no node
+//    allocation — and backtracking is a trail of slot indices.
 class HomomorphismFinder {
  public:
   HomomorphismFinder(const ConjunctiveQuery& general,
-                     const ConjunctiveQuery& specific)
-      : general_(general), specific_(specific) {}
+                     const ConjunctiveQuery& specific,
+                     const CqMatchContext& context)
+      : general_(general), specific_(specific), context_(context) {}
 
   bool Find() {
-    // Seed the mapping with the answer-term constraints.
-    if (general_.answer_terms().size() != specific_.answer_terms().size()) {
-      return false;
+    const std::vector<Term>& g_answers = general_.answer_terms();
+    const std::vector<Term>& s_answers = specific_.answer_terms();
+    if (g_answers.size() != s_answers.size()) return false;
+
+    // Intern variables (answers first, then body by first occurrence) and
+    // pre-encode each atom as predicate bucket + per-position slots. An
+    // atom whose predicate has no bucket in `specific` has no possible
+    // target: fail before any search.
+    for (Term t : g_answers) {
+      if (t.is_variable()) InternSlot(t.id());
     }
-    for (std::size_t i = 0; i < general_.answer_terms().size(); ++i) {
-      Term g = general_.answer_terms()[i];
-      Term s = specific_.answer_terms()[i];
+    const std::vector<Atom>& body = general_.body();
+    encoded_.reserve(body.size());
+    for (const Atom& atom : body) {
+      auto it = context_.buckets.find(atom.predicate());
+      if (it == context_.buckets.end()) return false;
+      EncodedAtom encoded;
+      encoded.atom = &atom;
+      encoded.bucket = &it->second;
+      encoded.slots.reserve(atom.terms().size());
+      for (Term t : atom.terms()) {
+        encoded.slots.push_back(t.is_variable() ? InternSlot(t.id()) : -1);
+      }
+      encoded_.push_back(std::move(encoded));
+    }
+    binding_.assign(var_ids_.size(), Term());
+    bound_.assign(var_ids_.size(), 0);
+
+    // Seed with the answer-term constraints.
+    for (std::size_t i = 0; i < g_answers.size(); ++i) {
+      Term g = g_answers[i];
+      Term s = s_answers[i];
       if (g.is_constant()) {
         if (g != s) return false;
         continue;
       }
-      if (!BindVar(g.id(), s)) return false;
+      const int slot = InternSlot(g.id());
+      if (bound_[static_cast<std::size_t>(slot)]) {
+        if (binding_[static_cast<std::size_t>(slot)] != s) return false;
+      } else {
+        bound_[static_cast<std::size_t>(slot)] = 1;
+        binding_[static_cast<std::size_t>(slot)] = s;
+      }
     }
+    ComputeAtomOrder();
     return MatchAtom(0);
   }
 
  private:
-  bool BindVar(VariableId v, Term target) {
-    auto it = mapping_.find(v);
-    if (it != mapping_.end()) return it->second == target;
-    mapping_.emplace(v, target);
-    trail_.push_back(v);
-    return true;
+  struct EncodedAtom {
+    const Atom* atom = nullptr;
+    const std::vector<std::size_t>* bucket = nullptr;
+    // Per term position: dense variable slot, or -1 for a constant.
+    std::vector<int> slots;
+  };
+
+  // Dense slot of variable `v` (general_'s variable count is tiny, so a
+  // linear scan beats a hash table).
+  int InternSlot(VariableId v) {
+    for (std::size_t i = 0; i < var_ids_.size(); ++i) {
+      if (var_ids_[i] == v) return static_cast<int>(i);
+    }
+    var_ids_.push_back(v);
+    return static_cast<int>(var_ids_.size()) - 1;
+  }
+
+  // Greedy most-constrained-first order over general_'s atoms. "Bound"
+  // slots are those fixed by the answer seeding or occurring in atoms
+  // placed earlier in the order.
+  void ComputeAtomOrder() {
+    const std::size_t n = encoded_.size();
+    std::vector<char> simulated_bound(bound_);
+    std::vector<char> placed(n, 0);
+    order_.reserve(n);
+    for (std::size_t step = 0; step < n; ++step) {
+      int best = -1;
+      int best_bound = -1;
+      std::size_t best_bucket = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (placed[i]) continue;
+        int bound_positions = 0;
+        for (int slot : encoded_[i].slots) {
+          if (slot < 0 || simulated_bound[static_cast<std::size_t>(slot)]) {
+            ++bound_positions;
+          }
+        }
+        const std::size_t bucket = encoded_[i].bucket->size();
+        if (best < 0 || bound_positions > best_bound ||
+            (bound_positions == best_bound && bucket < best_bucket)) {
+          best = static_cast<int>(i);
+          best_bound = bound_positions;
+          best_bucket = bucket;
+        }
+      }
+      placed[static_cast<std::size_t>(best)] = 1;
+      order_.push_back(static_cast<std::size_t>(best));
+      for (int slot : encoded_[static_cast<std::size_t>(best)].slots) {
+        if (slot >= 0) simulated_bound[static_cast<std::size_t>(slot)] = 1;
+      }
+    }
   }
 
   bool MatchAtom(std::size_t index) {
-    if (index == general_.body().size()) return true;
-    const Atom& g = general_.body()[index];
-    for (const Atom& s : specific_.body()) {
-      if (s.predicate() != g.predicate() || s.arity() != g.arity()) continue;
-      std::size_t trail_mark = trail_.size();
+    if (index == order_.size()) return true;
+    const EncodedAtom& e = encoded_[order_[index]];
+    const Atom& g = *e.atom;
+    for (std::size_t target : *e.bucket) {
+      const Atom& s = specific_.body()[target];
+      if (s.arity() != g.arity()) continue;
+      const std::size_t trail_mark = trail_.size();
       bool ok = true;
       for (int i = 0; i < g.arity() && ok; ++i) {
-        Term gt = g.term(i);
-        Term st = s.term(i);
-        if (gt.is_constant()) {
-          ok = (gt == st);
+        const int slot = e.slots[static_cast<std::size_t>(i)];
+        const Term st = s.term(i);
+        if (slot < 0) {
+          ok = (g.term(i) == st);
+        } else if (bound_[static_cast<std::size_t>(slot)]) {
+          ok = (binding_[static_cast<std::size_t>(slot)] == st);
         } else {
-          ok = BindVar(gt.id(), st);
+          bound_[static_cast<std::size_t>(slot)] = 1;
+          binding_[static_cast<std::size_t>(slot)] = st;
+          trail_.push_back(slot);
         }
       }
       if (ok && MatchAtom(index + 1)) return true;
       while (trail_.size() > trail_mark) {
-        mapping_.erase(trail_.back());
+        bound_[static_cast<std::size_t>(trail_.back())] = 0;
         trail_.pop_back();
       }
     }
@@ -70,15 +170,41 @@ class HomomorphismFinder {
 
   const ConjunctiveQuery& general_;
   const ConjunctiveQuery& specific_;
-  std::unordered_map<VariableId, Term> mapping_;
-  std::vector<VariableId> trail_;
+  const CqMatchContext& context_;
+  std::vector<VariableId> var_ids_;
+  std::vector<EncodedAtom> encoded_;
+  std::vector<std::size_t> order_;
+  std::vector<Term> binding_;
+  std::vector<char> bound_;
+  std::vector<int> trail_;
 };
+
+std::uint64_t MixSignature(std::uint64_t h, std::uint64_t v) {
+  v *= 0x9e3779b97f4a7c15ULL;
+  v ^= v >> 29;
+  return h + v;  // Commutative: multiset semantics.
+}
 
 }  // namespace
 
+CqMatchContext BuildMatchContext(const ConjunctiveQuery& cq) {
+  CqMatchContext context;
+  for (std::size_t i = 0; i < cq.body().size(); ++i) {
+    context.buckets[cq.body()[i].predicate()].push_back(i);
+  }
+  return context;
+}
+
 bool CqSubsumes(const ConjunctiveQuery& general,
                 const ConjunctiveQuery& specific) {
-  return HomomorphismFinder(general, specific).Find();
+  return HomomorphismFinder(general, specific, BuildMatchContext(specific))
+      .Find();
+}
+
+bool CqSubsumes(const ConjunctiveQuery& general,
+                const ConjunctiveQuery& specific,
+                const CqMatchContext& specific_context) {
+  return HomomorphismFinder(general, specific, specific_context).Find();
 }
 
 bool CqEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
@@ -87,49 +213,162 @@ bool CqEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
 
 ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq) {
   ConjunctiveQuery current = cq;
-  bool changed = true;
-  while (changed && current.body().size() > 1) {
-    changed = false;
-    for (std::size_t drop = 0; drop < current.body().size(); ++drop) {
-      std::vector<Atom> smaller_body;
-      smaller_body.reserve(current.body().size() - 1);
-      for (std::size_t i = 0; i < current.body().size(); ++i) {
-        if (i != drop) smaller_body.push_back(current.body()[i]);
-      }
-      ConjunctiveQuery candidate(current.answer_terms(),
-                                 std::move(smaller_body));
-      if (!candidate.Validate().ok()) continue;  // Lost an answer variable.
-      // Dropping an atom relaxes the query; it stays equivalent iff
-      // ans(candidate) ⊆ ans(current), i.e. current maps into candidate.
-      if (CqSubsumes(current, candidate)) {
-        current = std::move(candidate);
-        changed = true;
-        break;
-      }
+  // Single forward pass. If atom e cannot be dropped from the current
+  // query Q, it can never be dropped from a later retract Q' ⊆ Q: a
+  // retraction Q' -> Q'\{e} composes with the chain of earlier drop
+  // retractions Q -> Q' into a homomorphism Q -> Q\{e}, i.e. e would
+  // have been droppable already. So no restart after a drop — the pass
+  // stays at the same index (the next atom shifted into it) and the
+  // result is identical to the restart-scanning version at O(n) fewer
+  // homomorphism rounds.
+  std::size_t drop = 0;
+  while (current.body().size() > 1 && drop < current.body().size()) {
+    std::vector<Atom> smaller_body;
+    smaller_body.reserve(current.body().size() - 1);
+    for (std::size_t i = 0; i < current.body().size(); ++i) {
+      if (i != drop) smaller_body.push_back(current.body()[i]);
+    }
+    ConjunctiveQuery candidate(current.answer_terms(),
+                               std::move(smaller_body));
+    // Dropping an atom relaxes the query; it stays equivalent iff
+    // ans(candidate) ⊆ ans(current), i.e. current maps into candidate.
+    if (candidate.Validate().ok() &&  // Else: lost an answer variable.
+        CqSubsumes(current, candidate)) {
+      current = std::move(candidate);
+    } else {
+      ++drop;
     }
   }
   return current;
 }
 
-UnionOfCqs MinimizeUcq(const UnionOfCqs& ucq) {
-  std::vector<ConjunctiveQuery> minimized;
-  minimized.reserve(ucq.disjuncts().size());
-  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
-    minimized.push_back(MinimizeCq(cq));
+CqSignature ComputeCqSignature(const ConjunctiveQuery& cq) {
+  CqSignature signature;
+  signature.body_atoms = static_cast<int>(cq.body().size());
+  signature.predicates.reserve(cq.body().size());
+  for (const Atom& atom : cq.body()) {
+    const std::uint64_t token =
+        (static_cast<std::uint64_t>(atom.predicate()) << 8) |
+        (static_cast<std::uint64_t>(atom.arity()) & 0xff);
+    std::uint64_t bit = token * 0x9e3779b97f4a7c15ULL;
+    bit ^= bit >> 29;
+    signature.predicate_mask |= 1ULL << (bit & 63);
+    signature.multiset_hash = MixSignature(signature.multiset_hash, token);
+    signature.predicates.push_back(atom.predicate());
   }
-  std::vector<bool> dead(minimized.size(), false);
-  for (std::size_t i = 0; i < minimized.size(); ++i) {
-    if (dead[i]) continue;
-    for (std::size_t j = 0; j < minimized.size(); ++j) {
-      if (i == j || dead[j]) continue;
-      if (CqSubsumes(minimized[i], minimized[j])) dead[j] = true;
+  std::sort(signature.predicates.begin(), signature.predicates.end());
+  signature.predicates.erase(
+      std::unique(signature.predicates.begin(), signature.predicates.end()),
+      signature.predicates.end());
+  return signature;
+}
+
+int ResolveRewriteThreads(int requested, std::size_t num_tasks) {
+  constexpr int kMaxThreads = 16;
+  if (requested <= 1 || num_tasks <= 1) return 1;
+  int resolved = std::min(requested, kMaxThreads);
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  resolved = std::min(resolved, static_cast<int>(hw));
+  if (num_tasks < static_cast<std::size_t>(resolved)) {
+    resolved = static_cast<int>(num_tasks);
+  }
+  return std::max(resolved, 1);
+}
+
+StatusOr<UnionOfCqs> MinimizeUcqWithOptions(const UnionOfCqs& ucq,
+                                            const MinimizeUcqOptions& options) {
+  const std::size_t n = ucq.disjuncts().size();
+  std::vector<ConjunctiveQuery> minimized(n);
+  std::vector<CqSignature> signatures(n);
+  std::vector<CqMatchContext> contexts(n);
+  std::vector<char> dead(n, 0);
+  const int threads = ResolveRewriteThreads(options.threads, n);
+
+  // A disjunct is dead iff another disjunct strictly subsumes it, or an
+  // equivalent disjunct with a smaller index exists. This rule is
+  // symmetric in evaluation order, so every (i, j) verdict can run
+  // independently — determinism for free in the parallel sweep. (Plain
+  // "some i subsumes j" would erase *both* members of an equivalent pair.)
+  std::atomic<std::size_t> next_minimize{0};
+  std::atomic<std::size_t> next_sweep{0};
+  std::atomic<bool> tripped{false};
+  std::mutex error_mutex;
+  Status first_error;
+
+  auto worker = [&] {
+    // Phase a: per-disjunct minimization (optional).
+    for (std::size_t i = next_minimize.fetch_add(1); i < n;
+         i = next_minimize.fetch_add(1)) {
+      if (tripped.load(std::memory_order_relaxed)) return;
+      Status status = options.cancel.Check("ucq minimization");
+      if (status.ok()) status = CheckFaultPoint("rewrite.step");
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = std::move(status);
+        tripped.store(true, std::memory_order_relaxed);
+        return;
+      }
+      minimized[i] = options.minimize_disjuncts
+                         ? MinimizeCq(ucq.disjuncts()[i])
+                         : ucq.disjuncts()[i];
+      signatures[i] = ComputeCqSignature(minimized[i]);
+      contexts[i] = BuildMatchContext(minimized[i]);
     }
-  }
+  };
+  auto sweeper = [&] {
+    // Phase b: pairwise subsumption verdicts, one row per claim.
+    for (std::size_t j = next_sweep.fetch_add(1); j < n;
+         j = next_sweep.fetch_add(1)) {
+      if (tripped.load(std::memory_order_relaxed)) return;
+      Status status = options.cancel.Check("ucq minimization");
+      if (status.ok()) status = CheckFaultPoint("rewrite.step");
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = std::move(status);
+        tripped.store(true, std::memory_order_relaxed);
+        return;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == j) continue;
+        if (!SignatureMaySubsume(signatures[i], signatures[j])) continue;
+        if (!CqSubsumes(minimized[i], minimized[j], contexts[j])) continue;
+        if (!CqSubsumes(minimized[j], minimized[i], contexts[i]) || i < j) {
+          dead[j] = 1;
+          break;
+        }
+      }
+    }
+  };
+
+  auto run_phase = [&](auto& fn) {
+    if (threads <= 1) {
+      fn();
+      return;
+    }
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) pool.emplace_back(fn);
+  };  // jthreads join at scope exit of run_phase's pool.
+
+  run_phase(worker);
+  if (first_error.ok()) run_phase(sweeper);
+  if (!first_error.ok()) return first_error;
+
   UnionOfCqs result;
-  for (std::size_t i = 0; i < minimized.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (!dead[i]) result.Add(std::move(minimized[i]));
   }
   return result;
+}
+
+UnionOfCqs MinimizeUcq(const UnionOfCqs& ucq) {
+  StatusOr<UnionOfCqs> result = MinimizeUcqWithOptions(ucq, {});
+  // No cancellation scope was supplied, so the only failure mode is an
+  // armed "rewrite.step" fault — surface it as an empty union rather
+  // than crashing (legacy callers have no error channel).
+  if (!result.ok()) return UnionOfCqs();
+  return *std::move(result);
 }
 
 }  // namespace ontorew

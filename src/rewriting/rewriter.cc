@@ -1,9 +1,16 @@
 #include "rewriting/rewriter.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "base/fault_point.h"
@@ -56,6 +63,48 @@ PreparedRule PrepareRule(const Tgd& tgd) {
   return rule;
 }
 
+// Head-predicate index over the prepared rules: an atom only ever unifies
+// with rules whose head carries its predicate, so the saturation's inner
+// loop visits exactly those instead of the whole program.
+class RuleIndex {
+ public:
+  explicit RuleIndex(const std::vector<PreparedRule>& rules) {
+    for (int i = 0; i < static_cast<int>(rules.size()); ++i) {
+      by_head_[rules[static_cast<std::size_t>(i)].head.predicate()]
+          .push_back(i);
+    }
+  }
+
+  // Rule ids (ascending) whose head predicate is `head`, or null.
+  const std::vector<int>* Lookup(PredicateId head) const {
+    auto it = by_head_.find(head);
+    return it == by_head_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<PredicateId, std::vector<int>> by_head_;
+};
+
+// Body-atom indices grouped by predicate, buckets in first-occurrence
+// order (deterministic). Reused by the factorization loop, which only
+// ever pairs same-predicate atoms.
+struct PredicateBucket {
+  PredicateId predicate;
+  std::vector<std::size_t> atoms;
+};
+
+std::vector<PredicateBucket> BucketByPredicate(const ConjunctiveQuery& cq) {
+  std::vector<PredicateBucket> buckets;
+  std::unordered_map<PredicateId, std::size_t> position;
+  for (std::size_t i = 0; i < cq.body().size(); ++i) {
+    const PredicateId predicate = cq.body()[i].predicate();
+    auto [it, inserted] = position.emplace(predicate, buckets.size());
+    if (inserted) buckets.push_back(PredicateBucket{predicate, {}});
+    buckets[it->second].atoms.push_back(i);
+  }
+  return buckets;
+}
+
 int CountResolvedOccurrences(const Atom& atom, const Substitution& subst,
                              Term value) {
   int count = 0;
@@ -98,6 +147,404 @@ std::vector<Term> ApplyToAnswer(const std::vector<Term>& answer_terms,
   return result;
 }
 
+// Renames a CQ's variables densely: answer variables first (positionally),
+// then body variables by first occurrence. Unlike CanonicalizeCq this does
+// not reorder atoms or search — it is NOT renaming-invariant, it only
+// guarantees the result's variable ids are small. Stored CQs must live in
+// the small-id space because rule variables are renamed into the disjoint
+// space above kRuleVarBase before unification; a stored CQ carrying
+// leftover rule-space ids would capture rule variables during the next
+// rewriting step.
+ConjunctiveQuery RenameCqDense(const ConjunctiveQuery& cq) {
+  std::unordered_map<VariableId, VariableId> rename;
+  auto rename_term = [&rename](Term t) {
+    if (t.is_constant()) return t;
+    auto [it, inserted] =
+        rename.emplace(t.id(), static_cast<VariableId>(rename.size()));
+    return Term::Var(it->second);
+  };
+  std::vector<Term> answer_terms;
+  answer_terms.reserve(cq.answer_terms().size());
+  for (Term t : cq.answer_terms()) answer_terms.push_back(rename_term(t));
+  std::vector<Atom> body;
+  body.reserve(cq.body().size());
+  for (const Atom& atom : cq.body()) {
+    std::vector<Term> terms;
+    terms.reserve(atom.terms().size());
+    for (Term t : atom.terms()) terms.push_back(rename_term(t));
+    body.emplace_back(atom.predicate(), std::move(terms));
+  }
+  return ConjunctiveQuery(std::move(answer_terms), std::move(body));
+}
+
+// Deterministic structural order on canonical forms: the final union is
+// sorted with this so the output UCQ is identical across thread counts.
+bool StructuralLess(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  if (a.body().size() != b.body().size()) {
+    return a.body().size() < b.body().size();
+  }
+  if (a.answer_terms() != b.answer_terms()) {
+    return a.answer_terms() < b.answer_terms();
+  }
+  return a.body() < b.body();
+}
+
+// A generated CQ fully prepared outside the shared lock: stored
+// representative (a core under reduce_intermediate, a canonical form in
+// the ablation mode), dedup hash, subsumption signature, provenance.
+struct Candidate {
+  ConjunctiveQuery cq;
+  std::uint64_t hash = 0;
+  CqSignature signature;
+  CqMatchContext context;
+  CqDerivation derivation;
+  // Factorization-generated: subsumed by its parent by construction, kept
+  // only to unlock further rewriting steps. Exempt from eager pruning in
+  // both directions (never dropped for being subsumed, never used to
+  // retire others); the final minimization removes it from the union.
+  bool aux = false;
+};
+
+// The saturation core. One mutex guards the shared structures (CQ store,
+// dedup index, signature list, worklist); everything expensive —
+// unification, intermediate minimization, canonicalization, homomorphism
+// checks — runs outside it. With threads <= 1 the worker loop runs inline
+// on the calling thread; otherwise `threads` workers share the worklist.
+class Saturator {
+ public:
+  Saturator(const std::vector<PreparedRule>& rules,
+            const RewriterOptions& options)
+      : rules_(rules), rule_index_(rules), options_(options) {}
+
+  Status Run(const UnionOfCqs& query) {
+    for (const ConjunctiveQuery& cq : query.disjuncts()) {
+      OREW_RETURN_IF_ERROR(Insert(MakeCandidate(cq, CqDerivation{}, false)));
+    }
+    threads_used_ = ResolveRewriteThreads(
+        options_.threads, static_cast<std::size_t>(-1));
+    if (threads_used_ <= 1) {
+      WorkerLoop();
+    } else {
+      std::vector<std::jthread> pool;
+      pool.reserve(static_cast<std::size_t>(threads_used_));
+      for (int w = 0; w < threads_used_; ++w) {
+        pool.emplace_back([this] { WorkerLoop(); });
+      }
+    }  // jthreads join here.
+    return error_;
+  }
+
+  // Moves the saturation outcome into `result` (everything except ucq).
+  void Export(RewriteResult* result) {
+    result->generated = static_cast<int>(cqs_.size());
+    result->steps = static_cast<int>(steps_.load(std::memory_order_relaxed));
+    result->pruned =
+        static_cast<int>(pruned_.load(std::memory_order_relaxed));
+    result->retired = retired_count_;
+    result->threads_used = threads_used_;
+    result->saturated.assign(cqs_.begin(), cqs_.end());
+    result->derivations = std::move(derivations_);
+  }
+
+  // The non-retired CQs (the union the final minimization starts from).
+  std::vector<ConjunctiveQuery> LiveCqs() const {
+    std::vector<ConjunctiveQuery> live;
+    live.reserve(cqs_.size());
+    for (std::size_t i = 0; i < cqs_.size(); ++i) {
+      if (!retired_[i]) live.push_back(cqs_[i]);
+    }
+    return live;
+  }
+
+ private:
+  Candidate MakeCandidate(const ConjunctiveQuery& cq, CqDerivation derivation,
+                          bool aux) const {
+    // Minimize before deduplication: backward application of a recursive
+    // rule re-derives atoms that are homomorphically redundant (e.g. the
+    // r -> s -> v -> r loop of PaperExample1 re-adds q(Y) and a fresh
+    // t(Z) on every pass). Raw saturation would therefore diverge even on
+    // FO-rewritable inputs; saturating equivalence-class representatives
+    // (as PerfectRef/Rapid do) restores termination and preserves the
+    // union's semantics.
+    Candidate candidate;
+    if (options_.reduce_intermediate) {
+      // Hot path: store the core itself and dedup by renaming-invariant
+      // hash + two-way containment. The expensive canonical-labeling
+      // search is deferred to the (much smaller) final union — for
+      // hom-equivalent cores it yields the same form no matter which
+      // representative survived, so output determinism is unaffected.
+      candidate.cq = RenameCqDense(MinimizeCq(cq));
+      candidate.hash = InvariantCqHash(candidate.cq);
+    } else {
+      // Ablation mode: stored CQs are not cores, so equivalence-based
+      // dedup would silently merge distinct non-minimal CQs and change
+      // what "no intermediate reduction" explores. Keep exact
+      // canonical-form dedup here.
+      candidate.cq = CanonicalizeCq(cq);
+      candidate.hash = CanonicalCqHash(candidate.cq);
+    }
+    candidate.signature = ComputeCqSignature(candidate.cq);
+    candidate.context = BuildMatchContext(candidate.cq);
+    candidate.derivation = derivation;
+    candidate.aux = aux;
+    return candidate;
+  }
+
+  // True iff a stored CQ already represents `candidate`. The dedup index
+  // maps 64-bit hashes to CQ indices; on a hash hit the hot path confirms
+  // with a two-way containment check (hom-equivalent cores are the same
+  // CQ up to renaming) and the ablation path compares canonical forms
+  // structurally. Either way a hash collision degrades to an extra check,
+  // never to a wrong merge.
+  bool IsDuplicateLocked(const Candidate& candidate) const {
+    auto it = by_hash_.find(candidate.hash);
+    if (it == by_hash_.end()) return false;
+    for (int i : it->second) {
+      const auto index = static_cast<std::size_t>(i);
+      if (options_.reduce_intermediate) {
+        if (CqSubsumes(cqs_[index], candidate.cq, candidate.context) &&
+            CqSubsumes(candidate.cq, cqs_[index], contexts_[index])) {
+          return true;
+        }
+      } else if (cqs_[index] == candidate.cq) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Dedup, eager-subsumption prune, insert, retire. Lock held only for
+  // index reads/writes; homomorphism checks run on stable pointers into
+  // the deque with the lock released.
+  Status Insert(Candidate candidate) {
+    const bool eager = options_.eager_subsumption && !candidate.aux;
+
+    // Pass 1 — dedup and snapshot of potential subsumers.
+    std::vector<const ConjunctiveQuery*> subsumers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || IsDuplicateLocked(candidate)) return Status::Ok();
+      if (eager) {
+        for (std::size_t i = 0; i < cqs_.size(); ++i) {
+          if (aux_[i] || retired_[i]) continue;
+          // Body-size gate: a subsumer with more atoms than the candidate
+          // would have to fold atoms together — possible but rare, and
+          // missing such a prune only defers the cleanup to the final
+          // minimization. Skipping those checks is the cheap 80% win.
+          if (signatures_[i].body_atoms > candidate.signature.body_atoms) {
+            continue;
+          }
+          if (!SignatureMaySubsume(signatures_[i], candidate.signature)) {
+            continue;
+          }
+          subsumers.push_back(&cqs_[i]);
+        }
+      }
+    }
+    for (const ConjunctiveQuery* general : subsumers) {
+      if (CqSubsumes(*general, candidate.cq, candidate.context)) {
+        pruned_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Ok();
+      }
+    }
+
+    // Pass 2 — insert (another thread may have inserted an identical CQ
+    // since pass 1, so re-check) and snapshot of retirement victims.
+    struct Victim {
+      std::size_t index;
+      const ConjunctiveQuery* cq;
+      const CqMatchContext* context;
+    };
+    std::vector<Victim> victims;
+    const ConjunctiveQuery* inserted = nullptr;
+    const CqMatchContext* inserted_context = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || IsDuplicateLocked(candidate)) return Status::Ok();
+      if (static_cast<int>(cqs_.size()) >= options_.max_cqs) {
+        return ResourceExhaustedError(
+            StrCat("rewriting exceeded the cap of ", options_.max_cqs,
+                   " conjunctive queries — the program is probably not "
+                   "FO-rewritable for this query"));
+      }
+      const int index = static_cast<int>(cqs_.size());
+      cqs_.push_back(std::move(candidate.cq));
+      inserted = &cqs_.back();
+      contexts_.push_back(std::move(candidate.context));
+      inserted_context = &contexts_.back();
+      signatures_.push_back(std::move(candidate.signature));
+      aux_.push_back(candidate.aux ? 1 : 0);
+      retired_.push_back(0);
+      derivations_.push_back(candidate.derivation);
+      by_hash_[candidate.hash].push_back(index);
+      worklist_.push_back(index);
+      cv_.notify_one();
+      if (eager) {
+        for (std::size_t j = 0; j + 1 < cqs_.size(); ++j) {
+          if (aux_[j] || retired_[j]) continue;
+          // Same body-size gate as the subsumer scan, reversed: the new
+          // CQ is the general side here.
+          if (signatures_.back().body_atoms > signatures_[j].body_atoms) {
+            continue;
+          }
+          if (!SignatureMaySubsume(signatures_.back(), signatures_[j])) {
+            continue;
+          }
+          victims.push_back({j, &cqs_[j], &contexts_[j]});
+        }
+      }
+    }
+
+    // Pass 3 — retire live CQs the new one strictly subsumes. Strictness
+    // matters: two equivalent CQs racing through Insert must not retire
+    // each other (the final minimization picks one of them instead).
+    for (const Victim& victim : victims) {
+      if (CqSubsumes(*inserted, *victim.cq, *victim.context) &&
+          !CqSubsumes(*victim.cq, *inserted, *inserted_context)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!retired_[victim.index]) {
+          retired_[victim.index] = 1;
+          ++retired_count_;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  // One saturation iteration: all rewriting + factorization successors of
+  // the CQ at `g_index`. `g` points into the stable deque.
+  Status Expand(int g_index, const ConjunctiveQuery& g) {
+    // The saturation diverges on non-FO-rewritable inputs, so every
+    // iteration is bounded three ways: by distinct-CQ count (the cap in
+    // Insert), by wall clock / caller cancellation, and by the armed-test
+    // fault point.
+    OREW_RETURN_IF_ERROR(options_.cancel.Check("rewrite saturation"));
+    OREW_RETURN_IF_ERROR(CheckFaultPoint("rewrite.step"));
+
+    long local_steps = 0;
+    // Rewriting steps, against head-predicate-indexed rules only.
+    for (std::size_t a = 0; a < g.body().size(); ++a) {
+      const std::vector<int>* rule_ids =
+          rule_index_.Lookup(g.body()[a].predicate());
+      if (rule_ids == nullptr) continue;
+      for (int rule_id : *rule_ids) {
+        const PreparedRule& rule = rules_[static_cast<std::size_t>(rule_id)];
+        Substitution subst;
+        if (!UnifyAtoms(g.body()[a], rule.head, &subst)) continue;
+        if (!IsApplicable(g, rule, subst)) continue;
+        ++local_steps;
+        std::vector<Atom> new_body;
+        new_body.reserve(g.body().size() - 1 + rule.body.size());
+        for (std::size_t i = 0; i < g.body().size(); ++i) {
+          if (i != a) new_body.push_back(subst.Apply(g.body()[i]));
+        }
+        for (const Atom& beta : rule.body) {
+          new_body.push_back(subst.Apply(beta));
+        }
+        Status status = Insert(MakeCandidate(
+            ConjunctiveQuery(ApplyToAnswer(g.answer_terms(), subst),
+                             std::move(new_body)),
+            CqDerivation{g_index, rule_id, false}, false));
+        if (!status.ok()) {
+          steps_.fetch_add(local_steps, std::memory_order_relaxed);
+          return status;
+        }
+      }
+    }
+
+    // Factorization steps: unify two same-predicate atoms, drawn from the
+    // per-CQ predicate buckets. The result is a subsumed specialization,
+    // generated only because it can unlock rewriting steps (it makes
+    // shared variables occur once).
+    if (options_.factorize) {
+      for (const PredicateBucket& bucket : BucketByPredicate(g)) {
+        for (std::size_t bi = 0; bi < bucket.atoms.size(); ++bi) {
+          for (std::size_t bj = bi + 1; bj < bucket.atoms.size(); ++bj) {
+            const std::size_t i = bucket.atoms[bi];
+            const std::size_t j = bucket.atoms[bj];
+            Substitution subst;
+            if (!UnifyAtoms(g.body()[i], g.body()[j], &subst)) continue;
+            ++local_steps;
+            std::vector<Atom> new_body;
+            new_body.reserve(g.body().size() - 1);
+            for (std::size_t l = 0; l < g.body().size(); ++l) {
+              if (l != j) new_body.push_back(subst.Apply(g.body()[l]));
+            }
+            Status status = Insert(MakeCandidate(
+                ConjunctiveQuery(ApplyToAnswer(g.answer_terms(), subst),
+                                 std::move(new_body)),
+                CqDerivation{g_index, -1, true}, true));
+            if (!status.ok()) {
+              steps_.fetch_add(local_steps, std::memory_order_relaxed);
+              return status;
+            }
+          }
+        }
+      }
+    }
+    steps_.fetch_add(local_steps, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [this] {
+        return stop_ || !worklist_.empty() || busy_ == 0;
+      });
+      if (stop_) return;
+      if (worklist_.empty()) {
+        // busy_ == 0: saturation complete. Wake any peers still waiting.
+        cv_.notify_all();
+        return;
+      }
+      const int index = worklist_.front();
+      worklist_.pop_front();
+      if (retired_[static_cast<std::size_t>(index)]) continue;
+      ++busy_;
+      const ConjunctiveQuery* g = &cqs_[static_cast<std::size_t>(index)];
+      lock.unlock();
+      Status status = Expand(index, *g);
+      lock.lock();
+      --busy_;
+      if (!status.ok()) {
+        if (error_.ok()) error_ = std::move(status);
+        stop_ = true;
+        cv_.notify_all();
+        return;
+      }
+      if (worklist_.empty() && busy_ == 0) {
+        cv_.notify_all();
+        return;
+      }
+    }
+  }
+
+  const std::vector<PreparedRule>& rules_;
+  RuleIndex rule_index_;
+  const RewriterOptions& options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // Stable storage: expansions and homomorphism checks hold pointers into
+  // the deque while other threads append.
+  std::deque<ConjunctiveQuery> cqs_;
+  std::deque<CqMatchContext> contexts_;
+  std::vector<CqSignature> signatures_;
+  std::vector<char> aux_;
+  std::vector<char> retired_;
+  std::vector<CqDerivation> derivations_;
+  std::unordered_map<std::uint64_t, std::vector<int>> by_hash_;
+  std::deque<int> worklist_;
+  int busy_ = 0;
+  bool stop_ = false;
+  Status error_;
+  int retired_count_ = 0;
+  int threads_used_ = 1;
+  std::atomic<long> steps_{0};
+  std::atomic<long> pruned_{0};
+};
+
 }  // namespace
 
 StatusOr<RewriteResult> RewriteUcq(const UnionOfCqs& query,
@@ -114,105 +561,38 @@ StatusOr<RewriteResult> RewriteUcq(const UnionOfCqs& query,
   rules.reserve(program.tgds().size());
   for (const Tgd& tgd : program.tgds()) rules.push_back(PrepareRule(tgd));
 
+  Saturator saturator(rules, options);
+  OREW_RETURN_IF_ERROR(saturator.Run(query));
+
   RewriteResult result;
-  std::unordered_set<std::string> seen;
-  std::vector<ConjunctiveQuery> generated;
-  std::deque<int> worklist;
+  UnionOfCqs full(saturator.LiveCqs());
+  saturator.Export(&result);
 
-  std::vector<CqDerivation> derivations;
-  auto add_cq = [&seen, &generated, &worklist, &derivations,
-                 &options](const ConjunctiveQuery& cq,
-                           const CqDerivation& derivation) {
-    // Minimize before deduplication: backward application of a recursive
-    // rule re-derives atoms that are homomorphically redundant (e.g. the
-    // r -> s -> v -> r loop of PaperExample1 re-adds q(Y) and a fresh
-    // t(Z) on every pass). Raw saturation would therefore diverge even on
-    // FO-rewritable inputs; saturating equivalence-class representatives
-    // (as PerfectRef/Rapid do) restores termination and preserves the
-    // union's semantics.
-    ConjunctiveQuery canonical = CanonicalizeCq(
-        options.reduce_intermediate ? MinimizeCq(cq) : cq);
-    std::string key = CanonicalCqKey(canonical);
-    if (!seen.insert(std::move(key)).second) return;
-    generated.push_back(std::move(canonical));
-    derivations.push_back(derivation);
-    worklist.push_back(static_cast<int>(generated.size()) - 1);
-  };
-
-  for (const ConjunctiveQuery& cq : query.disjuncts()) {
-    add_cq(cq, CqDerivation{});
+  if (options.minimize) {
+    MinimizeUcqOptions minimize;
+    minimize.threads = options.threads;
+    // With reduce_intermediate every stored CQ is already a core; only
+    // the ablation path needs the per-disjunct pass.
+    minimize.minimize_disjuncts = !options.reduce_intermediate;
+    minimize.cancel = options.cancel;
+    OREW_ASSIGN_OR_RETURN(full, MinimizeUcqWithOptions(full, minimize));
   }
 
-  while (!worklist.empty()) {
-    // The saturation diverges on non-FO-rewritable inputs, so every
-    // iteration is bounded three ways: by distinct-CQ count (the cap
-    // below), by wall clock / caller cancellation, and by the armed-test
-    // fault point.
-    OREW_RETURN_IF_ERROR(options.cancel.Check("rewrite saturation"));
-    OREW_RETURN_IF_ERROR(CheckFaultPoint("rewrite.step"));
-    if (static_cast<int>(generated.size()) > options.max_cqs) {
-      return ResourceExhaustedError(
-          StrCat("rewriting exceeded the cap of ", options.max_cqs,
-                 " conjunctive queries — the program is probably not "
-                 "FO-rewritable for this query"));
-    }
-    // Copy: `generated` may reallocate as successors are added.
-    const int g_index = worklist.front();
-    const ConjunctiveQuery g = generated[static_cast<std::size_t>(g_index)];
-    worklist.pop_front();
-
-    // Rewriting steps.
-    for (std::size_t a = 0; a < g.body().size(); ++a) {
-      for (int rule_index = 0; rule_index < static_cast<int>(rules.size());
-           ++rule_index) {
-        const PreparedRule& rule =
-            rules[static_cast<std::size_t>(rule_index)];
-        Substitution subst;
-        if (!UnifyAtoms(g.body()[a], rule.head, &subst)) continue;
-        if (!IsApplicable(g, rule, subst)) continue;
-        ++result.steps;
-        std::vector<Atom> new_body;
-        new_body.reserve(g.body().size() - 1 + rule.body.size());
-        for (std::size_t i = 0; i < g.body().size(); ++i) {
-          if (i != a) new_body.push_back(subst.Apply(g.body()[i]));
-        }
-        for (const Atom& beta : rule.body) {
-          new_body.push_back(subst.Apply(beta));
-        }
-        add_cq(ConjunctiveQuery(ApplyToAnswer(g.answer_terms(), subst),
-                                std::move(new_body)),
-               CqDerivation{g_index, rule_index, false});
-      }
-    }
-
-    // Factorization steps: unify two atoms with the same predicate. The
-    // result is a subsumed specialization, generated only because it can
-    // unlock rewriting steps (it makes shared variables occur once).
-    if (options.factorize) {
-      for (std::size_t i = 0; i < g.body().size(); ++i) {
-        for (std::size_t j = i + 1; j < g.body().size(); ++j) {
-          if (g.body()[i].predicate() != g.body()[j].predicate()) continue;
-          Substitution subst;
-          if (!UnifyAtoms(g.body()[i], g.body()[j], &subst)) continue;
-          ++result.steps;
-          std::vector<Atom> new_body;
-          new_body.reserve(g.body().size() - 1);
-          for (std::size_t l = 0; l < g.body().size(); ++l) {
-            if (l != j) new_body.push_back(subst.Apply(g.body()[l]));
-          }
-          add_cq(ConjunctiveQuery(ApplyToAnswer(g.answer_terms(), subst),
-                                  std::move(new_body)),
-                 CqDerivation{g_index, -1, true});
-        }
-      }
-    }
+  // Deterministic output: the saturation stores cores, not canonical
+  // forms, and which member of an equivalence class survived depends on
+  // insertion order. Canonicalize the final survivors — hom-equivalent
+  // cores are isomorphic, so they canonicalize identically — and sort
+  // structurally; the union is then the same for every thread count.
+  // Deferring the canonical-labeling search to this point (typically an
+  // order of magnitude fewer CQs than the saturation generated) is a
+  // large part of the rewriting speedup.
+  std::vector<ConjunctiveQuery> canonical;
+  canonical.reserve(full.disjuncts().size());
+  for (const ConjunctiveQuery& cq : full.disjuncts()) {
+    canonical.push_back(CanonicalizeCq(cq));
   }
-
-  result.generated = static_cast<int>(generated.size());
-  result.saturated = generated;
-  result.derivations = std::move(derivations);
-  UnionOfCqs full(std::move(generated));
-  result.ucq = options.minimize ? MinimizeUcq(full) : std::move(full);
+  std::sort(canonical.begin(), canonical.end(), StructuralLess);
+  result.ucq = UnionOfCqs(std::move(canonical));
   return result;
 }
 

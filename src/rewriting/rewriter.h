@@ -29,18 +29,39 @@
 // non-FO-rewritable inputs such as PaperExample2 with q() :- r("a", X) it
 // would produce an unbounded chain, so a cap bounds the work and reports
 // ResourceExhausted.
+//
+// Throughput (DESIGN.md §9 "Saturation core"): rules are indexed by head
+// predicate so an atom only meets unifiable rules; generated CQs are
+// minimized to cores and deduplicated up to homomorphic equivalence
+// through a renaming-invariant 64-bit hash with a two-way containment
+// fallback (the costly canonical-labeling search runs only on the final
+// union); and with eager_subsumption (default) a signature
+// index drops new CQs an existing CQ subsumes and retires worklist
+// entries a new CQ subsumes — the Gottlob–Orsi–Pieris pruning that keeps
+// the intermediate union small. Factorization-generated CQs are exempt
+// (they are subsumed by construction and exist only to unlock rewriting
+// steps). threads > 1 runs the saturation and the final minimization on
+// a worker pool sharing those structures under a single mutex, with all
+// expensive work (unification, canonicalization, homomorphism checks)
+// outside the lock; the produced UCQ is deterministic — identical across
+// thread counts and runs — because the final union is minimized and
+// sorted canonically. `steps`/`saturated` order may vary across parallel
+// runs; the answering semantics never does.
 
 namespace ontorew {
 
 struct RewriterOptions {
-  // Divergence cap: maximum number of distinct canonical CQs explored.
+  // Divergence cap: maximum number of distinct (up to equivalence) CQs
+  // explored.
+  // Enforced on every insertion, so a single CQ with many successors
+  // cannot overshoot the cap within one saturation iteration.
   int max_cqs = 20000;
   // Wall-clock/cooperative cancellation for the saturation: checked once
-  // per worklist iteration (and inside the final minimization's
-  // containment checks via the "rewrite.step" fault point). A tripped
-  // deadline returns DeadlineExceeded, a tripped token Cancelled — on
-  // non-FO-rewritable inputs this bounds the *time* spent, not just the
-  // CQ count.
+  // per worklist iteration and inside the final minimization's
+  // containment sweep (where the "rewrite.step" fault point also fires).
+  // A tripped deadline returns DeadlineExceeded, a tripped token
+  // Cancelled — on non-FO-rewritable inputs this bounds the *time*
+  // spent, not just the CQ count.
   CancelScope cancel;
   // Final containment-based minimization of the produced union.
   bool minimize = true;
@@ -49,8 +70,16 @@ struct RewriterOptions {
   // Minimize each intermediate CQ before deduplication. Disabling this is
   // only useful for ablation studies: recursive-but-harmless programs
   // (e.g. PaperExample1) then accumulate homomorphically redundant atoms
-  // and the saturation diverges to the cap.
+  // and (without eager subsumption) the saturation diverges to the cap.
   bool reduce_intermediate = true;
+  // Eager subsumption pruning during saturation (see header comment).
+  // Disabling reproduces the naive explore-everything saturation; the
+  // equivalence property test pins both modes to the same answers.
+  bool eager_subsumption = true;
+  // Saturation/minimization worker threads. <= 1 runs inline on the
+  // calling thread (fully deterministic, no pool); larger values are
+  // clamped to the hardware and a hard bound.
+  int threads = 1;
 };
 
 // How one saturated CQ came to be (derivation provenance).
@@ -65,13 +94,23 @@ struct CqDerivation {
 
 struct RewriteResult {
   UnionOfCqs ucq;
-  // Distinct canonical CQs generated during saturation (before
-  // minimization).
+  // CQs kept during saturation — one representative per homomorphic
+  // equivalence class (before minimization).
   int generated = 0;
   // Rewriting + factorization steps attempted.
   int steps = 0;
+  // Candidate CQs dropped because an already-kept CQ subsumes them
+  // (eager_subsumption only; equivalence-class duplicates are not
+  // counted).
+  int pruned = 0;
+  // Kept CQs later retired because a newer CQ subsumes them; retired CQs
+  // stay in `saturated` for provenance but are excluded from `ucq`.
+  int retired = 0;
+  // Worker threads the saturation actually ran with (after clamping).
+  int threads_used = 1;
   // All saturated CQs with their derivations (aligned; ucq above is the
-  // minimized union of these).
+  // minimized union of the non-retired ones). Order is deterministic for
+  // threads <= 1 and scheduling-dependent otherwise.
   std::vector<ConjunctiveQuery> saturated;
   std::vector<CqDerivation> derivations;
 };

@@ -141,6 +141,8 @@ StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::Rewrite(
                                   : rewriter.cancel.token());
     OREW_ASSIGN_OR_RETURN(RewriteResult result,
                           RewriteUcq(query, program_, rewriter));
+    metrics_.Increment("rewrite_pruned_total", result.pruned);
+    metrics_.SetGauge("rewrite_threads", result.threads_used);
     rewriting = std::make_shared<const UnionOfCqs>(std::move(result.ucq));
   }
 

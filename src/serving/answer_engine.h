@@ -54,9 +54,10 @@
 //
 // Metric names (see DESIGN.md "Serving layer"):
 //   counters  queries_served, rewrite_cache_hit, rewrite_cache_miss,
-//             rewrite_cache_eviction, eval_tuples_examined, eval_matches,
-//             deadline_exceeded, requests_shed, fallback_chase_served
-//   gauges    inflight
+//             rewrite_cache_eviction, rewrite_pruned_total,
+//             eval_tuples_examined, eval_matches, deadline_exceeded,
+//             requests_shed, fallback_chase_served
+//   gauges    inflight, rewrite_threads
 //   timers    rewrite_ns, eval_ns
 
 namespace ontorew {

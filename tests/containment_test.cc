@@ -1,6 +1,12 @@
+#include <cstddef>
+#include <vector>
+
+#include "base/rng.h"
 #include "gtest/gtest.h"
+#include "logic/atom.h"
 #include "rewriting/containment.h"
 #include "test_util.h"
+#include "workload/generators.h"
 
 namespace ontorew {
 namespace {
@@ -108,6 +114,68 @@ TEST(MinimizeUcqTest, EquivalentPairKeepsOne) {
   ucq.Add(MustQuery("q(U) :- r(U, V).", &vocab));
   UnionOfCqs minimized = MinimizeUcq(ucq);
   EXPECT_EQ(minimized.size(), 1);
+}
+
+// The historical MinimizeCq rescanned from atom 0 after every successful
+// drop. The shipping version keeps scanning forward from the drop index
+// (retraction homomorphisms compose, so an undroppable atom stays
+// undroppable). This reference implementation pins the two to the exact
+// same output, not merely an equivalent one.
+ConjunctiveQuery MinimizeCqRestartReference(const ConjunctiveQuery& cq) {
+  ConjunctiveQuery current = cq;
+  bool changed = true;
+  while (changed && current.body().size() > 1) {
+    changed = false;
+    for (std::size_t drop = 0; drop < current.body().size(); ++drop) {
+      std::vector<Atom> smaller_body;
+      smaller_body.reserve(current.body().size() - 1);
+      for (std::size_t i = 0; i < current.body().size(); ++i) {
+        if (i != drop) smaller_body.push_back(current.body()[i]);
+      }
+      ConjunctiveQuery candidate(current.answer_terms(),
+                                 std::move(smaller_body));
+      if (candidate.Validate().ok() && CqSubsumes(current, candidate)) {
+        current = std::move(candidate);
+        changed = true;
+        break;  // Restart the scan from atom 0.
+      }
+    }
+  }
+  return current;
+}
+
+TEST(MinimizeCqTest, SinglePassMatchesRestartReference) {
+  Vocabulary vocab;
+  // Hand-built shapes with redundancy in different positions (front,
+  // middle, back, interleaved) so the pass structure actually matters.
+  const char* cases[] = {
+      "q(X) :- r(X, Y), r(X, Z).",
+      "q(X) :- r(X, Y), s(Y), r(X, Z).",
+      "q(X) :- r(X, Z), r(X, Y), s(Y).",
+      "q() :- e(X, Y), e(Y, Z), e(U, V).",
+      "q(X, Y) :- r(X, Y), r(X, Z), r(W, Y).",
+      "q(X) :- p(X), r(X, Y), r(Y, Z), r(X, W), p(W).",
+  };
+  for (const char* text : cases) {
+    ConjunctiveQuery cq = MustQuery(text, &vocab);
+    EXPECT_EQ(MinimizeCq(cq), MinimizeCqRestartReference(cq)) << text;
+  }
+  // And randomized CQs over random linear programs. Each round gets a
+  // fresh vocabulary: the generators reuse predicate names and would
+  // otherwise trip the arity consistency check.
+  Rng rng(20260806);
+  for (int round = 0; round < 200; ++round) {
+    Vocabulary round_vocab;
+    TgdProgram program = RandomLinearProgram(
+        /*num_rules=*/4, /*num_predicates=*/3, /*max_arity=*/3,
+        /*existential_prob=*/0.3, &rng, &round_vocab);
+    ConjunctiveQuery cq =
+        RandomCq(program, /*num_atoms=*/1 + rng.Uniform(5),
+                 /*num_answer_vars=*/rng.Uniform(3), &rng, &round_vocab);
+    ConjunctiveQuery fast = MinimizeCq(cq);
+    ConjunctiveQuery reference = MinimizeCqRestartReference(cq);
+    EXPECT_EQ(fast, reference) << "seed round " << round;
+  }
 }
 
 TEST(MinimizeUcqTest, MinimizesWithinDisjuncts) {

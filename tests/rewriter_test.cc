@@ -288,6 +288,10 @@ TEST(RewriterTest, AblationIntermediateReduction) {
   ConjunctiveQuery query = MustQuery("q(X, Y) :- r(X, Y).", &vocab);
   RewriterOptions no_reduce;
   no_reduce.reduce_intermediate = false;
+  // Ablate the naive saturation loop: eager subsumption pruning would
+  // otherwise drop the bloated descendants (each is subsumed by its
+  // ancestor) and terminate despite the missing reduction.
+  no_reduce.eager_subsumption = false;
   // Keep the cap tiny: without reduction the CQs also *grow*, so pushing
   // hundreds of them through canonicalization is pointlessly slow. The
   // terminating saturation has 3 CQs, so 40 proves divergence.
@@ -298,6 +302,101 @@ TEST(RewriterTest, AblationIntermediateReduction) {
   EXPECT_EQ(diverged.status().code(), StatusCode::kResourceExhausted);
   // With reduction (the default) the same input terminates immediately.
   EXPECT_TRUE(RewriteCq(query, program).ok());
+}
+
+TEST(RewriterTest, CapAllowsExactlyMaxCqs) {
+  Vocabulary vocab;
+  TgdProgram program = MustProgram(
+      "professor(X) -> faculty(X).\n"
+      "lecturer(X) -> faculty(X).\n",
+      &vocab);
+  ConjunctiveQuery query = MustQuery("q(X) :- faculty(X).", &vocab);
+  // The saturation keeps exactly 3 distinct CQs; a cap of 3 must succeed
+  // (the cap bounds what is kept — reaching it exactly is fine) ...
+  RewriterOptions exact;
+  exact.max_cqs = 3;
+  StatusOr<RewriteResult> ok = RewriteCq(query, program, exact);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->generated, 3);
+  // ... and a cap of 2 must fail at the third *insertion*: the check
+  // lives in the insert path, so a CQ with many successors cannot
+  // overshoot the cap within a single saturation iteration.
+  RewriterOptions tight;
+  tight.max_cqs = 2;
+  StatusOr<RewriteResult> exhausted = RewriteCq(query, program, tight);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RewriterTest, EagerSubsumptionPrunesSubsumedCandidates) {
+  Vocabulary vocab;
+  // Both rules rewrite t(X); the second produces q(X) :- s(X, X), which
+  // the first rule's q(X) :- s(X, Y) subsumes (map Y -> X).
+  TgdProgram program = MustProgram(
+      "s(X, Y) -> t(X).\n"
+      "s(X, X) -> t(X).\n",
+      &vocab);
+  ConjunctiveQuery query = MustQuery("q(X) :- t(X).", &vocab);
+  StatusOr<RewriteResult> eager = RewriteCq(query, program);
+  ASSERT_TRUE(eager.ok()) << eager.status();
+  EXPECT_GE(eager->pruned, 1);
+  RewriterOptions naive_options;
+  naive_options.eager_subsumption = false;
+  StatusOr<RewriteResult> naive = RewriteCq(query, program, naive_options);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  EXPECT_EQ(naive->pruned, 0);
+  // Pruning trims the exploration, never the answers: the minimized,
+  // canonically sorted unions are identical CQ for CQ.
+  EXPECT_LT(eager->generated, naive->generated);
+  ASSERT_EQ(eager->ucq.size(), naive->ucq.size());
+  for (int i = 0; i < eager->ucq.size(); ++i) {
+    EXPECT_EQ(eager->ucq.disjuncts()[static_cast<std::size_t>(i)],
+              naive->ucq.disjuncts()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RewriterTest, NewCqRetiresSubsumedPredecessor) {
+  Vocabulary vocab;
+  // Reversed rule order: the specialized q(X) :- s(X, X) is generated
+  // first, so the general q(X) :- s(X, Y) arrives second and retires it
+  // from the worklist instead of pruning it on insert.
+  TgdProgram program = MustProgram(
+      "s(X, X) -> t(X).\n"
+      "s(X, Y) -> t(X).\n",
+      &vocab);
+  ConjunctiveQuery query = MustQuery("q(X) :- t(X).", &vocab);
+  StatusOr<RewriteResult> result = RewriteCq(query, program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->retired, 1);
+  EXPECT_EQ(result->generated, 3);  // Retired CQs stay in `saturated`.
+  EXPECT_EQ(result->ucq.size(), 2);
+  EXPECT_TRUE(ContainsEquivalent(result->ucq,
+                                 MustQuery("q(X) :- s(X, Y).", &vocab)));
+}
+
+TEST(RewriterTest, ParallelSaturationMatchesSequential) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  ConjunctiveQuery query = MustQuery(
+      "q(X0) :- person(X0), knows(X0, X1), person(X1).", &vocab);
+  RewriterOptions sequential;
+  sequential.max_cqs = 300000;
+  StatusOr<RewriteResult> one = RewriteCq(query, ontology, sequential);
+  ASSERT_TRUE(one.ok()) << one.status();
+  RewriterOptions parallel = sequential;
+  parallel.threads = 4;
+  // The determinism contract: the produced union is identical across
+  // thread counts and across repeated parallel runs.
+  for (int run = 0; run < 3; ++run) {
+    StatusOr<RewriteResult> four = RewriteCq(query, ontology, parallel);
+    ASSERT_TRUE(four.ok()) << four.status();
+    EXPECT_GE(four->threads_used, 1);
+    ASSERT_EQ(four->ucq.size(), one->ucq.size());
+    for (int i = 0; i < one->ucq.size(); ++i) {
+      EXPECT_EQ(four->ucq.disjuncts()[static_cast<std::size_t>(i)],
+                one->ucq.disjuncts()[static_cast<std::size_t>(i)]);
+    }
+  }
 }
 
 }  // namespace
