@@ -7,7 +7,8 @@
 //
 // Two modes:
 //   bench_rewriting [benchmark flags]   google-benchmark microbenchmarks
-//   bench_rewriting --json [--out=F]    machine-readable perf harness —
+//   bench_rewriting --json [--out=F] [--trace]
+//                                       machine-readable perf harness —
 //     runs each named workload at threads 1 and 4, reports best-of-3
 //     wall time, steps/sec and saturation counters as
 //     "ontorew-bench-rewrite/1" JSON (see README "Benchmarking" and the
@@ -23,6 +24,7 @@
 
 #include "base/logging.h"
 #include "base/strings.h"
+#include "base/trace.h"
 #include "logic/parser.h"
 #include "logic/vocabulary.h"
 #include "rewriting/rewriter.h"
@@ -186,7 +188,12 @@ std::vector<JsonWorkload> BuildJsonWorkloads() {
   return workloads;
 }
 
-int RunJsonHarness(const std::string& out_path) {
+// With `traced` set, every rewrite carries a live Trace (one fresh Trace
+// per run, like a traced request would): the reported numbers then
+// measure the enabled-tracing overhead. The CI bench-smoke step runs the
+// harness untraced against the checked-in baseline (the "disabled
+// tracing is free" contract) and traced with a looser ratio.
+int RunJsonHarness(const std::string& out_path, bool traced) {
   std::string json = "{\n  \"schema\": \"ontorew-bench-rewrite/1\",\n"
                      "  \"results\": [\n";
   bool first = true;
@@ -198,6 +205,8 @@ int RunJsonHarness(const std::string& out_path) {
       RewriteResult measured;
       constexpr int kRuns = 3;
       for (int run = 0; run < kRuns; ++run) {
+        Trace trace;
+        if (traced) options.trace = TraceContext(&trace);
         const auto start = std::chrono::steady_clock::now();
         StatusOr<RewriteResult> result =
             RewriteCq(workload.query, workload.program, options);
@@ -205,6 +214,7 @@ int RunJsonHarness(const std::string& out_path) {
         OREW_CHECK(result.ok())
             << workload.name << " threads=" << threads << ": "
             << result.status();
+        OREW_CHECK(!traced || trace.size() > 0);
         const double ms =
             std::chrono::duration<double, std::milli>(stop - start).count();
         if (run == 0 || ms < best_ms) {
@@ -252,16 +262,19 @@ int RunJsonHarness(const std::string& out_path) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool traced = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--trace") {
+      traced = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     }
   }
-  if (json) return ontorew::RunJsonHarness(out_path);
+  if (json) return ontorew::RunJsonHarness(out_path, traced);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

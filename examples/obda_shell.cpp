@@ -15,6 +15,16 @@
 //
 //   $ ./build/examples/obda_shell data/university.tgd /dev/null
 //         "q(X) :- person(X)." 500 sqlite
+//
+// Environment switches:
+//   TRACE=1     record a request-scoped trace of the cold serve and print
+//               the span tree (stage timings, per-iteration CQ counts,
+//               cache verdicts, SQL plans on the sqlite backend);
+//   TRACE=json  same, but emit Chrome trace_event JSON (load the output
+//               in chrome://tracing or Perfetto);
+//   EXPLAIN=1   dry run: print the rewriting, the SQL the engine would
+//               ship, and the trace of the rewrite pipeline WITHOUT
+//               evaluating anything, then exit.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +36,7 @@
 #include "backend/sqlite_backend.h"
 #include "base/deadline.h"
 #include "base/logging.h"
+#include "base/trace.h"
 #include "chase/chase.h"
 #include "chase/termination.h"
 #include "classes/classifier.h"
@@ -134,6 +145,33 @@ int main(int argc, char** argv) {
   if (timeout_ms > 0) {
     per_request.deadline = Deadline::AfterMillis(timeout_ms);
   }
+
+  const char* explain_env = std::getenv("EXPLAIN");
+  if (explain_env != nullptr && std::string(explain_env) == "1") {
+    StatusOr<ExplainResult> explained =
+        engine.Explain(UnionOfCqs(*query), vocab, per_request);
+    if (!explained.ok()) {
+      std::fprintf(stderr, "explain failed: %s\n",
+                   explained.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nrewriting (%d disjuncts, cache %s):\n%s\n",
+                explained->rewriting->size(),
+                explained->cache_hit ? "hit" : "miss",
+                ToString(*explained->rewriting, vocab).c_str());
+    std::printf("\nemitted SQL:\n%s\n", explained->sql.c_str());
+    std::printf("\ntrace (nothing was executed):\n%s",
+                explained->trace->ToString().c_str());
+    return 0;
+  }
+
+  const char* trace_env = std::getenv("TRACE");
+  const std::string trace_mode = trace_env != nullptr ? trace_env : "";
+  Trace trace;
+  if (trace_mode == "1" || trace_mode == "json") {
+    per_request.trace = &trace;
+  }
+
   StatusOr<AnswerResult> served = engine.Serve(UnionOfCqs(*query), per_request);
   if (!served.ok()) {
     std::fprintf(stderr, "serving failed: %s\n",
@@ -149,6 +187,13 @@ int main(int argc, char** argv) {
   std::printf("\ncertain answers (%zu):\n", answers.size());
   for (const Tuple& tuple : answers) {
     std::printf("  %s\n", ToString(tuple, vocab).c_str());
+  }
+
+  if (trace_mode == "json") {
+    std::printf("\ntrace (chrome trace_event JSON):\n%s",
+                trace.ToJson().c_str());
+  } else if (trace_mode == "1") {
+    std::printf("\ntrace:\n%s", trace.ToString().c_str());
   }
 
   StatusOr<AnswerResult> warm = engine.Serve(UnionOfCqs(*query));

@@ -23,6 +23,7 @@ StatusOr<std::vector<Tuple>> InMemoryBackend::Execute(
   eval.num_threads = options.num_threads;
   eval.eval.drop_tuples_with_nulls = options.drop_tuples_with_nulls;
   eval.eval.cancel = options.cancel;
+  eval.trace = options.trace;
   return ParallelEvaluate(ucq, db_, eval, stats);
 }
 

@@ -6,6 +6,7 @@
 
 #include "base/deadline.h"
 #include "base/status.h"
+#include "base/trace.h"
 #include "db/database.h"
 #include "db/eval.h"
 #include "logic/program.h"
@@ -42,6 +43,11 @@ struct BackendExecOptions {
   // Worker threads for backends that fan disjuncts out (in-memory);
   // single-connection backends ignore it.
   int num_threads = 0;
+  // Request-scoped tracing (see base/trace.h). Inert by default. The
+  // in-memory backend forwards it to the parallel evaluator (per-disjunct
+  // "disjunct" spans); SQLite records "emit" (UCQ -> SQL) and "scan"
+  // spans, attaching the EXPLAIN QUERY PLAN rows to the scan span.
+  TraceContext trace;
 };
 
 class Backend {

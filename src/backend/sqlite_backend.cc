@@ -222,7 +222,18 @@ StatusOr<std::vector<Tuple>> SqliteBackend::Execute(
   }
   OREW_RETURN_IF_ERROR(options.cancel.Check("sqlite.exec"));
   OREW_RETURN_IF_ERROR(CheckFaultPoint("backend.exec"));
-  OREW_ASSIGN_OR_RETURN(std::string sql, UcqToSql(ucq, *vocab_));
+
+  TraceSpan emit_span(options.trace, "emit");
+  StatusOr<std::string> sql_or = UcqToSql(ucq, *vocab_);
+  if (!sql_or.ok()) {
+    emit_span.AnnotateStatus(sql_or.status());
+    return sql_or.status();
+  }
+  std::string sql = std::move(sql_or).value();
+  emit_span.Attr("sql_bytes", static_cast<std::int64_t>(sql.size()));
+  emit_span.Attr("disjuncts",
+                 static_cast<std::int64_t>(ucq.disjuncts().size()));
+  emit_span.End();
 
   // Constants that appear only in the query still need a decoding (a
   // constant answer term comes back as a result cell), and their
@@ -248,6 +259,25 @@ StatusOr<std::vector<Tuple>> SqliteBackend::Execute(
   ProgressGuard progress(conn_, options.cancel,
                          options_.progress_poll_instructions);
 
+  TraceSpan scan_span(options.trace, "scan");
+  if (scan_span.enabled()) {
+    // Attach SQLite's own plan to the scan span, one "plan" attribute per
+    // EXPLAIN QUERY PLAN row — the difference between "SCAN t" and
+    // "SEARCH t USING INDEX" is exactly what a slow traced request needs.
+    const std::string explain_sql = StrCat("EXPLAIN QUERY PLAN ", sql);
+    sqlite3_stmt* plan = nullptr;
+    if (sqlite3_prepare_v2(conn_, explain_sql.c_str(), -1, &plan, nullptr) ==
+        SQLITE_OK) {
+      StmtGuard plan_guard(plan);
+      while (sqlite3_step(plan) == SQLITE_ROW) {
+        const unsigned char* detail = sqlite3_column_text(plan, 3);
+        scan_span.Attr(
+            "plan",
+            detail != nullptr ? reinterpret_cast<const char*>(detail) : "");
+      }
+    }
+  }
+
   const int arity = ucq.arity();
   std::vector<Tuple> answers;
   for (;;) {
@@ -255,10 +285,17 @@ StatusOr<std::vector<Tuple>> SqliteBackend::Execute(
     if (rc == SQLITE_DONE) break;
     if (rc == SQLITE_INTERRUPT) {
       Status tripped = options.cancel.Check("sqlite.exec");
-      return tripped.ok() ? CancelledError("sqlite: statement interrupted")
-                          : tripped;
+      Status interrupted =
+          tripped.ok() ? CancelledError("sqlite: statement interrupted")
+                       : tripped;
+      scan_span.AnnotateStatus(interrupted);
+      return interrupted;
     }
-    if (rc != SQLITE_ROW) return SqliteError(conn_, "step");
+    if (rc != SQLITE_ROW) {
+      Status step_error = SqliteError(conn_, "step");
+      scan_span.AnnotateStatus(step_error);
+      return step_error;
+    }
     if (stats != nullptr) ++stats->matches;
     Tuple tuple;
     tuple.reserve(static_cast<std::size_t>(arity));
@@ -283,15 +320,16 @@ StatusOr<std::vector<Tuple>> SqliteBackend::Execute(
     if (has_null && options.drop_tuples_with_nulls) continue;
     answers.push_back(std::move(tuple));
   }
-  if (stats != nullptr) {
-    stats->tuples_examined +=
-        sqlite3_stmt_status(stmt, SQLITE_STMTSTATUS_FULLSCAN_STEP, 0);
-  }
+  const int fullscan_steps =
+      sqlite3_stmt_status(stmt, SQLITE_STMTSTATUS_FULLSCAN_STEP, 0);
+  if (stats != nullptr) stats->tuples_examined += fullscan_steps;
 
   // SQL's UNION already deduplicates *encodings*; sort and deduplicate in
   // Value order so the result is byte-identical to the in-memory path.
   std::sort(answers.begin(), answers.end());
   answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  scan_span.Attr("fullscan_steps", static_cast<std::int64_t>(fullscan_steps));
+  scan_span.Attr("rows", static_cast<std::int64_t>(answers.size()));
   return answers;
 }
 

@@ -1,0 +1,193 @@
+#include "base/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "base/strings.h"
+
+namespace ontorew {
+namespace {
+
+std::uint64_t ThisThreadHash() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+// JSON string escaping: quotes, backslashes, and control characters (the
+// only bytes the trace_event format cannot carry raw).
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Trace::Trace(std::size_t max_spans)
+    : epoch_(std::chrono::steady_clock::now()),
+      max_spans_(std::max<std::size_t>(max_spans, 1)) {}
+
+Trace::SpanId Trace::BeginSpan(std::string_view name, SpanId parent) {
+  if (parent == kDropped) return kDropped;
+  const std::int64_t start =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return kDropped;
+  }
+  SpanRecord span;
+  span.id = static_cast<int>(spans_.size());
+  // A parent id the trace never issued (e.g. from a foreign trace) is
+  // recorded as a root rather than corrupting the tree.
+  span.parent =
+      (parent >= 0 && parent < static_cast<int>(spans_.size())) ? parent
+                                                                : kNoParent;
+  span.name = std::string(name);
+  span.start_ns = start;
+  span.thread = ThisThreadHash();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::EndSpan(SpanId id) {
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  SpanRecord& span = spans_[static_cast<std::size_t>(id)];
+  if (span.duration_ns >= 0) return;  // Already ended.
+  span.duration_ns = std::max<std::int64_t>(now - span.start_ns, 0);
+}
+
+void Trace::AddAttribute(SpanId id, std::string_view key,
+                         std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  spans_[static_cast<std::size_t>(id)].attributes.emplace_back(
+      std::string(key), std::string(value));
+}
+
+void Trace::AddAttribute(SpanId id, std::string_view key,
+                         std::int64_t value) {
+  AddAttribute(id, key, std::string_view(StrCat(value)));
+}
+
+void Trace::AnnotateStatus(SpanId id, const Status& status) {
+  if (status.ok()) return;
+  AddAttribute(id, "status", StatusCodeName(status.code()));
+  AddAttribute(id, "error", status.message());
+}
+
+std::vector<SpanRecord> Trace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t Trace::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::size_t Trace::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::string Trace::ToString() const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  // Children of each parent, in begin order (span ids are begin-ordered).
+  std::vector<std::vector<int>> children(spans.size() + 1);
+  for (const SpanRecord& span : spans) {
+    const std::size_t slot = span.parent < 0
+                                 ? spans.size()
+                                 : static_cast<std::size_t>(span.parent);
+    children[slot].push_back(span.id);
+  }
+  std::string out;
+  std::function<void(int, int)> print = [&](int id, int depth) {
+    const SpanRecord& span = spans[static_cast<std::size_t>(id)];
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += span.name;
+    if (span.duration_ns >= 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %.3fms",
+                    static_cast<double>(span.duration_ns) / 1e6);
+      out += buf;
+    } else {
+      out += " (open)";
+    }
+    for (const auto& [key, value] : span.attributes) {
+      out += StrCat(" ", key, "=", value);
+    }
+    out += "\n";
+    for (int child : children[static_cast<std::size_t>(id)]) {
+      print(child, depth + 1);
+    }
+  };
+  for (int root : children[spans.size()]) print(root, 0);
+  if (dropped() > 0) out += StrCat("(", dropped(), " spans dropped)\n");
+  return out;
+}
+
+std::string Trace::ToJson() const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  std::string out = "{\"schema\": \"ontorew-trace/1\", \"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\": \"";
+    AppendJsonEscaped(&out, span.name);
+    out += StrCat("\", \"cat\": \"ontorew\", \"ph\": \"X\", \"pid\": 1",
+                  ", \"tid\": ", span.thread % 1000000,
+                  ", \"ts\": ", span.start_ns / 1000,
+                  ", \"dur\": ",
+                  span.duration_ns >= 0 ? span.duration_ns / 1000 : 0,
+                  ", \"args\": {\"span_id\": \"", span.id,
+                  "\", \"parent\": \"", span.parent, "\"");
+    if (span.duration_ns < 0) out += ", \"open\": \"true\"";
+    for (const auto& [key, value] : span.attributes) {
+      out += ", \"";
+      AppendJsonEscaped(&out, key);
+      out += "\": \"";
+      AppendJsonEscaped(&out, value);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += StrCat("\n], \"droppedSpans\": ", dropped(), "}\n");
+  return out;
+}
+
+}  // namespace ontorew

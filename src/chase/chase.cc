@@ -82,6 +82,9 @@ ChaseResult RunChase(const TgdProgram& program, const Database& input,
   bool capped = false;
 
   for (int round = 0; round < options.max_rounds; ++round) {
+    TraceSpan round_span(options.trace, "chase.round");
+    round_span.Attr("round", static_cast<std::int64_t>(round));
+    const int applications_before = result.applications;
     bool changed = false;
     for (int r = 0; r < program.size() && !capped; ++r) {
       const Tgd& tgd = program.tgd(r);
@@ -98,11 +101,17 @@ ChaseResult RunChase(const TgdProgram& program, const Database& input,
             return true;
           },
           nullptr, options.cancel);
-      if (!result.status.ok()) return result;
+      if (!result.status.ok()) {
+        round_span.AnnotateStatus(result.status);
+        return result;
+      }
       for (const Binding& binding : triggers) {
         result.status = options.cancel.Check("chase step");
         if (result.status.ok()) result.status = CheckFaultPoint("chase.step");
-        if (!result.status.ok()) return result;
+        if (!result.status.ok()) {
+          round_span.AnnotateStatus(result.status);
+          return result;
+        }
         if (options.variant == ChaseOptions::Variant::kOblivious) {
           if (!fired.insert(TriggerKey(r, tgd, binding)).second) continue;
         } else if (HeadSatisfied(tgd, binding, result.db)) {
@@ -116,6 +125,11 @@ ChaseResult RunChase(const TgdProgram& program, const Database& input,
         }
       }
     }
+    round_span.Attr("applications", static_cast<std::int64_t>(
+                                        result.applications -
+                                        applications_before));
+    round_span.Attr("tuples",
+                    static_cast<std::int64_t>(result.db.TotalTuples()));
     result.rounds = round + 1;
     if (!changed) {
       result.terminated = !capped;
@@ -130,17 +144,35 @@ ChaseResult RunChase(const TgdProgram& program, const Database& input,
 StatusOr<std::vector<Tuple>> CertainAnswersViaChase(
     const UnionOfCqs& query, const TgdProgram& program, const Database& input,
     const ChaseOptions& options) {
-  ChaseResult chase = RunChase(program, input, options);
+  TraceSpan run_span(options.trace, "chase.run");
+  ChaseOptions run_options = options;
+  run_options.trace = run_span.context();  // Rounds nest under chase.run.
+  ChaseResult chase = RunChase(program, input, run_options);
+  run_span.Attr("rounds", static_cast<std::int64_t>(chase.rounds));
+  run_span.Attr("applications",
+                static_cast<std::int64_t>(chase.applications));
+  run_span.Attr("tuples", static_cast<std::int64_t>(chase.db.TotalTuples()));
+  run_span.Attr("terminated", chase.terminated ? "true" : "false");
+  run_span.AnnotateStatus(chase.status);
+  run_span.End();
   if (!chase.status.ok()) return chase.status;  // Interrupted, not capped.
   if (!chase.terminated) {
     return ResourceExhaustedError(
         StrCat("chase did not reach a fixpoint within ", chase.rounds,
                " rounds / ", chase.db.TotalTuples(), " tuples"));
   }
+  TraceSpan eval_span(options.trace, "chase.eval");
   EvalOptions eval_options;
   eval_options.drop_tuples_with_nulls = true;
   eval_options.cancel = options.cancel;
-  return TryEvaluate(query, chase.db, eval_options);
+  StatusOr<std::vector<Tuple>> answers =
+      TryEvaluate(query, chase.db, eval_options);
+  if (answers.ok()) {
+    eval_span.Attr("rows", static_cast<std::int64_t>(answers.value().size()));
+  } else {
+    eval_span.AnnotateStatus(answers.status());
+  }
+  return answers;
 }
 
 }  // namespace ontorew

@@ -5,6 +5,7 @@
 
 #include "base/deadline.h"
 #include "base/status.h"
+#include "base/trace.h"
 #include "db/database.h"
 #include "db/eval.h"
 #include "logic/program.h"
@@ -36,6 +37,12 @@ struct ChaseOptions {
   // inside trigger-search scans. A tripped scope stops the chase with
   // result.status set (and terminated = false).
   CancelScope cancel;
+  // Request-scoped tracing (see base/trace.h). Inert by default; when
+  // enabled, RunChase records one "chase.round" span per breadth-first
+  // round (attributes round, applications, tuples) and
+  // CertainAnswersViaChase wraps those in "chase.run" plus a "chase.eval"
+  // span for the final UCQ evaluation.
+  TraceContext trace;
 };
 
 struct ChaseResult {

@@ -24,9 +24,9 @@ StatusOr<Database> ParseFacts(std::string_view text, Vocabulary* vocab) {
     line_start = line_end + 1;
     ++line_number;
 
-    // Strip comments and whitespace.
-    std::size_t comment = line.find_first_of("#%");
-    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    // Strip comments (quote-aware: '#'/'%' inside a quoted constant is
+    // data, not a comment) and whitespace.
+    line = StripLineComment(line);
     while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
                              line.back() == '\r' || line.back() == '.')) {
       line.remove_suffix(1);

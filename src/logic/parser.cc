@@ -368,4 +368,19 @@ StatusOr<Atom> ParseAtom(std::string_view text, Vocabulary* vocab) {
   return atom;
 }
 
+std::string_view StripLineComment(std::string_view line) {
+  // Must agree with the lexer above: string literals are '"'-delimited
+  // with no escape sequences, so a bare '"' always toggles.
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '#' || c == '%')) {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
 }  // namespace ontorew

@@ -50,6 +50,16 @@ StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text,
 // Parses a single atom, e.g. "r(X, \"a\")".
 StatusOr<Atom> ParseAtom(std::string_view text, Vocabulary* vocab);
 
+// Strips a '#' or '%' end-of-line comment from `line`, honouring the
+// lexer's string-literal syntax: a comment character inside a
+// double-quoted constant does not start a comment (string literals have
+// no escape sequences, so a bare '"' always toggles). With an
+// unterminated quote the rest of the line is kept, so the parser reports
+// the unterminated literal instead of a silently truncated one. Line-wise
+// front-ends (ParseFacts, ParseDenials) must use this instead of
+// find_first_of("#%"), which mangles constants like "a#b".
+std::string_view StripLineComment(std::string_view line);
+
 }  // namespace ontorew
 
 #endif  // ONTOREW_LOGIC_PARSER_H_

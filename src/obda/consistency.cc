@@ -13,34 +13,37 @@ namespace ontorew {
 
 StatusOr<std::vector<DenialConstraint>> ParseDenials(std::string_view text,
                                                      Vocabulary* vocab) {
-  // Reuse the query parser: rewrite each "!- body." line into an internal
-  // boolean query "_denial() :- body." and collect the bodies.
-  std::string transformed;
+  // Reuse the query parser: each "!- body." line parses as an internal
+  // boolean query "_denial() :- body.". Parsing line-by-line (rather than
+  // batching the transformed text through ParseFile) keeps the original
+  // line number for error messages, like ParseFacts does.
+  std::vector<DenialConstraint> denials;
   std::size_t line_start = 0;
+  int line_number = 0;
   while (line_start <= text.size()) {
     std::size_t line_end = text.find('\n', line_start);
     if (line_end == std::string_view::npos) line_end = text.size();
-    std::string line(text.substr(line_start, line_end - line_start));
+    std::string_view line = text.substr(line_start, line_end - line_start);
     line_start = line_end + 1;
-    std::size_t comment = line.find_first_of("#%");
-    if (comment != std::string::npos) line = line.substr(0, comment);
+    ++line_number;
+
+    // Quote-aware: '#'/'%' inside a quoted constant is data.
+    line = StripLineComment(line);
     std::size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
+    if (first == std::string_view::npos) continue;
     line = line.substr(first);
     if (line.rfind("!-", 0) != 0) {
-      return InvalidArgumentError(
-          StrCat("denial lines start with '!-': '", line, "'"));
+      return InvalidArgumentError(StrCat("denials line ", line_number,
+                                         ": denial lines start with '!-': '",
+                                         line, "'"));
     }
-    transformed += "_denial() :- ";
-    transformed += line.substr(2);
-    transformed += "\n";
-  }
-
-  OREW_ASSIGN_OR_RETURN(ParsedFile file, ParseFile(transformed, vocab));
-  std::vector<DenialConstraint> denials;
-  denials.reserve(file.queries.size());
-  for (NamedQuery& named : file.queries) {
-    denials.push_back(DenialConstraint{std::move(named.query).body()});
+    StatusOr<ConjunctiveQuery> query =
+        ParseQuery(StrCat("_denial() :- ", line.substr(2)), vocab);
+    if (!query.ok()) {
+      return InvalidArgumentError(StrCat("denials line ", line_number, ": ",
+                                         query.status().message()));
+    }
+    denials.push_back(DenialConstraint{std::move(query).value().body()});
   }
   return denials;
 }

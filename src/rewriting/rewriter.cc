@@ -216,7 +216,10 @@ class Saturator {
             const RewriterOptions& options)
       : rules_(rules), rule_index_(rules), options_(options) {}
 
-  Status Run(const UnionOfCqs& query) {
+  // `trace` is the "saturate" span's context: per-iteration spans nest
+  // under it. Set before the pool spawns, read-only afterwards.
+  Status Run(const UnionOfCqs& query, const TraceContext& trace) {
+    trace_ = trace;
     for (const ConjunctiveQuery& cq : query.disjuncts()) {
       OREW_RETURN_IF_ERROR(Insert(MakeCandidate(cq, CqDerivation{}, false)));
     }
@@ -412,8 +415,29 @@ class Saturator {
   }
 
   // One saturation iteration: all rewriting + factorization successors of
-  // the CQ at `g_index`. `g` points into the stable deque.
+  // the CQ at `g_index`. `g` points into the stable deque. Records an
+  // "iteration" span when tracing; the untraced path is one pointer test.
   Status Expand(int g_index, const ConjunctiveQuery& g) {
+    if (!trace_.enabled()) return ExpandImpl(g_index, g, nullptr);
+    TraceSpan span(trace_, "iteration");
+    span.Attr("cq", static_cast<std::int64_t>(g_index));
+    long local_steps = 0;
+    Status status = ExpandImpl(g_index, g, &local_steps);
+    span.Attr("steps", static_cast<std::int64_t>(local_steps));
+    span.Attr("pruned_total", static_cast<std::int64_t>(
+                                  pruned_.load(std::memory_order_relaxed)));
+    std::int64_t cqs_total;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cqs_total = static_cast<std::int64_t>(cqs_.size());
+    }
+    span.Attr("cqs_total", cqs_total);
+    span.AnnotateStatus(status);
+    return status;
+  }
+
+  Status ExpandImpl(int g_index, const ConjunctiveQuery& g,
+                    long* out_steps) {
     // The saturation diverges on non-FO-rewritable inputs, so every
     // iteration is bounded three ways: by distinct-CQ count (the cap in
     // Insert), by wall clock / caller cancellation, and by the armed-test
@@ -447,6 +471,7 @@ class Saturator {
             CqDerivation{g_index, rule_id, false}, false));
         if (!status.ok()) {
           steps_.fetch_add(local_steps, std::memory_order_relaxed);
+          if (out_steps != nullptr) *out_steps = local_steps;
           return status;
         }
       }
@@ -476,6 +501,7 @@ class Saturator {
                 CqDerivation{g_index, -1, true}, true));
             if (!status.ok()) {
               steps_.fetch_add(local_steps, std::memory_order_relaxed);
+              if (out_steps != nullptr) *out_steps = local_steps;
               return status;
             }
           }
@@ -483,6 +509,7 @@ class Saturator {
       }
     }
     steps_.fetch_add(local_steps, std::memory_order_relaxed);
+    if (out_steps != nullptr) *out_steps = local_steps;
     return Status::Ok();
   }
 
@@ -523,6 +550,7 @@ class Saturator {
   const std::vector<PreparedRule>& rules_;
   RuleIndex rule_index_;
   const RewriterOptions& options_;
+  TraceContext trace_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -562,20 +590,40 @@ StatusOr<RewriteResult> RewriteUcq(const UnionOfCqs& query,
   for (const Tgd& tgd : program.tgds()) rules.push_back(PrepareRule(tgd));
 
   Saturator saturator(rules, options);
-  OREW_RETURN_IF_ERROR(saturator.Run(query));
-
   RewriteResult result;
+  {
+    TraceSpan saturate(options.trace, "saturate");
+    Status run = saturator.Run(query, saturate.context());
+    saturator.Export(&result);
+    saturate.Attr("cqs_generated", static_cast<std::int64_t>(result.generated));
+    saturate.Attr("cqs_subsumed", static_cast<std::int64_t>(result.pruned));
+    saturate.Attr("cqs_retired", static_cast<std::int64_t>(result.retired));
+    saturate.Attr("steps", static_cast<std::int64_t>(result.steps));
+    saturate.Attr("threads", static_cast<std::int64_t>(result.threads_used));
+    saturate.AnnotateStatus(run);
+    OREW_RETURN_IF_ERROR(run);
+  }
+
   UnionOfCqs full(saturator.LiveCqs());
-  saturator.Export(&result);
 
   if (options.minimize) {
+    TraceSpan minimize_span(options.trace, "minimize");
+    minimize_span.Attr("disjuncts_in",
+                       static_cast<std::int64_t>(full.disjuncts().size()));
     MinimizeUcqOptions minimize;
     minimize.threads = options.threads;
     // With reduce_intermediate every stored CQ is already a core; only
     // the ablation path needs the per-disjunct pass.
     minimize.minimize_disjuncts = !options.reduce_intermediate;
     minimize.cancel = options.cancel;
-    OREW_ASSIGN_OR_RETURN(full, MinimizeUcqWithOptions(full, minimize));
+    StatusOr<UnionOfCqs> minimized = MinimizeUcqWithOptions(full, minimize);
+    if (!minimized.ok()) {
+      minimize_span.AnnotateStatus(minimized.status());
+      return minimized.status();
+    }
+    full = std::move(minimized).value();
+    minimize_span.Attr("disjuncts_out",
+                       static_cast<std::int64_t>(full.disjuncts().size()));
   }
 
   // Deterministic output: the saturation stores cores, not canonical

@@ -6,6 +6,7 @@
 
 #include "base/deadline.h"
 #include "base/status.h"
+#include "base/trace.h"
 #include "logic/program.h"
 #include "logic/query.h"
 
@@ -80,6 +81,13 @@ struct RewriterOptions {
   // calling thread (fully deterministic, no pool); larger values are
   // clamped to the hardware and a hard bound.
   int threads = 1;
+  // Request-scoped tracing (see base/trace.h). Inert by default; when
+  // enabled, RewriteUcq records a "saturate" span (attributes
+  // cqs_generated, cqs_subsumed, cqs_retired, steps, threads) with one
+  // "iteration" child per worklist expansion (attributes cq, steps,
+  // cqs_total, pruned_total — capped by the Trace's max_spans) and a
+  // "minimize" span for the final containment sweep.
+  TraceContext trace;
 };
 
 // How one saturated CQ came to be (derivation provenance).

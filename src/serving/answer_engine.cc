@@ -6,6 +6,7 @@
 #include "base/strings.h"
 #include "classes/weakly_acyclic.h"
 #include "logic/canonical.h"
+#include "rewriting/sql.h"
 
 namespace ontorew {
 namespace {
@@ -41,6 +42,22 @@ bool IsBudgetFailure(const Status& status) {
          status.code() == StatusCode::kResourceExhausted;
 }
 
+// The cache key for `query` under a specific program fingerprint — the
+// fingerprint must come from the same snapshot the rewriting will run
+// against, or a rewriting computed from a newer program could be cached
+// under an older program's key.
+std::string CacheKeyFor(const UnionOfCqs& query, std::uint64_t fingerprint) {
+  std::vector<std::string> keys;
+  keys.reserve(query.disjuncts().size());
+  for (const ConjunctiveQuery& cq : query.disjuncts()) {
+    keys.push_back(CanonicalCqKey(CanonicalizeCq(cq)));
+  }
+  // Sorted: a UCQ is a set of disjuncts, so order must not split entries.
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return StrCat(fingerprint, "|", StrJoin(keys, "|"));
+}
+
 }  // namespace
 
 std::uint64_t FingerprintProgram(const TgdProgram& program) {
@@ -55,82 +72,127 @@ std::uint64_t FingerprintProgram(const TgdProgram& program) {
 
 AnswerEngine::AnswerEngine(TgdProgram program, Database db,
                            AnswerEngineOptions options)
-    : program_(std::move(program)), db_(std::move(db)),
+    : program_(std::make_shared<const TgdProgram>(std::move(program))),
+      db_(std::make_shared<const Database>(std::move(db))),
       options_(std::move(options)),
-      fingerprint_(FingerprintProgram(program_)) {
+      fingerprint_(FingerprintProgram(*program_)) {
   ReloadBackend();
+}
+
+AnswerEngine::Snapshot AnswerEngine::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Snapshot{program_, db_, fingerprint_};
 }
 
 void AnswerEngine::ReloadBackend() {
   if (options_.backend == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
     backend_load_status_ = Status::Ok();
     return;
   }
+  const Snapshot snap = CurrentSnapshot();
   const std::string prefix = StrCat("backend_", options_.backend->name());
-  ScopedTimer timer(&metrics_, StrCat(prefix, "_load_ns"));
-  backend_load_status_ = options_.backend->Load(program_, db_);
-  if (backend_load_status_.ok()) metrics_.Increment(StrCat(prefix, "_load"));
+  Status status;
+  {
+    ScopedTimer timer(&metrics_, StrCat(prefix, "_load_ns"));
+    status = options_.backend->Load(*snap.program, *snap.db);
+  }
+  if (status.ok()) metrics_.Increment(StrCat(prefix, "_load"));
+  std::lock_guard<std::mutex> lock(mutex_);
+  backend_load_status_ = std::move(status);
 }
 
 void AnswerEngine::AddTgd(Tgd tgd) {
-  program_.Add(std::move(tgd));
-  fingerprint_ = FingerprintProgram(program_);
+  // Serialize mutators: two racing AddTgds must both land, and the
+  // snapshot swap below must pair each program with its own fingerprint.
+  std::lock_guard<std::mutex> update(update_mutex_);
+  auto next = std::make_shared<TgdProgram>(*CurrentSnapshot().program);
+  next->Add(std::move(tgd));
+  const std::uint64_t fingerprint = FingerprintProgram(*next);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    program_ = std::move(next);
+    fingerprint_ = fingerprint;
+  }
   // The schema grew: the backend must know the new predicates.
   ReloadBackend();
 }
 
 void AnswerEngine::ReplaceDatabase(Database db) {
-  db_ = std::move(db);
+  std::lock_guard<std::mutex> update(update_mutex_);
+  auto next = std::make_shared<const Database>(std::move(db));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    db_ = std::move(next);
+  }
   ReloadBackend();
 }
 
 std::string AnswerEngine::CacheKey(const UnionOfCqs& query) const {
-  std::vector<std::string> keys;
-  keys.reserve(query.disjuncts().size());
-  for (const ConjunctiveQuery& cq : query.disjuncts()) {
-    keys.push_back(CanonicalCqKey(CanonicalizeCq(cq)));
-  }
-  // Sorted: a UCQ is a set of disjuncts, so order must not split entries.
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return StrCat(fingerprint_, "|", StrJoin(keys, "|"));
+  return CacheKeyFor(query, program_fingerprint());
 }
 
 bool AnswerEngine::ChaseTerminates() const {
+  Snapshot snap;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (wa_cache_.has_value() && wa_cache_->first == fingerprint_) {
       return wa_cache_->second;
     }
+    snap = Snapshot{program_, db_, fingerprint_};
   }
   // Classify outside the lock (the classifier walks the whole program).
-  const bool weakly_acyclic = IsWeaklyAcyclic(program_);
+  const bool weakly_acyclic = IsWeaklyAcyclic(*snap.program);
   std::lock_guard<std::mutex> lock(mutex_);
-  wa_cache_ = {fingerprint_, weakly_acyclic};
+  // Keyed by the fingerprint the verdict was computed *for* — a program
+  // swapped in mid-classification must not inherit this verdict.
+  wa_cache_ = {snap.fingerprint, weakly_acyclic};
   return weakly_acyclic;
 }
 
 StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::Rewrite(
-    const UnionOfCqs& query, const CancelScope& cancel) {
-  const std::string key = CacheKey(query);
+    const UnionOfCqs& query, const CancelScope& cancel,
+    const TraceContext& trace) {
+  return RewriteInternal(query, cancel, trace, nullptr, CurrentSnapshot());
+}
 
-  if (options_.cache_capacity > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      cache_.splice(cache_.begin(), cache_, it->second);  // Mark MRU.
-      ++stats_.hits;
-      metrics_.Increment("rewrite_cache_hit");
-      return it->second->second;
+StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::RewriteInternal(
+    const UnionOfCqs& query, const CancelScope& cancel,
+    const TraceContext& trace, bool* cache_hit, const Snapshot& snap) {
+  if (cache_hit != nullptr) *cache_hit = false;
+
+  std::string key;
+  {
+    TraceSpan canonicalize_span(trace, "canonicalize");
+    key = CacheKeyFor(query, snap.fingerprint);
+  }
+
+  {
+    TraceSpan cache_span(trace, "rewrite-cache");
+    if (options_.cache_capacity == 0) {
+      cache_span.Attr("cache", "disabled");
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        cache_.splice(cache_.begin(), cache_, it->second);  // Mark MRU.
+        ++stats_.hits;
+        metrics_.Increment("rewrite_cache_hit");
+        cache_span.Attr("cache", "hit");
+        if (cache_hit != nullptr) *cache_hit = true;
+        return it->second->second;
+      }
+      ++stats_.misses;
+      metrics_.Increment("rewrite_cache_miss");
+      cache_span.Attr("cache", "miss");
     }
-    ++stats_.misses;
-    metrics_.Increment("rewrite_cache_miss");
   }
 
   // Rewrite outside the lock: concurrent misses on the same key duplicate
   // work instead of serializing every caller behind one saturation.
   std::shared_ptr<const UnionOfCqs> rewriting;
   {
+    TraceSpan rewrite_span(trace, "rewrite");
     ScopedTimer timer(&metrics_, "rewrite_ns");
     RewriterOptions rewriter = options_.rewriter;
     // The per-request scope tightens whatever the engine-wide options
@@ -139,15 +201,27 @@ StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::Rewrite(
         Deadline::Earlier(rewriter.cancel.deadline(), cancel.deadline()),
         cancel.token() != nullptr ? cancel.token()
                                   : rewriter.cancel.token());
-    OREW_ASSIGN_OR_RETURN(RewriteResult result,
-                          RewriteUcq(query, program_, rewriter));
+    rewriter.trace = rewrite_span.context();
+    StatusOr<RewriteResult> rewritten =
+        RewriteUcq(query, *snap.program, rewriter);
+    if (!rewritten.ok()) {
+      rewrite_span.AnnotateStatus(rewritten.status());
+      return rewritten.status();
+    }
+    RewriteResult result = std::move(rewritten).value();
     metrics_.Increment("rewrite_pruned_total", result.pruned);
     metrics_.SetGauge("rewrite_threads", result.threads_used);
+    rewrite_span.Attr("disjuncts",
+                      static_cast<std::int64_t>(result.ucq.disjuncts().size()));
     rewriting = std::make_shared<const UnionOfCqs>(std::move(result.ucq));
   }
 
   if (options_.cache_capacity > 0) {
     std::lock_guard<std::mutex> lock(mutex_);
+    // The placeholder iterator below never escapes this critical section:
+    // on a fresh insert it is overwritten with cache_.begin() before the
+    // lock is released, and concurrent misses that lost the race take the
+    // `else` branch instead of reading it.
     auto [it, inserted] = index_.emplace(key, cache_.end());
     if (inserted) {
       cache_.emplace_front(key, rewriting);
@@ -229,40 +303,67 @@ StatusOr<AnswerResult> AnswerEngine::Serve(const UnionOfCqs& query,
                                            const ServeOptions& serve) {
   metrics_.Increment("queries_served");
   const CancelScope scope(serve.deadline, serve.cancel);
+  TraceSpan serve_span(serve.trace, "serve");
 
-  OREW_RETURN_IF_ERROR(Admit(scope));
+  Status admitted;
+  {
+    TraceSpan admit_span(serve_span.context(), "admit");
+    admitted = Admit(scope);
+    admit_span.AnnotateStatus(admitted);
+  }
+  if (!admitted.ok()) {
+    serve_span.AnnotateStatus(admitted);
+    return admitted;
+  }
   AdmissionSlot slot(this);
 
-  StatusOr<AnswerResult> result = ServeAdmitted(query, scope);
-  if (!result.ok() &&
-      result.status().code() == StatusCode::kDeadlineExceeded) {
-    metrics_.Increment("deadline_exceeded");
+  StatusOr<AnswerResult> result =
+      ServeAdmitted(query, scope, serve_span.context());
+  if (!result.ok()) {
+    serve_span.AnnotateStatus(result.status());
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics_.Increment("deadline_exceeded");
+    }
   }
   return result;
 }
 
-StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(const UnionOfCqs& query,
-                                                   const CancelScope& scope) {
+StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(
+    const UnionOfCqs& query, const CancelScope& scope,
+    const TraceContext& trace) {
   // Fast-fail a request that arrived already out of budget, and give
   // tests a hook that holds an admitted request in flight.
   OREW_RETURN_IF_ERROR(scope.Check("serve"));
   OREW_RETURN_IF_ERROR(CheckFaultPoint("serve.admit"));
 
+  // Pin the program/data for the whole request: a concurrent AddTgd or
+  // ReplaceDatabase swaps the engine's snapshot without disturbing this
+  // rewrite/chase/eval, and the cache entry written below is keyed by the
+  // pinned fingerprint.
+  const Snapshot snap = CurrentSnapshot();
+
   AnswerResult result;
-  const std::int64_t hits_before = cache_stats().hits;
   StatusOr<std::shared_ptr<const UnionOfCqs>> rewriting =
-      Rewrite(query, scope);
+      RewriteInternal(query, scope, trace, &result.cache_hit, snap);
   if (!rewriting.ok()) {
     // Graceful degradation: a rewrite that ran out of budget (deadline or
     // divergence cap) on a chase-terminating program can still be
     // answered exactly, by materialization.
     if (options_.chase_fallback && IsBudgetFailure(rewriting.status()) &&
         ChaseTerminates()) {
+      TraceSpan chase_span(trace, "chase");
+      chase_span.Attr("fallback", "chase");
       ChaseOptions chase_options = options_.fallback_chase;
       chase_options.cancel = scope;
-      OREW_ASSIGN_OR_RETURN(
-          result.answers,
-          CertainAnswersViaChase(query, program_, db_, chase_options));
+      chase_options.trace = chase_span.context();
+      StatusOr<std::vector<Tuple>> answers =
+          CertainAnswersViaChase(query, *snap.program, *snap.db,
+                                 chase_options);
+      if (!answers.ok()) {
+        chase_span.AnnotateStatus(answers.status());
+        return answers.status();
+      }
+      result.answers = std::move(answers).value();
       result.served_via_chase = true;
       metrics_.Increment("fallback_chase_served");
       return result;
@@ -270,40 +371,96 @@ StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(const UnionOfCqs& query,
     return rewriting.status();
   }
   result.rewriting = *std::move(rewriting);
-  result.cache_hit = cache_stats().hits > hits_before;
 
   // The per-request scope tightens the engine-wide eval options.
   const CancelScope eval_scope(
       Deadline::Earlier(options_.eval.cancel.deadline(), scope.deadline()),
       scope.token() != nullptr ? scope.token()
                                : options_.eval.cancel.token());
+  TraceSpan eval_span(trace, "eval");
   if (options_.backend != nullptr) {
     // Delegated execution: the rewriting runs on the configured backend
     // (the paper's "plain SQL over the original database" stage).
-    OREW_RETURN_IF_ERROR(backend_load_status_);
+    Status load_status;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      load_status = backend_load_status_;
+    }
+    if (!load_status.ok()) {
+      eval_span.AnnotateStatus(load_status);
+      return load_status;
+    }
+    eval_span.Attr("backend", options_.backend->name());
     BackendExecOptions exec;
     exec.drop_tuples_with_nulls = options_.eval.drop_tuples_with_nulls;
     exec.cancel = eval_scope;
     exec.num_threads = options_.num_threads;
+    exec.trace = eval_span.context();
     const std::string prefix = StrCat("backend_", options_.backend->name());
     ScopedTimer timer(&metrics_, StrCat(prefix, "_exec_ns"));
-    OREW_ASSIGN_OR_RETURN(
-        result.answers,
-        options_.backend->Execute(*result.rewriting, exec, &result.eval));
+    StatusOr<std::vector<Tuple>> answers =
+        options_.backend->Execute(*result.rewriting, exec, &result.eval);
+    if (!answers.ok()) {
+      eval_span.AnnotateStatus(answers.status());
+      return answers.status();
+    }
+    result.answers = std::move(answers).value();
     metrics_.Increment(StrCat(prefix, "_exec"));
   } else {
+    eval_span.Attr("backend", "builtin");
     ParallelEvalOptions eval_options;
     eval_options.num_threads = options_.num_threads;
     eval_options.eval = options_.eval;
     eval_options.eval.cancel = eval_scope;
+    eval_options.trace = eval_span.context();
     ScopedTimer timer(&metrics_, "eval_ns");
-    OREW_ASSIGN_OR_RETURN(
-        result.answers,
-        ParallelEvaluate(*result.rewriting, db_, eval_options, &result.eval));
+    StatusOr<std::vector<Tuple>> answers =
+        ParallelEvaluate(*result.rewriting, *snap.db, eval_options,
+                         &result.eval);
+    if (!answers.ok()) {
+      eval_span.AnnotateStatus(answers.status());
+      return answers.status();
+    }
+    result.answers = std::move(answers).value();
   }
+  eval_span.Attr("rows", static_cast<std::int64_t>(result.answers.size()));
   metrics_.Increment("eval_tuples_examined", result.eval.tuples_examined);
   metrics_.Increment("eval_matches", result.eval.matches);
   return result;
+}
+
+StatusOr<ExplainResult> AnswerEngine::Explain(const UnionOfCqs& query,
+                                              const Vocabulary& vocab,
+                                              const ServeOptions& serve) {
+  ExplainResult explain;
+  explain.trace = std::make_shared<Trace>();
+  const CancelScope scope(serve.deadline, serve.cancel);
+  TraceSpan root(explain.trace.get(), "explain");
+
+  const Snapshot snap = CurrentSnapshot();
+  StatusOr<std::shared_ptr<const UnionOfCqs>> rewriting = RewriteInternal(
+      query, scope, root.context(), &explain.cache_hit, snap);
+  if (!rewriting.ok()) {
+    root.AnnotateStatus(rewriting.status());
+    return rewriting.status();
+  }
+  explain.rewriting = *std::move(rewriting);
+
+  {
+    TraceSpan emit_span(root.context(), "emit");
+    StatusOr<std::string> sql = UcqToSql(*explain.rewriting, vocab);
+    if (!sql.ok()) {
+      emit_span.AnnotateStatus(sql.status());
+      root.AnnotateStatus(sql.status());
+      return sql.status();
+    }
+    explain.sql = std::move(sql).value();
+    emit_span.Attr("sql_bytes",
+                   static_cast<std::int64_t>(explain.sql.size()));
+    emit_span.Attr("disjuncts", static_cast<std::int64_t>(
+                                    explain.rewriting->disjuncts().size()));
+  }
+  return explain;
 }
 
 StatusOr<std::vector<Tuple>> AnswerEngine::CertainAnswers(

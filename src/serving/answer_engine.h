@@ -17,11 +17,13 @@
 #include "base/deadline.h"
 #include "base/metrics.h"
 #include "base/status.h"
+#include "base/trace.h"
 #include "chase/chase.h"
 #include "db/database.h"
 #include "db/eval.h"
 #include "logic/program.h"
 #include "logic/query.h"
+#include "logic/vocabulary.h"
 #include "rewriting/rewriter.h"
 #include "serving/parallel_eval.h"
 
@@ -112,6 +114,14 @@ struct ServeOptions {
   // Optional caller-held token: Cancel() aborts the request at the next
   // cooperative check.
   std::shared_ptr<const CancelToken> cancel;
+  // Optional request-scoped trace (see base/trace.h). When non-null,
+  // Serve records a "serve" root span with children for every executed
+  // stage — admit, canonicalize, rewrite-cache (cache=hit|miss), rewrite
+  // (with per-iteration saturate/minimize spans), chase (fallback=chase),
+  // eval (backend=..., per-disjunct or SQL plan spans) — well-formed (no
+  // open spans) on every exit path, including errors. Null (the default)
+  // costs one pointer test per hook.
+  Trace* trace = nullptr;
 };
 
 // Cumulative cache statistics (monotonic except `size`).
@@ -135,18 +145,38 @@ struct AnswerResult {
   EvalStats eval;
 };
 
+// What Explain returns: the full rewrite pipeline's outputs without any
+// evaluation — the rewriting the engine would run, the SQL it would ship
+// to a SQL backend, and the span tree of the stages that actually
+// executed (canonicalize, rewrite-cache, rewrite or cache hit, emit).
+struct ExplainResult {
+  std::shared_ptr<const UnionOfCqs> rewriting;
+  // UcqToSql of the rewriting, rendered against the caller's vocabulary.
+  std::string sql;
+  bool cache_hit = false;
+  // Always populated: Explain owns its trace (ServeOptions::trace is
+  // ignored here) so the caller gets the tree without pre-wiring one.
+  std::shared_ptr<Trace> trace;
+};
+
 class AnswerEngine {
  public:
   AnswerEngine(TgdProgram program, Database db,
                AnswerEngineOptions options = {});
 
-  const TgdProgram& program() const { return program_; }
-  const Database& db() const { return db_; }
+  // The current program/data. NOT safe to hold across a concurrent
+  // AddTgd/ReplaceDatabase (which swap the underlying snapshot);
+  // concurrent Serve calls are unaffected — they pin their own snapshot.
+  const TgdProgram& program() const { return *program_; }
+  const Database& db() const { return *db_; }
   const AnswerEngineOptions& options() const { return options_; }
 
   // Structural fingerprint of the owned program. Cache keys embed it, so
   // changing the program makes every previous entry unreachable.
-  std::uint64_t program_fingerprint() const { return fingerprint_; }
+  std::uint64_t program_fingerprint() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fingerprint_;
+  }
 
   // Extends the ontology; recomputes the fingerprint (which invalidates
   // cached rewritings) without touching the data.
@@ -164,9 +194,11 @@ class AnswerEngine {
   // The (cached) rewriting of `query`. Errors propagate from RewriteUcq
   // (FailedPrecondition for multi-head programs, ResourceExhausted when
   // the saturation cap is hit, DeadlineExceeded/Cancelled when `cancel`
-  // trips); errors are not cached.
+  // trips); errors are not cached. `trace` (optional) receives
+  // canonicalize / rewrite-cache / rewrite spans.
   StatusOr<std::shared_ptr<const UnionOfCqs>> Rewrite(
-      const UnionOfCqs& query, const CancelScope& cancel = {});
+      const UnionOfCqs& query, const CancelScope& cancel = {},
+      const TraceContext& trace = {});
 
   // End-to-end: admit, rewrite (or fetch from cache, or fall back to the
   // chase), evaluate in parallel, return the sorted certain answers with
@@ -176,6 +208,18 @@ class AnswerEngine {
   // partial answers.
   StatusOr<AnswerResult> Serve(const UnionOfCqs& query,
                                const ServeOptions& serve = {});
+
+  // Dry run: rewrites `query` (through the cache) and renders the SQL the
+  // engine would delegate, WITHOUT executing anything — no admission slot
+  // is taken and no backend or database is touched. `vocab` names the
+  // predicates/constants in the emitted SQL (the engine stores ids only).
+  // The returned trace always covers the executed stages; honours
+  // serve.deadline/serve.cancel but ignores serve.trace (see
+  // ExplainResult::trace). Errors: everything Rewrite can return, plus
+  // InvalidArgument from SQL emission.
+  StatusOr<ExplainResult> Explain(const UnionOfCqs& query,
+                                  const Vocabulary& vocab,
+                                  const ServeOptions& serve = {});
 
   // Convenience wrappers returning just the answers.
   StatusOr<std::vector<Tuple>> CertainAnswers(const UnionOfCqs& query,
@@ -196,6 +240,20 @@ class AnswerEngine {
  private:
   class AdmissionSlot;
 
+  // An immutable view of the engine's ontology + data, pinned by each
+  // request so AddTgd/ReplaceDatabase can swap the live state mid-flight
+  // without racing in-progress rewrites, chases, or scans. The
+  // fingerprint always matches `program` (they are captured together
+  // under mutex_), so a rewriting computed from this snapshot is cached
+  // under the key of the program that produced it — never under a newer
+  // program's key.
+  struct Snapshot {
+    std::shared_ptr<const TgdProgram> program;
+    std::shared_ptr<const Database> db;
+    std::uint64_t fingerprint = 0;
+  };
+  Snapshot CurrentSnapshot() const;
+
   // Admission control: blocks until a slot frees, the timeout elapses, or
   // the request deadline passes. OK means a slot is held (released by the
   // AdmissionSlot in Serve).
@@ -203,23 +261,42 @@ class AnswerEngine {
   void Release();
 
   // (Re)loads options_.backend with the current program and data,
-  // recording load metrics; remembers the status for Serve.
+  // recording load metrics; remembers the status for Serve. Callers must
+  // hold update_mutex_ (the constructor is exempt: no concurrency yet).
   void ReloadBackend();
 
+  // Rewrite against a pinned snapshot, reporting whether the cache served
+  // it (directly, not via racy counter deltas) and recording
+  // canonicalize / rewrite-cache / rewrite spans under `trace`.
+  StatusOr<std::shared_ptr<const UnionOfCqs>> RewriteInternal(
+      const UnionOfCqs& query, const CancelScope& cancel,
+      const TraceContext& trace, bool* cache_hit, const Snapshot& snap);
+
   StatusOr<AnswerResult> ServeAdmitted(const UnionOfCqs& query,
-                                       const CancelScope& scope);
+                                       const CancelScope& scope,
+                                       const TraceContext& trace);
 
   // MRU-first entry list; the map points into it for O(1) lookup+splice.
   using CacheEntry = std::pair<std::string, std::shared_ptr<const UnionOfCqs>>;
 
-  TgdProgram program_;
-  Database db_;
+  // program_/db_/fingerprint_ form the current snapshot: read/swapped
+  // under mutex_; the pointees are immutable. The accessors above
+  // dereference without the lock — safe only absent concurrent mutation.
+  std::shared_ptr<const TgdProgram> program_;
+  std::shared_ptr<const Database> db_;
   AnswerEngineOptions options_;
   std::uint64_t fingerprint_;
   // Outcome of the last backend Load (OK when no backend is configured).
+  // Guarded by mutex_.
   Status backend_load_status_;
 
-  mutable std::mutex mutex_;  // Guards cache_, index_, stats_, wa_cache_.
+  // Serializes mutators (AddTgd, ReplaceDatabase): two racing AddTgds
+  // must not each extend the *original* program and lose one TGD.
+  std::mutex update_mutex_;
+
+  // Guards cache_, index_, stats_, wa_cache_, backend_load_status_, and
+  // the snapshot swap.
+  mutable std::mutex mutex_;
   std::list<CacheEntry> cache_;
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> index_;
   RewriteCacheStats stats_;

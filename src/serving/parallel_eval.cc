@@ -37,7 +37,33 @@ StatusOr<std::vector<Tuple>> ParallelEvaluate(const UnionOfCqs& ucq,
       EffectiveThreads(options.num_threads, disjuncts.size());
 
   if (threads <= 1) {
-    return TryEvaluate(ucq, db, options.eval, stats);
+    if (!options.trace.enabled()) {
+      return TryEvaluate(ucq, db, options.eval, stats);
+    }
+    // Traced inline path: evaluate disjunct-by-disjunct so each scan gets
+    // its own span; the set merge reproduces the whole-UCQ evaluation's
+    // sorted, deduplicated union exactly.
+    std::set<Tuple> merged;
+    for (std::size_t i = 0; i < disjuncts.size(); ++i) {
+      TraceSpan span(options.trace, "disjunct");
+      span.Attr("disjunct", static_cast<std::int64_t>(i));
+      EvalStats local;
+      StatusOr<std::vector<Tuple>> tuples =
+          TryEvaluate(disjuncts[i], db, options.eval, &local);
+      if (stats != nullptr) {
+        stats->tuples_examined += local.tuples_examined;
+        stats->matches += local.matches;
+      }
+      span.Attr("tuples_examined",
+                static_cast<std::int64_t>(local.tuples_examined));
+      if (!tuples.ok()) {
+        span.AnnotateStatus(tuples.status());
+        return tuples.status();
+      }
+      span.Attr("rows", static_cast<std::int64_t>(tuples->size()));
+      for (Tuple& tuple : *tuples) merged.insert(std::move(tuple));
+    }
+    return std::vector<Tuple>(merged.begin(), merged.end());
   }
 
   // Workers pull disjunct indices from a shared counter (cheap dynamic
@@ -70,9 +96,16 @@ StatusOr<std::vector<Tuple>> ParallelEvaluate(const UnionOfCqs& ucq,
         for (std::size_t i = next.fetch_add(1); i < disjuncts.size();
              i = next.fetch_add(1)) {
           if (trip->cancelled()) break;
+          TraceSpan span(options.trace, "disjunct");
+          span.Attr("disjunct", static_cast<std::int64_t>(i));
+          const long long examined_before = my_stats.tuples_examined;
           StatusOr<std::vector<Tuple>> tuples =
               TryEvaluate(disjuncts[i], db, worker_eval, &my_stats);
+          span.Attr("tuples_examined",
+                    static_cast<std::int64_t>(my_stats.tuples_examined -
+                                              examined_before));
           if (!tuples.ok()) {
+            span.AnnotateStatus(tuples.status());
             // A Cancelled status caused by the pool-local trip (not by
             // the caller's own token) is collateral from another worker's
             // failure — don't let it shadow the root cause.
@@ -89,6 +122,7 @@ StatusOr<std::vector<Tuple>> ParallelEvaluate(const UnionOfCqs& ucq,
             trip->Cancel();
             break;
           }
+          span.Attr("rows", static_cast<std::int64_t>(tuples->size()));
           for (Tuple& tuple : *tuples) {
             mine.insert(std::move(tuple));
           }

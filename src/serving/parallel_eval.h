@@ -6,6 +6,7 @@
 
 #include "base/deadline.h"
 #include "base/status.h"
+#include "base/trace.h"
 #include "db/database.h"
 #include "db/eval.h"
 #include "logic/query.h"
@@ -37,6 +38,13 @@ struct ParallelEvalOptions {
   // threads on a 12-disjunct union spawns 12 workers, not 10'000.
   int num_threads = 0;
   EvalOptions eval;  // Includes the cancel scope the workers honour.
+  // Request-scoped tracing (see base/trace.h). Inert by default; when
+  // enabled, every disjunct scan records a "disjunct" span (attributes
+  // disjunct, tuples_examined, rows) under the context's parent — workers
+  // record concurrently, the Trace serializes. The traced threads <= 1
+  // path evaluates disjunct-by-disjunct to get per-disjunct spans; its
+  // merged answer vector is identical to the whole-UCQ evaluation.
+  TraceContext trace;
 };
 
 // Resolved thread count for `requested` over `num_tasks` independent

@@ -23,6 +23,44 @@ TEST(DenialParseTest, BasicAndErrors) {
   EXPECT_FALSE(ParseDenials("professor(X).\n", &vocab).ok());
 }
 
+TEST(DenialParseTest, CommentMarkersInsideQuotedConstantsAreData) {
+  // Regression: like ParseFacts, denial parsing used to cut the line at
+  // a '#'/'%' inside a quoted constant, leaving an unterminated string.
+  Vocabulary vocab;
+  StatusOr<std::vector<DenialConstraint>> denials = ParseDenials(
+      "!- tag(X, \"#urgent\"), closed(X).  # open and urgent conflict\n"
+      "!- grade(X, \"100%\"), failed(X).\n",
+      &vocab);
+  ASSERT_TRUE(denials.ok()) << denials.status();
+  ASSERT_EQ(denials->size(), 2u);
+  EXPECT_EQ((*denials)[0].body.size(), 2u);
+  EXPECT_EQ((*denials)[1].body.size(), 2u);
+}
+
+TEST(DenialParseTest, ErrorsReportOriginalLineNumbers) {
+  Vocabulary vocab;
+  // A syntax error inside the body: reported against the source line,
+  // not against the internally rewritten "_denial() :- ..." text.
+  StatusOr<std::vector<DenialConstraint>> bad = ParseDenials(
+      "!- a(X).\n"
+      "\n"
+      "!- b(X,.\n",
+      &vocab);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("denials line 3"), std::string::npos)
+      << bad.status();
+
+  // A line that is not a denial at all names its line too.
+  StatusOr<std::vector<DenialConstraint>> not_denial = ParseDenials(
+      "!- a(X).\n"
+      "b(X).\n",
+      &vocab);
+  ASSERT_FALSE(not_denial.ok());
+  EXPECT_NE(not_denial.status().message().find("denials line 2"),
+            std::string::npos)
+      << not_denial.status();
+}
+
 TEST(ConsistencyTest, DirectViolation) {
   Vocabulary vocab;
   TgdProgram program = MustProgram("a(X) -> b(X).", &vocab);

@@ -55,6 +55,41 @@ TEST(FactsIoTest, RoundTrip) {
   EXPECT_EQ(again->TotalTuples(), db->TotalTuples());
 }
 
+TEST(FactsIoTest, CommentMarkersInsideQuotedConstantsAreData) {
+  // Regression: comment stripping used to truncate at the first '#'/'%'
+  // even inside a quoted constant, mangling the value AND leaving an
+  // unterminated string behind.
+  Vocabulary vocab;
+  StatusOr<Database> db = ParseFacts(
+      "note(\"see #42\").    # a real comment\n"
+      "note(\"50% done\").   % a real comment\n",
+      &vocab);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->TotalTuples(), 2);
+  const std::string text = FactsToString(*db, vocab);
+  EXPECT_NE(text.find("see #42"), std::string::npos) << text;
+  EXPECT_NE(text.find("50% done"), std::string::npos) << text;
+  EXPECT_EQ(text.find("real comment"), std::string::npos) << text;
+}
+
+TEST(FactsIoTest, TrailingDotInsideQuotedConstantSurvives) {
+  // The statement dot is stripped; the dot that is part of the quoted
+  // constant is not.
+  Vocabulary vocab;
+  StatusOr<Database> db = ParseFacts("title(\"Dr.\").\n", &vocab);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->TotalTuples(), 1);
+  EXPECT_NE(FactsToString(*db, vocab).find("\"Dr.\""), std::string::npos);
+}
+
+TEST(FactsIoTest, ErrorsCarryOriginalLineNumbers) {
+  Vocabulary vocab;
+  StatusOr<Database> db = ParseFacts("p(a).\n\np(X).\n", &vocab);
+  ASSERT_FALSE(db.ok());
+  EXPECT_NE(db.status().message().find("facts line 3"), std::string::npos)
+      << db.status();
+}
+
 TEST(FactsIoTest, EmptyInput) {
   Vocabulary vocab;
   StatusOr<Database> db = ParseFacts("  \n# nothing\n", &vocab);

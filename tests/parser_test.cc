@@ -135,5 +135,21 @@ TEST(PrinterTest, ProgramRoundTrip) {
   EXPECT_EQ(ToString(reparsed, vocab2), ToString(program, vocab));
 }
 
+TEST(StripLineCommentTest, QuoteAware) {
+  // Outside quotes, '#' and '%' start a comment.
+  EXPECT_EQ(StripLineComment("p(a). # c"), "p(a). ");
+  EXPECT_EQ(StripLineComment("p(a). % c"), "p(a). ");
+  EXPECT_EQ(StripLineComment("# whole line"), "");
+  EXPECT_EQ(StripLineComment("p(a)."), "p(a).");
+  EXPECT_EQ(StripLineComment(""), "");
+  // Inside a quoted constant they are data.
+  EXPECT_EQ(StripLineComment("p(\"a#b\")."), "p(\"a#b\").");
+  EXPECT_EQ(StripLineComment("p(\"50%\"). % c"), "p(\"50%\"). ");
+  EXPECT_EQ(StripLineComment("p(\"x\", \"#\") . # c"), "p(\"x\", \"#\") . ");
+  // An unterminated quote swallows the rest of the line: the parser will
+  // report the unterminated literal instead of a mangled half-line.
+  EXPECT_EQ(StripLineComment("p(\"a # b"), "p(\"a # b");
+}
+
 }  // namespace
 }  // namespace ontorew

@@ -1,7 +1,10 @@
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -10,6 +13,8 @@
 #include "base/deadline.h"
 #include "base/fault_point.h"
 #include "base/rng.h"
+#include "base/strings.h"
+#include "base/trace.h"
 #include "chase/chase.h"
 #include "classes/weakly_acyclic.h"
 #include "db/eval.h"
@@ -747,6 +752,446 @@ TEST(AnswerEngineTest, InMemoryBackendMatchesBuiltInPath) {
   EXPECT_EQ(*a, *b);
   EXPECT_EQ(plugged.metrics().Snapshot().Counter("backend_inmemory_exec"),
             1);
+}
+
+// --- Request-scoped tracing --------------------------------------------------
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           std::string_view name) {
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+bool SpanHasAttr(const SpanRecord& span, std::string_view key,
+                 std::string_view value) {
+  for (const auto& [k, v] : span.attributes) {
+    if (k == key && v == value) return true;
+  }
+  return false;
+}
+
+bool SpanHasAttrKey(const SpanRecord& span, std::string_view key) {
+  for (const auto& [k, v] : span.attributes) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+// A finished request's trace has no open spans: the RAII TraceSpan must
+// close every span on every exit path, including error unwinds.
+void ExpectAllSpansClosed(const Trace& trace) {
+  for (const SpanRecord& span : trace.Snapshot()) {
+    EXPECT_GE(span.duration_ns, 0) << "span '" << span.name << "' left open";
+  }
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(AnswerEngineTraceTest, ColdServeRecordsCompleteSpanTree) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(17);
+  UniversityInstanceOptions instance;
+  instance.num_students = 20;
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab));
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  Trace trace;
+  ServeOptions serve;
+  serve.trace = &trace;
+  StatusOr<AnswerResult> result = engine.Serve(query, serve);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectAllSpansClosed(trace);
+
+  const std::vector<SpanRecord> spans = trace.Snapshot();
+  const SpanRecord* serve_span = FindSpan(spans, "serve");
+  ASSERT_NE(serve_span, nullptr);
+  EXPECT_EQ(serve_span->parent, Trace::kNoParent);
+  // Every pipeline stage of a cold serve is present, parented under the
+  // request root.
+  for (const char* stage :
+       {"admit", "canonicalize", "rewrite-cache", "rewrite", "eval"}) {
+    const SpanRecord* span = FindSpan(spans, stage);
+    ASSERT_NE(span, nullptr) << stage << " missing:\n" << trace.ToString();
+    EXPECT_EQ(span->parent, serve_span->id) << stage;
+  }
+  EXPECT_TRUE(SpanHasAttr(*FindSpan(spans, "rewrite-cache"), "cache", "miss"));
+  // The saturation ran under the rewrite span and reported its counters;
+  // each worker iteration is a child of the saturate span.
+  const SpanRecord* saturate = FindSpan(spans, "saturate");
+  ASSERT_NE(saturate, nullptr);
+  EXPECT_EQ(saturate->parent, FindSpan(spans, "rewrite")->id);
+  EXPECT_TRUE(SpanHasAttrKey(*saturate, "cqs_generated"));
+  EXPECT_TRUE(SpanHasAttrKey(*saturate, "cqs_subsumed"));
+  const SpanRecord* iteration = FindSpan(spans, "iteration");
+  ASSERT_NE(iteration, nullptr);
+  EXPECT_EQ(iteration->parent, saturate->id);
+  const SpanRecord* minimize = FindSpan(spans, "minimize");
+  ASSERT_NE(minimize, nullptr);
+  EXPECT_TRUE(SpanHasAttrKey(*minimize, "disjuncts_in"));
+  // Evaluation ran on the built-in evaluator: per-disjunct scan spans.
+  const SpanRecord* eval = FindSpan(spans, "eval");
+  EXPECT_TRUE(SpanHasAttr(*eval, "backend", "builtin"));
+  EXPECT_TRUE(SpanHasAttrKey(*eval, "rows"));
+  const SpanRecord* disjunct = FindSpan(spans, "disjunct");
+  ASSERT_NE(disjunct, nullptr);
+  EXPECT_EQ(disjunct->parent, eval->id);
+}
+
+TEST(AnswerEngineTraceTest, WarmServeTraceShowsCacheHitAndNoRewrite) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  AnswerEngine engine(ontology, Database());
+  UnionOfCqs query(MustQuery("q(X) :- faculty(X).", &vocab));
+  ASSERT_TRUE(engine.Serve(query).ok());  // Warm the cache untraced.
+
+  Trace trace;
+  ServeOptions serve;
+  serve.trace = &trace;
+  ASSERT_TRUE(engine.Serve(query, serve).ok());
+  ExpectAllSpansClosed(trace);
+
+  const std::vector<SpanRecord> spans = trace.Snapshot();
+  const SpanRecord* cache = FindSpan(spans, "rewrite-cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*cache, "cache", "hit"));
+  // A hit skips the whole rewriting stage.
+  EXPECT_EQ(FindSpan(spans, "rewrite"), nullptr);
+  EXPECT_EQ(FindSpan(spans, "saturate"), nullptr);
+  EXPECT_NE(FindSpan(spans, "eval"), nullptr);
+}
+
+TEST(AnswerEngineTraceTest, DeadlineExpiryLeavesWellFormedAnnotatedTrace) {
+  Vocabulary vocab;
+  TgdProgram program = PaperExample2(&vocab);
+  AnswerEngineOptions options;
+  options.rewriter.max_cqs = 50'000'000;
+  AnswerEngine engine(program, Database(), options);
+  UnionOfCqs query(MustQuery("q() :- r(\"a\", X).", &vocab));
+
+  Trace trace;
+  ServeOptions serve;
+  serve.trace = &trace;
+  serve.deadline = Deadline::AfterMillis(1);
+  StatusOr<AnswerResult> result = engine.Serve(query, serve);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Even an aborted request leaves a complete trace: every span closed,
+  // and the failing stage carries the error.
+  ExpectAllSpansClosed(trace);
+  const std::vector<SpanRecord> spans = trace.Snapshot();
+  ASSERT_NE(FindSpan(spans, "serve"), nullptr);
+  bool annotated = false;
+  for (const SpanRecord& span : spans) {
+    if (SpanHasAttr(span, "status", "DeadlineExceeded")) annotated = true;
+  }
+  EXPECT_TRUE(annotated) << trace.ToString();
+  const SpanRecord* rewrite = FindSpan(spans, "rewrite");
+  ASSERT_NE(rewrite, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*rewrite, "status", "DeadlineExceeded"));
+}
+
+TEST(AnswerEngineTraceTest, RewriteStepFaultAnnotatesRewriteSpan) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  AnswerEngine engine(ontology, Database());
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  Trace trace;
+  ServeOptions serve;
+  serve.trace = &trace;
+  {
+    ScopedFault fault("rewrite.step", FaultPointConfig{});
+    StatusOr<AnswerResult> result = engine.Serve(query, serve);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  }
+  FaultRegistry::Global().Reset();
+
+  ExpectAllSpansClosed(trace);
+  const std::vector<SpanRecord> spans = trace.Snapshot();
+  const SpanRecord* rewrite = FindSpan(spans, "rewrite");
+  ASSERT_NE(rewrite, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*rewrite, "status", "Internal"));
+  bool names_fault = false;
+  for (const auto& [key, value] : rewrite->attributes) {
+    if (key == "error" && value.find("rewrite.step") != std::string::npos) {
+      names_fault = true;
+    }
+  }
+  EXPECT_TRUE(names_fault) << trace.ToString();
+}
+
+TEST(AnswerEngineTraceTest, EvalScanFaultAnnotatesEvalSpan) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(19);
+  UniversityInstanceOptions instance;
+  instance.num_students = 20;
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab));
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+  ASSERT_TRUE(engine.Serve(query).ok());  // Warm the rewrite cache.
+
+  Trace trace;
+  ServeOptions serve;
+  serve.trace = &trace;
+  {
+    ScopedFault fault("eval.scan", FaultPointConfig{});
+    StatusOr<AnswerResult> result = engine.Serve(query, serve);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  }
+  FaultRegistry::Global().Reset();
+
+  ExpectAllSpansClosed(trace);
+  const std::vector<SpanRecord> spans = trace.Snapshot();
+  const SpanRecord* eval = FindSpan(spans, "eval");
+  ASSERT_NE(eval, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*eval, "status", "Internal")) << trace.ToString();
+  // The fault hit evaluation, not rewriting: the cache span says hit and
+  // no rewrite span exists.
+  EXPECT_TRUE(SpanHasAttr(*FindSpan(spans, "rewrite-cache"), "cache", "hit"));
+  EXPECT_EQ(FindSpan(spans, "rewrite"), nullptr);
+}
+
+TEST(AnswerEngineTraceTest, ChaseFallbackTraceRecordsChaseSpans) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(23);
+  UniversityInstanceOptions instance;
+  instance.num_students = 10;
+  AnswerEngineOptions options;
+  options.rewriter.max_cqs = 1;  // Force the rewrite budget to fire.
+  options.chase_fallback = true;
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab),
+                      options);
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  Trace trace;
+  ServeOptions serve;
+  serve.trace = &trace;
+  StatusOr<AnswerResult> result = engine.Serve(query, serve);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->served_via_chase);
+  ExpectAllSpansClosed(trace);
+
+  const std::vector<SpanRecord> spans = trace.Snapshot();
+  // The failed rewrite attempt and the fallback are both in the tree.
+  const SpanRecord* rewrite = FindSpan(spans, "rewrite");
+  ASSERT_NE(rewrite, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*rewrite, "status", "ResourceExhausted"));
+  const SpanRecord* chase = FindSpan(spans, "chase");
+  ASSERT_NE(chase, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*chase, "fallback", "chase"));
+  const SpanRecord* run = FindSpan(spans, "chase.run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->parent, chase->id);
+  EXPECT_TRUE(SpanHasAttrKey(*run, "rounds"));
+  EXPECT_TRUE(SpanHasAttr(*run, "terminated", "true"));
+  const SpanRecord* round = FindSpan(spans, "chase.round");
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->parent, run->id);
+  const SpanRecord* chase_eval = FindSpan(spans, "chase.eval");
+  ASSERT_NE(chase_eval, nullptr);
+  EXPECT_TRUE(SpanHasAttrKey(*chase_eval, "rows"));
+}
+
+TEST(AnswerEngineTraceTest, SqliteBackendTraceCarriesSqlAndQueryPlan) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(29);
+  UniversityInstanceOptions instance;
+  instance.num_students = 20;
+  AnswerEngineOptions options;
+  options.backend = std::make_shared<SqliteBackend>(&vocab);
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab),
+                      options);
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  Trace trace;
+  ServeOptions serve;
+  serve.trace = &trace;
+  StatusOr<AnswerResult> result = engine.Serve(query, serve);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectAllSpansClosed(trace);
+
+  const std::vector<SpanRecord> spans = trace.Snapshot();
+  const SpanRecord* eval = FindSpan(spans, "eval");
+  ASSERT_NE(eval, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*eval, "backend", "sqlite"));
+  const SpanRecord* emit = FindSpan(spans, "emit");
+  ASSERT_NE(emit, nullptr);
+  EXPECT_EQ(emit->parent, eval->id);
+  EXPECT_TRUE(SpanHasAttrKey(*emit, "sql_bytes"));
+  // The scan span records SQLite's own EXPLAIN QUERY PLAN lines.
+  const SpanRecord* scan = FindSpan(spans, "scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->parent, eval->id);
+  EXPECT_TRUE(SpanHasAttrKey(*scan, "plan")) << trace.ToString();
+  EXPECT_TRUE(SpanHasAttrKey(*scan, "rows"));
+  EXPECT_EQ(std::to_string(result->answers.size()),
+            [&] {
+              for (const auto& [k, v] : scan->attributes) {
+                if (k == "rows") return v;
+              }
+              return std::string();
+            }());
+}
+
+TEST(AnswerEngineTraceTest, UntracedServeRecordsNothing) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  AnswerEngine engine(ontology, Database());
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+  // No ServeOptions::trace: the default path must not touch any Trace
+  // (the disabled hook is one pointer test — this is the overhead
+  // contract the bench job holds).
+  StatusOr<AnswerResult> result = engine.Serve(query);
+  ASSERT_TRUE(result.ok());
+}
+
+// --- Explain: the dry-run pipeline -------------------------------------------
+
+TEST(AnswerEngineExplainTest, ReturnsRewritingAndSqlWithoutExecuting) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(37);
+  UniversityInstanceOptions instance;
+  instance.num_students = 20;
+  AnswerEngineOptions options;
+  options.backend = std::make_shared<SqliteBackend>(&vocab);
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab),
+                      options);
+  UnionOfCqs query(MustQuery("q(X) :- faculty(X).", &vocab));
+
+  StatusOr<ExplainResult> explained = engine.Explain(query, vocab);
+  ASSERT_TRUE(explained.ok()) << explained.status();
+  ASSERT_NE(explained->rewriting, nullptr);
+  EXPECT_GE(explained->rewriting->size(), 3);
+  EXPECT_NE(explained->sql.find("SELECT"), std::string::npos);
+  EXPECT_FALSE(explained->cache_hit);
+
+  // Nothing executed: no serve, no backend query, no eval metrics.
+  MetricsSnapshot snapshot = engine.metrics().Snapshot();
+  EXPECT_EQ(snapshot.Counter("queries_served"), 0);
+  EXPECT_EQ(snapshot.Counter("backend_sqlite_exec"), 0);
+  EXPECT_EQ(snapshot.TimerNs("eval_ns"), 0);
+
+  // Explain owns its trace: explain-rooted, rewrite recorded, no eval.
+  ASSERT_NE(explained->trace, nullptr);
+  ExpectAllSpansClosed(*explained->trace);
+  const std::vector<SpanRecord> spans = explained->trace->Snapshot();
+  const SpanRecord* root = FindSpan(spans, "explain");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, Trace::kNoParent);
+  EXPECT_NE(FindSpan(spans, "rewrite"), nullptr);
+  EXPECT_NE(FindSpan(spans, "emit"), nullptr);
+  EXPECT_EQ(FindSpan(spans, "eval"), nullptr);
+  EXPECT_EQ(FindSpan(spans, "scan"), nullptr);
+
+  // Explain shares the rewrite cache with Serve: the second dry run is a
+  // hit, and a subsequent real serve reuses the entry.
+  StatusOr<ExplainResult> again = engine.Explain(query, vocab);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->cache_hit);
+  StatusOr<AnswerResult> served = engine.Serve(query);
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served->cache_hit);
+}
+
+TEST(AnswerEngineExplainTest, WorksWithoutBackendAndHonoursDeadline) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  AnswerEngine engine(ontology, Database());
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  // No backend configured: the SQL is still emitted (Explain shows what
+  // WOULD ship, whichever backend ends up executing it).
+  StatusOr<ExplainResult> explained = engine.Explain(query, vocab);
+  ASSERT_TRUE(explained.ok()) << explained.status();
+  EXPECT_NE(explained->sql.find("SELECT"), std::string::npos);
+
+  // A dead deadline aborts the dry run like it aborts a serve.
+  Vocabulary vocab2;
+  TgdProgram divergent = PaperExample2(&vocab2);
+  AnswerEngineOptions options;
+  options.rewriter.max_cqs = 50'000'000;
+  AnswerEngine slow(divergent, Database(), options);
+  ServeOptions serve;
+  serve.deadline = Deadline::AfterMillis(1);
+  StatusOr<ExplainResult> aborted = slow.Explain(
+      UnionOfCqs(MustQuery("q() :- r(\"a\", X).", &vocab2)), vocab2, serve);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// --- Concurrent serves racing cache invalidation ------------------------------
+
+// Regression stress for the rewrite-cache insert path: many threads
+// hammer the same key while the main thread keeps invalidating it via
+// AddTgd. Every serve must succeed with the same answers (the added
+// rules never fire — their body predicates have no facts), no serve may
+// observe a rewriting computed under a different fingerprint than it
+// pinned, and the cache must stay internally consistent. Run under TSan
+// in CI.
+TEST(AnswerEngineTest, ConcurrentServesSurviveCacheInvalidation) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(41);
+  UniversityInstanceOptions instance;
+  instance.num_students = 10;
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab));
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  StatusOr<AnswerResult> reference = engine.Serve(query);
+  ASSERT_TRUE(reference.ok());
+  const std::vector<Tuple> expected = reference->answers;
+
+  constexpr int kThreads = 8;
+  constexpr int kServesPerThread = 25;
+  std::atomic<int> failures{0};
+  std::atomic<int> wrong_answers{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kServesPerThread; ++i) {
+        ServeOptions serve;
+        Trace trace;
+        // Half the serves traced: the span hooks race invalidation too.
+        if ((t + i) % 2 == 0) serve.trace = &trace;
+        StatusOr<AnswerResult> result = engine.Serve(query, serve);
+        if (!result.ok()) {
+          ++failures;
+        } else if (result->answers != expected) {
+          ++wrong_answers;
+        }
+      }
+    });
+  }
+  // Keep invalidating the hammered entry: each AddTgd bumps the program
+  // fingerprint, so in-flight inserts race the key change. The new rules
+  // are inert (no "visitorN" facts exist) — answers must not change.
+  for (int i = 0; i < 20; ++i) {
+    engine.AddTgd(MustTgd(
+        StrCat("visitor", i, "(X) -> person(X).").c_str(), &vocab));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(wrong_answers.load(), 0);
+  // The cache never grows past one live entry per fingerprint the
+  // serves actually pinned; every serve was either a hit or a miss.
+  const RewriteCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::int64_t>(kThreads * kServesPerThread) + 1);
+  // A final serve under the settled fingerprint still agrees.
+  StatusOr<AnswerResult> final_serve = engine.Serve(query);
+  ASSERT_TRUE(final_serve.ok());
+  EXPECT_EQ(final_serve->answers, expected);
 }
 
 }  // namespace
