@@ -265,11 +265,19 @@ CqSignature ComputeCqSignature(const ConjunctiveQuery& cq) {
 
 int ResolveRewriteThreads(int requested, std::size_t num_tasks) {
   constexpr int kMaxThreads = 16;
+  // Clamping to hardware_concurrency exactly would silently serialize the
+  // pool on 1–2 core hosts (and in cgroup-limited CI containers, where
+  // the reported count is unreliable), masking every concurrency bug the
+  // parallel tests exist to catch. Modest oversubscription is harmless —
+  // workers are compute-bound and preemptible — so small hosts still run
+  // a real pool; fork-bomb protection comes from kMaxThreads.
+  constexpr int kOversubscribeFloor = 4;
   if (requested <= 1 || num_tasks <= 1) return 1;
   int resolved = std::min(requested, kMaxThreads);
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
-  resolved = std::min(resolved, static_cast<int>(hw));
+  resolved = std::min(resolved,
+                      std::max(static_cast<int>(hw), kOversubscribeFloor));
   if (num_tasks < static_cast<std::size_t>(resolved)) {
     resolved = static_cast<int>(num_tasks);
   }

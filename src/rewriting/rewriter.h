@@ -41,13 +41,18 @@
 // entries a new CQ subsumes — the Gottlob–Orsi–Pieris pruning that keeps
 // the intermediate union small. Factorization-generated CQs are exempt
 // (they are subsumed by construction and exist only to unlock rewriting
-// steps). threads > 1 runs the saturation and the final minimization on
-// a worker pool sharing those structures under a single mutex, with all
-// expensive work (unification, canonicalization, homomorphism checks)
-// outside the lock; the produced UCQ is deterministic — identical across
-// thread counts and runs — because the final union is minimized and
-// sorted canonically. `steps`/`saturated` order may vary across parallel
-// runs; the answering semantics never does.
+// steps). threads > 1 runs the saturation on a worker pool over striped
+// shared structures: the CQ store and dedup index are sharded into
+// hash-keyed stripes with one mutex each, the worklist is a set of
+// per-worker deques with work-stealing, and all expensive work
+// (unification, canonicalization, homomorphism checks) runs outside
+// every lock — concurrent inserts of unrelated CQs never contend. The
+// pool size is resolved against the initial worklist plus the
+// first-level rule fan-out, so trivial queries stay inline. The produced
+// UCQ is deterministic — identical across thread counts and runs —
+// because the final union is minimized and sorted canonically.
+// `steps`/`saturated` order may vary across parallel runs; the answering
+// semantics never does.
 
 namespace ontorew {
 
@@ -79,7 +84,8 @@ struct RewriterOptions {
   bool eager_subsumption = true;
   // Saturation/minimization worker threads. <= 1 runs inline on the
   // calling thread (fully deterministic, no pool); larger values are
-  // clamped to the hardware and a hard bound.
+  // clamped by the available work, a hard bound, and the hardware (with
+  // a small oversubscription floor — see ResolveRewriteThreads).
   int threads = 1;
   // Request-scoped tracing (see base/trace.h). Inert by default; when
   // enabled, RewriteUcq records a "saturate" span (attributes

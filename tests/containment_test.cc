@@ -187,5 +187,26 @@ TEST(MinimizeUcqTest, MinimizesWithinDisjuncts) {
   EXPECT_EQ(minimized.disjuncts()[0].body().size(), 1u);
 }
 
+TEST(ResolveRewriteThreadsTest, ClampsByTaskCountAndBounds) {
+  // Inline execution whenever a pool could not possibly help.
+  EXPECT_EQ(ResolveRewriteThreads(0, 100), 1);
+  EXPECT_EQ(ResolveRewriteThreads(1, 100), 1);
+  EXPECT_EQ(ResolveRewriteThreads(-3, 100), 1);
+  EXPECT_EQ(ResolveRewriteThreads(8, 0), 1);
+  EXPECT_EQ(ResolveRewriteThreads(8, 1), 1);
+  // Small task counts bound the pool: no more workers than tasks.
+  EXPECT_EQ(ResolveRewriteThreads(8, 2), 2);
+  EXPECT_EQ(ResolveRewriteThreads(8, 3), 3);
+  // Large requests are bounded regardless of task count (the hard cap is
+  // 16, the hardware clamp has an oversubscription floor of 4): never
+  // fewer than 2 for a parallel request with work to share, never more
+  // than 16.
+  const int resolved = ResolveRewriteThreads(64, 1u << 20);
+  EXPECT_GE(resolved, 2);
+  EXPECT_LE(resolved, 16);
+  // Monotonic in the request: asking for fewer threads never yields more.
+  EXPECT_LE(ResolveRewriteThreads(2, 1u << 20), resolved);
+}
+
 }  // namespace
 }  // namespace ontorew

@@ -16,13 +16,16 @@
 #include <string>
 #include <vector>
 
+#include "base/fault_point.h"
 #include "base/rng.h"
 #include "gtest/gtest.h"
 #include "logic/canonical.h"
+#include "logic/parser.h"
 #include "logic/printer.h"
 #include "rewriting/rewriter.h"
 #include "test_util.h"
 #include "workload/generators.h"
+#include "workload/university.h"
 
 namespace ontorew {
 namespace {
@@ -100,6 +103,120 @@ TEST(RewriterEquivalenceTest, OptimizedAndParallelMatchNaive) {
   EXPECT_GE(compared, kRequiredComparisons)
       << "only " << compared << " of " << kSeeds
       << " seeds terminated (skipped " << skipped_divergent << ")";
+}
+
+// The striped-dedup/work-stealing saturation core must produce the same
+// canonical union no matter how the worklist is scheduled. Sweep random
+// programs across thread counts 1/2/8 crossed with eager subsumption
+// on/off, against a naive single-threaded reference (eager off — the
+// configuration with the largest explored set, so every other
+// configuration must terminate wherever it does).
+TEST(RewriterEquivalenceTest, ThreadSweepProducesIdenticalUnions) {
+  constexpr int kSeeds = 80;
+  constexpr int kRequiredComparisons = 50;
+  int compared = 0;
+
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(0x7a11e100u + static_cast<std::uint64_t>(seed));
+    Vocabulary vocab;
+    RandomProgramOptions program_options;
+    program_options.num_rules = rng.UniformIn(3, 8);
+    program_options.num_predicates = rng.UniformIn(3, 6);
+    program_options.max_arity = rng.UniformIn(2, 3);
+    program_options.max_body_atoms = rng.UniformIn(1, 3);
+    program_options.max_head_atoms = 1;  // The rewriter is single-head.
+    program_options.existential_prob = 0.3;
+    program_options.repeat_prob = 0.1;
+    program_options.constant_prob = 0.1;
+    TgdProgram program = RandomProgram(program_options, &rng, &vocab);
+    ConjunctiveQuery query =
+        RandomCq(program, /*num_atoms=*/rng.UniformIn(1, 3),
+                 /*num_answer_vars=*/rng.UniformIn(0, 2), &rng, &vocab);
+
+    RewriterOptions reference_options;
+    reference_options.max_cqs = 400;
+    reference_options.eager_subsumption = false;
+    reference_options.threads = 1;
+    StatusOr<RewriteResult> reference =
+        RewriteCq(query, program, reference_options);
+    if (!reference.ok()) continue;  // Divergent seed: nothing to compare.
+    ++compared;
+
+    for (int threads : {1, 2, 8}) {
+      for (bool eager : {true, false}) {
+        RewriterOptions options;
+        options.max_cqs = 400;
+        options.threads = threads;
+        options.eager_subsumption = eager;
+        StatusOr<RewriteResult> result = RewriteCq(query, program, options);
+        ASSERT_TRUE(result.ok())
+            << "seed " << seed << " threads " << threads << " eager "
+            << eager << ": " << result.status()
+            << "\nquery: " << ToString(query, vocab);
+        ASSERT_EQ(result->ucq.size(), reference->ucq.size())
+            << "seed " << seed << " threads " << threads << " eager "
+            << eager << "\nquery: " << ToString(query, vocab)
+            << "\nreference:\n" << DescribeUcq(reference->ucq)
+            << "got:\n" << DescribeUcq(result->ucq);
+        for (std::size_t i = 0; i < reference->ucq.disjuncts().size();
+             ++i) {
+          EXPECT_EQ(result->ucq.disjuncts()[i],
+                    reference->ucq.disjuncts()[i])
+              << "seed " << seed << " threads " << threads << " eager "
+              << eager << " disjunct " << i;
+        }
+      }
+    }
+  }
+  EXPECT_GE(compared, kRequiredComparisons)
+      << "only " << compared << " of " << kSeeds << " seeds terminated";
+}
+
+// All-or-nothing under failure: a rewrite.step fault armed to trip in
+// the middle of the saturation must surface as the injected error at
+// every thread count — never a partial or corrupted union — and a rerun
+// with the fault cleared must still produce the pristine reference
+// result (no state leaks across the failed pool).
+TEST(RewriterEquivalenceTest, MidSaturationFaultIsAllOrNothing) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  StatusOr<ConjunctiveQuery> query = ParseQuery(
+      "q(X0) :- person(X0), knows(X0, X1), person(X1).", &vocab);
+  ASSERT_TRUE(query.ok()) << query.status();
+
+  RewriterOptions clean_options;
+  clean_options.max_cqs = 300000;
+  StatusOr<RewriteResult> reference = RewriteCq(*query, ontology,
+                                                clean_options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_GT(reference->generated, 60);  // Room for a mid-saturation trip.
+
+  for (int threads : {1, 2, 8}) {
+    RewriterOptions options = clean_options;
+    options.threads = threads;
+    {
+      FaultPointConfig config;
+      config.after = 50;  // Trips with many iterations still to come.
+      ScopedFault fault("rewrite.step", config);
+      StatusOr<RewriteResult> faulted = RewriteCq(*query, ontology,
+                                                  options);
+      ASSERT_FALSE(faulted.ok()) << "threads " << threads;
+      EXPECT_EQ(faulted.status().code(), StatusCode::kInternal)
+          << "threads " << threads << ": " << faulted.status();
+      EXPECT_NE(faulted.status().message().find("rewrite.step"),
+                std::string::npos)
+          << faulted.status();
+    }
+    StatusOr<RewriteResult> rerun = RewriteCq(*query, ontology, options);
+    ASSERT_TRUE(rerun.ok()) << "threads " << threads << ": "
+                            << rerun.status();
+    ASSERT_EQ(rerun->ucq.size(), reference->ucq.size())
+        << "threads " << threads;
+    for (std::size_t i = 0; i < reference->ucq.disjuncts().size(); ++i) {
+      EXPECT_EQ(rerun->ucq.disjuncts()[i], reference->ucq.disjuncts()[i])
+          << "threads " << threads << " disjunct " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -374,6 +374,29 @@ TEST(RewriterTest, NewCqRetiresSubsumedPredecessor) {
                                  MustQuery("q(X) :- s(X, Y).", &vocab)));
 }
 
+TEST(RewriterTest, TinyWorklistStaysInlineDespiteThreadRequest) {
+  // Regression: Run() used to resolve the pool size against a sentinel
+  // "unbounded" task count, so a 1-disjunct query over a program whose
+  // rules cannot resolve any query atom still spun up a full pool. The
+  // pool size is now resolved against the initial worklist plus the
+  // first-level rule fan-out, which is 1 + 0 here.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("s(X, Y) -> t(X).\n", &vocab);
+  ConjunctiveQuery query = MustQuery("q(X) :- u(X).", &vocab);  // No rule.
+  RewriterOptions options;
+  options.threads = 8;
+  StatusOr<RewriteResult> result = RewriteCq(query, program, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->threads_used, 1);
+  EXPECT_EQ(result->ucq.size(), 1);
+
+  // A query the program does fan out on still gets its pool.
+  ConjunctiveQuery fanout = MustQuery("q(X) :- t(X), t(Y).", &vocab);
+  StatusOr<RewriteResult> wide = RewriteCq(fanout, program, options);
+  ASSERT_TRUE(wide.ok()) << wide.status();
+  EXPECT_GT(wide->threads_used, 1);
+}
+
 TEST(RewriterTest, ParallelSaturationMatchesSequential) {
   Vocabulary vocab;
   TgdProgram ontology = UniversityOntology(&vocab);
