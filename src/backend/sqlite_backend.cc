@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,21 @@ Status SqliteError(sqlite3* conn, std::string_view what) {
   return InternalError(
       StrCat("sqlite: ", what, ": ",
              conn != nullptr ? sqlite3_errmsg(conn) : "no connection"));
+}
+
+// Busy/locked are transient lock contention, retried with backoff; the
+// low byte strips SQLite's extended result-code detail.
+bool IsBusyRc(int rc) {
+  const int primary = rc & 0xff;
+  return primary == SQLITE_BUSY || primary == SQLITE_LOCKED;
+}
+
+// splitmix64 step for backoff jitter (matches base/rng.h).
+std::uint64_t NextJitter(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
 // One finalize on every exit path.
@@ -82,7 +98,8 @@ class ProgressGuard {
 }  // namespace
 
 SqliteBackend::SqliteBackend(Vocabulary* vocab, SqliteBackendOptions options)
-    : vocab_(vocab), options_(std::move(options)) {
+    : vocab_(vocab), options_(std::move(options)),
+      busy_rng_state_(options_.busy_jitter_seed) {
   const int rc =
       sqlite3_open_v2(options_.path.c_str(), &conn_,
                       SQLITE_OPEN_READWRITE | SQLITE_OPEN_CREATE |
@@ -99,17 +116,54 @@ SqliteBackend::SqliteBackend(Vocabulary* vocab, SqliteBackendOptions options)
 
 SqliteBackend::~SqliteBackend() { sqlite3_close(conn_); }
 
+Status SqliteBackend::WaitBusyBackoff(int attempt, const CancelScope& cancel,
+                                      std::string_view what) {
+  busy_retries_.fetch_add(1, std::memory_order_relaxed);
+  if (attempt >= options_.busy_max_retries) {
+    return UnavailableError(
+        StrCat("sqlite: ", what, ": database busy after ", attempt + 1,
+               " attempts — retry with backoff"));
+  }
+  OREW_RETURN_IF_ERROR(cancel.Check("sqlite.busy-backoff"));
+  // Exponential base delay, then full jitter over [delay/2, delay]: the
+  // herd that collided once must not collide again in lockstep.
+  std::chrono::nanoseconds delay = options_.busy_initial_backoff;
+  for (int i = 0; i < attempt && delay < options_.busy_max_backoff; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.busy_max_backoff);
+  const std::uint64_t half =
+      static_cast<std::uint64_t>(delay.count() / 2) + 1;
+  delay = std::chrono::nanoseconds(
+      delay.count() / 2 +
+      static_cast<std::int64_t>(NextJitter(&busy_rng_state_) % half));
+  // Never sleep past the request's own deadline.
+  if (!cancel.deadline().is_infinite()) {
+    const auto remaining = cancel.deadline().remaining();
+    if (remaining < delay) delay = remaining;
+  }
+  if (delay > std::chrono::nanoseconds::zero()) {
+    std::this_thread::sleep_for(delay);
+  }
+  return cancel.Check("sqlite.busy-backoff");
+}
+
 Status SqliteBackend::RunSql(const std::string& sql) {
-  char* error = nullptr;
-  if (sqlite3_exec(conn_, sql.c_str(), nullptr, nullptr, &error) !=
-      SQLITE_OK) {
+  int attempt = 0;
+  for (;;) {
+    char* error = nullptr;
+    const int rc = sqlite3_exec(conn_, sql.c_str(), nullptr, nullptr, &error);
+    if (rc == SQLITE_OK) {
+      sqlite3_free(error);
+      return Status::Ok();
+    }
     Status status = InternalError(
         StrCat("sqlite: ", error != nullptr ? error : "unknown error",
                " while executing: ", sql));
     sqlite3_free(error);
-    return status;
+    if (!IsBusyRc(rc)) return status;
+    OREW_RETURN_IF_ERROR(WaitBusyBackoff(attempt++, CancelScope(), "exec"));
   }
-  return Status::Ok();
 }
 
 Status SqliteBackend::RegisterConstant(ConstantId id) {
@@ -173,11 +227,16 @@ Status SqliteBackend::Load(const TgdProgram& program, const Database& db) {
     insert += StrJoin(holes, ", ");
     insert += ");";
     sqlite3_stmt* stmt = nullptr;
-    if (sqlite3_prepare_v2(conn_, insert.c_str(), -1, &stmt, nullptr) !=
-        SQLITE_OK) {
-      status = SqliteError(conn_, StrCat("prepare: ", insert));
-      break;
+    for (int attempt = 0;;) {
+      const int rc =
+          sqlite3_prepare_v2(conn_, insert.c_str(), -1, &stmt, nullptr);
+      if (rc == SQLITE_OK) break;
+      status = IsBusyRc(rc)
+                   ? WaitBusyBackoff(attempt++, CancelScope(), "prepare")
+                   : SqliteError(conn_, StrCat("prepare: ", insert));
+      if (!status.ok()) break;
     }
+    if (!status.ok()) break;
     StmtGuard guard(stmt);
     for (const Tuple& tuple : relation->tuples()) {
       for (int j = 0; j < relation->arity(); ++j) {
@@ -195,10 +254,18 @@ Status SqliteBackend::Load(const TgdProgram& program, const Database& db) {
         }
       }
       if (!status.ok()) break;
-      if (sqlite3_step(stmt) != SQLITE_DONE) {
-        status = SqliteError(conn_, "insert step");
-        break;
+      // Busy on an insert step retries the same row after a reset; the
+      // surrounding transaction keeps the load all-or-nothing.
+      for (int attempt = 0;;) {
+        const int rc = sqlite3_step(stmt);
+        if (rc == SQLITE_DONE) break;
+        status = IsBusyRc(rc)
+                     ? WaitBusyBackoff(attempt++, CancelScope(), "insert step")
+                     : SqliteError(conn_, "insert step");
+        if (!status.ok()) break;
+        sqlite3_reset(stmt);
       }
+      if (!status.ok()) break;
       sqlite3_reset(stmt);
     }
     if (!status.ok()) break;
@@ -251,9 +318,12 @@ StatusOr<std::vector<Tuple>> SqliteBackend::Execute(
   }
 
   sqlite3_stmt* stmt = nullptr;
-  if (sqlite3_prepare_v2(conn_, sql.c_str(), -1, &stmt, nullptr) !=
-      SQLITE_OK) {
-    return SqliteError(conn_, StrCat("prepare: ", sql));
+  for (int attempt = 0;;) {
+    const int rc = sqlite3_prepare_v2(conn_, sql.c_str(), -1, &stmt, nullptr);
+    if (rc == SQLITE_OK) break;
+    if (!IsBusyRc(rc)) return SqliteError(conn_, StrCat("prepare: ", sql));
+    OREW_RETURN_IF_ERROR(
+        WaitBusyBackoff(attempt++, options.cancel, "prepare"));
   }
   StmtGuard guard(stmt);
   ProgressGuard progress(conn_, options.cancel,
@@ -280,46 +350,68 @@ StatusOr<std::vector<Tuple>> SqliteBackend::Execute(
 
   const int arity = ucq.arity();
   std::vector<Tuple> answers;
-  for (;;) {
-    const int rc = sqlite3_step(stmt);
-    if (rc == SQLITE_DONE) break;
-    if (rc == SQLITE_INTERRUPT) {
-      Status tripped = options.cancel.Check("sqlite.exec");
-      Status interrupted =
-          tripped.ok() ? CancelledError("sqlite: statement interrupted")
-                       : tripped;
-      scan_span.AnnotateStatus(interrupted);
-      return interrupted;
-    }
-    if (rc != SQLITE_ROW) {
-      Status step_error = SqliteError(conn_, "step");
-      scan_span.AnnotateStatus(step_error);
-      return step_error;
-    }
-    if (stats != nullptr) ++stats->matches;
-    Tuple tuple;
-    tuple.reserve(static_cast<std::size_t>(arity));
-    bool has_null = false;
-    for (int j = 0; j < arity; ++j) {
-      const unsigned char* raw = sqlite3_column_text(stmt, j);
-      std::string text(raw != nullptr
-                           ? reinterpret_cast<const char*>(raw)
-                           : "");
-      if (IsNullEncoding(text)) {
-        has_null = true;
-        tuple.push_back(Value::Null(static_cast<std::int32_t>(
-            std::atoi(text.c_str() + kNullPrefixLen))));
-        continue;
+  std::int64_t rows_matched = 0;
+  // The scan restarts from scratch on SQLITE_BUSY/SQLITE_LOCKED (answers
+  // cleared, statement reset): a busy retry must stay all-or-nothing, the
+  // same contract cancellation has. An armed "backend.busy" fault trips
+  // exactly like a busy return from the statement.
+  for (int busy_attempt = 0;;) {
+    answers.clear();
+    rows_matched = 0;
+    bool busy = !CheckFaultPoint("backend.busy").ok();
+    for (; !busy;) {
+      const int rc = sqlite3_step(stmt);
+      if (rc == SQLITE_DONE) break;
+      if (IsBusyRc(rc)) {
+        busy = true;
+        break;
       }
-      auto it = decode_.find(text);
-      ConstantId id =
-          it != decode_.end() ? it->second : vocab_->InternConstant(text);
-      if (it == decode_.end()) decode_.emplace(std::move(text), id);
-      tuple.push_back(Value::Constant(id));
+      if (rc == SQLITE_INTERRUPT) {
+        Status tripped = options.cancel.Check("sqlite.exec");
+        Status interrupted =
+            tripped.ok() ? CancelledError("sqlite: statement interrupted")
+                         : tripped;
+        scan_span.AnnotateStatus(interrupted);
+        return interrupted;
+      }
+      if (rc != SQLITE_ROW) {
+        Status step_error = SqliteError(conn_, "step");
+        scan_span.AnnotateStatus(step_error);
+        return step_error;
+      }
+      ++rows_matched;
+      Tuple tuple;
+      tuple.reserve(static_cast<std::size_t>(arity));
+      bool has_null = false;
+      for (int j = 0; j < arity; ++j) {
+        const unsigned char* raw = sqlite3_column_text(stmt, j);
+        std::string text(raw != nullptr
+                             ? reinterpret_cast<const char*>(raw)
+                             : "");
+        if (IsNullEncoding(text)) {
+          has_null = true;
+          tuple.push_back(Value::Null(static_cast<std::int32_t>(
+              std::atoi(text.c_str() + kNullPrefixLen))));
+          continue;
+        }
+        auto it = decode_.find(text);
+        ConstantId id =
+            it != decode_.end() ? it->second : vocab_->InternConstant(text);
+        if (it == decode_.end()) decode_.emplace(std::move(text), id);
+        tuple.push_back(Value::Constant(id));
+      }
+      if (has_null && options.drop_tuples_with_nulls) continue;
+      answers.push_back(std::move(tuple));
     }
-    if (has_null && options.drop_tuples_with_nulls) continue;
-    answers.push_back(std::move(tuple));
+    if (!busy) break;
+    Status backoff = WaitBusyBackoff(busy_attempt++, options.cancel, "step");
+    if (!backoff.ok()) {
+      scan_span.AnnotateStatus(backoff);
+      return backoff;
+    }
+    sqlite3_reset(stmt);
   }
+  if (stats != nullptr) stats->matches += rows_matched;
   const int fullscan_steps =
       sqlite3_stmt_status(stmt, SQLITE_STMTSTATUS_FULLSCAN_STEP, 0);
   if (stats != nullptr) stats->tuples_examined += fullscan_steps;

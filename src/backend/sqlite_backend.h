@@ -1,6 +1,8 @@
 #ifndef ONTOREW_BACKEND_SQLITE_BACKEND_H_
 #define ONTOREW_BACKEND_SQLITE_BACKEND_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -52,6 +54,21 @@ struct SqliteBackendOptions {
   // VM instructions between two progress-handler polls of the cancel
   // scope (SQLite's N for sqlite3_progress_handler).
   int progress_poll_instructions = 1000;
+
+  // --- Transient-contention retry ------------------------------------------
+  // SQLITE_BUSY / SQLITE_LOCKED mean another connection (file databases,
+  // WAL checkpoints) holds a conflicting lock right now — a transient
+  // condition, not a failure. Every prepare/step retries it with bounded
+  // exponential backoff plus deterministic jitter; once busy_max_retries
+  // attempts are exhausted the call surfaces kUnavailable (retryable on
+  // the wire), never a generic Internal error. Backoff sleeps never
+  // overshoot the request deadline. The "backend.busy" fault point
+  // simulates a busy return on any armed trip, so tests and the soak
+  // harness can inject contention bursts against in-memory databases.
+  int busy_max_retries = 8;
+  std::chrono::nanoseconds busy_initial_backoff = std::chrono::microseconds(200);
+  std::chrono::nanoseconds busy_max_backoff = std::chrono::milliseconds(20);
+  std::uint64_t busy_jitter_seed = 1;
 };
 
 class SqliteBackend : public Backend {
@@ -79,7 +96,9 @@ class SqliteBackend : public Backend {
   // FailedPrecondition before a successful Load, InvalidArgument on
   // invalid queries or ambiguous constant encodings,
   // DeadlineExceeded/Cancelled when options.cancel trips mid-statement,
-  // an injected "backend.exec" fault, Internal on SQLite failures.
+  // an injected "backend.exec" fault, Unavailable when busy/locked
+  // retries are exhausted (see busy_max_retries above), Internal on other
+  // SQLite failures.
   StatusOr<std::vector<Tuple>> Execute(const UnionOfCqs& ucq,
                                        const BackendExecOptions& options,
                                        EvalStats* stats = nullptr) override;
@@ -87,8 +106,21 @@ class SqliteBackend : public Backend {
   // Tuples stored across all tables (COUNT(*) sweep), for tests/benches.
   StatusOr<std::int64_t> StoredTuples();
 
+  // Busy/locked attempts absorbed by backoff so far (injected or real) —
+  // the soak harness asserts a contention burst lands here, not in failed
+  // requests.
+  std::int64_t busy_retries() const {
+    return busy_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   Status RunSql(const std::string& sql);
+  // Sleeps the bounded-exponential backoff for 0-based busy `attempt`
+  // (jittered, capped by busy_max_backoff and the scope's remaining
+  // deadline). kUnavailable once attempts are exhausted;
+  // DeadlineExceeded/Cancelled when `cancel` trips. Callers hold mutex_.
+  Status WaitBusyBackoff(int attempt, const CancelScope& cancel,
+                         std::string_view what);
   // Registers `id` as the decoding of its SqlConstantText; InvalidArgument
   // when a different constant already claimed that text.
   Status RegisterConstant(ConstantId id);
@@ -101,6 +133,8 @@ class SqliteBackend : public Backend {
   Status open_status_;
 
   std::mutex mutex_;  // Serializes Load/Execute on the connection.
+  std::uint64_t busy_rng_state_ = 1;     // Jitter state; guarded by mutex_.
+  std::atomic<std::int64_t> busy_retries_{0};
   bool loaded_ = false;
   std::unordered_set<PredicateId> created_;  // Tables in the current schema.
   std::unordered_map<std::string, ConstantId> decode_;

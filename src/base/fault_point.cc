@@ -40,11 +40,13 @@ void FaultRegistry::Disarm(std::string_view point) {
   armed_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void FaultRegistry::Reset() {
+void FaultRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   points_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
 }
+
+void FaultRegistry::Reset() { ResetAll(); }
 
 Status FaultRegistry::Check(std::string_view point) {
   // Decide under the lock, run the handler outside it (handlers may

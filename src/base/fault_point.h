@@ -33,11 +33,16 @@
 // which runs on every trip and may block (to hold a request in-flight)
 // or substitute its own Status.
 //
-// Points wired in this codebase (see DESIGN.md "Serving layer"):
+// Points wired in this codebase (see DESIGN.md "Serving layer" and
+// "Serving over the wire"):
 //   rewrite.step   every saturation-loop iteration in RewriteUcq
 //   chase.step     every trigger application in RunChase
 //   eval.scan      every tuple examined by the CQ matcher
 //   serve.admit    after admission, before rewriting, in AnswerEngine
+//   backend.exec   entry of SqliteBackend::Execute
+//   backend.busy   simulates SQLITE_BUSY before each scan attempt
+//   server.accept  after accept() in the OntologyServer listener
+//   server.read    every read() on a server connection
 
 namespace ontorew {
 
@@ -68,7 +73,12 @@ class FaultRegistry {
 
   void Arm(std::string_view point, FaultPointConfig config = {});
   void Disarm(std::string_view point);
-  // Disarms every point and clears all hit/trip counts.
+  // Disarms every point and clears all hit/trip counts — the one call
+  // that guarantees nothing armed leaks into the next test, however many
+  // points a harness armed. Prefer the FaultQuiesce fixture guard below
+  // over calling this by hand.
+  void ResetAll();
+  // Alias for ResetAll(), kept for existing callers.
   void Reset();
 
   // True iff any point is armed (the production fast path's gate).
@@ -123,6 +133,25 @@ class ScopedFault {
 
  private:
   std::string point_;
+};
+
+// Whole-registry quiescence for tests and harnesses that arm MANY points
+// (probabilistically, or via helpers that make per-point Disarm easy to
+// miss): ResetAll() on construction AND destruction, so the scope starts
+// clean and cannot leak an armed fault whichever way it exits. Use as a
+// fixture member —
+//
+//   class SoakTest : public ::testing::Test {
+//     FaultQuiesce quiesce_;  // First member: brackets every test body.
+//   };
+//
+// or as a stack guard around a chaos block.
+class FaultQuiesce {
+ public:
+  FaultQuiesce() { FaultRegistry::Global().ResetAll(); }
+  FaultQuiesce(const FaultQuiesce&) = delete;
+  FaultQuiesce& operator=(const FaultQuiesce&) = delete;
+  ~FaultQuiesce() { FaultRegistry::Global().ResetAll(); }
 };
 
 }  // namespace ontorew

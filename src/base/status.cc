@@ -26,8 +26,32 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool IsRetryableStatusCode(StatusCode code) {
+  switch (code) {
+    // Transient: shed by admission/quota, out of time, or storage/server
+    // momentarily busy — the same request can succeed moments later.
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+      return true;
+    // Permanent for this request: bad input, wrong state, caller-initiated
+    // cancellation, or a genuine bug.
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kInternal:
+    case StatusCode::kCancelled:
+      return false;
+  }
+  return false;
 }
 
 std::string Status::ToString() const {
@@ -65,6 +89,9 @@ Status DeadlineExceededError(std::string message) {
 }
 Status CancelledError(std::string message) {
   return Status(StatusCode::kCancelled, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace ontorew

@@ -26,7 +26,18 @@ enum class StatusCode {
   kInternal = 6,
   kDeadlineExceeded = 7,
   kCancelled = 8,
+  // A transient condition the caller should retry after a short backoff:
+  // storage contention (SQLITE_BUSY/SQLITE_LOCKED), a draining server.
+  // Distinct from kResourceExhausted (admission/quota rejection) and
+  // kInternal (a real failure retrying will not fix).
+  kUnavailable = 9,
 };
+
+// Whether a failed request may be retried as-is with backoff (transient
+// overload/contention/timeouts) or is permanently broken (bad input,
+// wrong state, a real bug). The wire protocol surfaces exactly this bit;
+// see DESIGN.md "Serving over the wire".
+bool IsRetryableStatusCode(StatusCode code);
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
 std::string_view StatusCodeName(StatusCode code);
@@ -73,6 +84,7 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status CancelledError(std::string message);
+Status UnavailableError(std::string message);
 
 // Holds either a value or a non-OK Status.
 template <typename T>

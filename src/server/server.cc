@@ -1,0 +1,637 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "backend/sqlite_backend.h"
+#include "base/fault_point.h"
+#include "base/strings.h"
+#include "base/trace.h"
+#include "db/facts_io.h"
+#include "db/value.h"
+#include "logic/parser.h"
+#include "server/wire.h"
+
+namespace ontorew {
+namespace {
+
+// Largest buffered request line; beyond this the connection is dropped
+// (a line protocol with no line breaks is an attack, not a client).
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+// Poll granularities: how quickly the acceptor notices stop and a worker
+// notices drain/stop on an idle connection.
+constexpr int kAcceptPollMillis = 100;
+constexpr int kConnPollMillis = 50;
+
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+// Runs `fn` when the scope unwinds — releases admission slots and
+// inflight counts on every exit path, including error returns.
+template <typename Fn>
+class ScopeExit {
+ public:
+  explicit ScopeExit(Fn fn) : fn_(std::move(fn)) {}
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+  ~ScopeExit() { fn_(); }
+
+ private:
+  Fn fn_;
+};
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  while (!text.empty()) {
+    std::size_t nl = text.find('\n');
+    lines.emplace_back(text.substr(0, nl));
+    if (nl == std::string_view::npos) break;
+    text.remove_prefix(nl + 1);
+  }
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+std::int64_t CeilMillis(std::chrono::steady_clock::duration d) {
+  if (d <= std::chrono::steady_clock::duration::zero()) return 0;
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
+  if (std::chrono::milliseconds(ms) < d) ++ms;
+  return ms < 1 ? 1 : ms;
+}
+
+}  // namespace
+
+std::string OntologyServer::Reply::Serialize() const {
+  std::string out;
+  if (status.ok()) {
+    out = FormatOkHeader(rows.size(), cache, via_chase);
+    for (const std::string& row : rows) {
+      out += row;
+      out += '\n';
+    }
+    for (const std::string& line : info) {
+      out += "# ";
+      out += line;
+      out += '\n';
+    }
+  } else {
+    out = FormatErrHeader(status, retry_after_ms);
+  }
+  out += kWireEnd;
+  out += '\n';
+  return out;
+}
+
+OntologyServer::OntologyServer(OntologyServerOptions options)
+    : options_(options),
+      shared_cache_(
+          std::make_shared<RewriteCache>(options.shared_cache_capacity)) {}
+
+OntologyServer::~OntologyServer() {
+  Status ignored = Shutdown(std::chrono::milliseconds(200));
+  (void)ignored;
+}
+
+Status OntologyServer::AddTenant(TenantSpec spec) {
+  if (started_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError(
+        "tenants must be added before the server starts");
+  }
+  if (spec.name.empty()) {
+    return InvalidArgumentError("tenant name must be non-empty");
+  }
+  if (tenants_.count(spec.name) != 0) {
+    return InvalidArgumentError(StrCat("duplicate tenant '", spec.name, "'"));
+  }
+
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = spec.name;
+  tenant->use_sqlite = spec.use_sqlite;
+  tenant->max_inflight = spec.quota.max_inflight;
+
+  StatusOr<TgdProgram> program =
+      ParseProgram(spec.program_text, &tenant->vocab);
+  if (!program.ok()) {
+    return Status(program.status().code(),
+                  StrCat("tenant '", spec.name,
+                         "' program: ", program.status().message()));
+  }
+  StatusOr<Database> db = ParseFacts(spec.facts_text, &tenant->vocab);
+  if (!db.ok()) {
+    return Status(db.status().code(),
+                  StrCat("tenant '", spec.name,
+                         "' facts: ", db.status().message()));
+  }
+
+  AnswerEngineOptions engine_options = spec.engine;
+  engine_options.shared_cache = shared_cache_;
+  if (spec.use_sqlite) {
+    engine_options.backend = std::make_shared<SqliteBackend>(&tenant->vocab);
+  }
+  tenant->engine = std::make_unique<AnswerEngine>(
+      *std::move(program), *std::move(db), std::move(engine_options));
+
+  if (spec.quota.burst > 0) {
+    tenant->bucket =
+        std::make_unique<TokenBucket>(spec.quota.burst, spec.quota.qps);
+  }
+  tenants_.emplace(spec.name, std::move(tenant));
+  return Status::Ok();
+}
+
+Status OntologyServer::Start() {
+  if (started_.exchange(true, std::memory_order_acq_rel)) {
+    return FailedPreconditionError("server already started");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(StrCat("socket(): ", std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = InternalError(StrCat("bind(127.0.0.1:", options_.port,
+                                         "): ", std::strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (listen(listen_fd_, options_.max_queued_connections) != 0) {
+    Status status = InternalError(StrCat("listen(): ", std::strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  const int workers = options_.num_workers < 1 ? 1 : options_.num_workers;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+Status OntologyServer::Shutdown(std::chrono::nanoseconds drain_deadline) {
+  if (stopping_.load(std::memory_order_acquire)) return Status::Ok();
+  draining_.store(true, std::memory_order_release);
+
+  // Phase 1: let inflight requests finish within the drain budget. New
+  // requests are already being shed (draining_ is checked before
+  // admission), so admitted_ can only fall.
+  bool drained = true;
+  std::size_t stragglers = 0;
+  {
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    drained = admission_cv_.wait_for(lock, drain_deadline,
+                                     [this] { return admitted_ == 0; });
+    stragglers = admitted_;
+  }
+
+  // Phase 2: force-cancel stragglers through the server-wide token that
+  // every request's ServeOptions chains. Cancellation is cooperative and
+  // checked at stride inside every loop, so the joins below are bounded.
+  if (!drained) drain_cancel_->Cancel();
+
+  stopping_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  admission_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // Close anything still queued but never picked up.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (const auto& conn : pending_connections_) close(conn->fd);
+    pending_connections_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!drained) {
+    return DeadlineExceededError(
+        StrCat("drain deadline exceeded; ", stragglers,
+               " inflight request(s) were cancelled"));
+  }
+  return Status::Ok();
+}
+
+int OntologyServer::brownout_level() const {
+  if (options_.max_inflight_global == 0) return 0;
+  const double ratio =
+      static_cast<double>(inflight_.load(std::memory_order_relaxed)) /
+      static_cast<double>(options_.max_inflight_global);
+  if (ratio >= options_.shed_optional_ratio) return 2;
+  if (ratio >= options_.shed_tracing_ratio) return 1;
+  return 0;
+}
+
+std::vector<std::string> OntologyServer::tenant_names() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+Status OntologyServer::AcquireGlobalSlot(const Deadline& request_deadline) {
+  const std::size_t cap = options_.max_inflight_global == 0
+                              ? std::numeric_limits<std::size_t>::max()
+                              : options_.max_inflight_global;
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  if (admitted_ >= cap) {
+    // Queue for a slot, but never past the request's own deadline: a
+    // request whose budget dies in the queue must report
+    // DeadlineExceeded (the caller's deadline), not ResourceExhausted
+    // (a server shed) — clients treat the two differently.
+    Deadline give_up = Deadline::Earlier(
+        Deadline::After(options_.admission_timeout), request_deadline);
+    const bool got = admission_cv_.wait_until(
+        lock, give_up.time(), [this, cap] {
+          return admitted_ < cap || stopping_.load(std::memory_order_acquire);
+        });
+    if (!got || admitted_ >= cap) {
+      if (request_deadline.expired()) {
+        metrics_.Increment("server_queue_deadline");
+        return DeadlineExceededError(
+            "request deadline expired while queued for a server slot");
+      }
+      metrics_.Increment("server_shed_global");
+      return ResourceExhaustedError(StrCat(
+          "server at capacity (", cap, " inflight) — retry with backoff"));
+    }
+  }
+  ++admitted_;
+  inflight_.store(admitted_, std::memory_order_relaxed);
+  metrics_.SetGauge("server_inflight",
+                    static_cast<std::int64_t>(admitted_));
+  return Status::Ok();
+}
+
+void OntologyServer::ReleaseGlobalSlot() {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  --admitted_;
+  inflight_.store(admitted_, std::memory_order_relaxed);
+  metrics_.SetGauge("server_inflight", static_cast<std::int64_t>(admitted_));
+  admission_cv_.notify_all();
+}
+
+OntologyServer::Reply OntologyServer::ShedReply(std::string_view why) const {
+  Reply reply;
+  reply.status = UnavailableError(
+      StrCat(why, " — retry after backoff"));
+  reply.retry_after_ms = options_.default_retry_after_ms;
+  return reply;
+}
+
+std::string OntologyServer::ServeLine(std::string_view line) {
+  metrics_.Increment("server_requests");
+  Reply reply;
+  StatusOr<WireRequest> request = ParseWireRequest(line);
+  if (!request.ok()) {
+    reply.status = request.status();
+  } else {
+    switch (request->verb) {
+      case WireVerb::kPing:
+        break;  // Empty OK.
+      case WireVerb::kStats:
+        reply = HandleStats();
+        break;
+      case WireVerb::kTenants:
+        reply = HandleTenants();
+        break;
+      case WireVerb::kQuery:
+        reply = HandleQuery(*request);
+        break;
+    }
+  }
+  metrics_.Increment(reply.status.ok() ? "server_responses_ok"
+                                       : "server_responses_err");
+  return reply.Serialize();
+}
+
+OntologyServer::Reply OntologyServer::HandleQuery(
+    const WireRequest& request) {
+  if (draining_.load(std::memory_order_acquire)) {
+    metrics_.Increment("server_shed_draining");
+    return ShedReply("server is draining");
+  }
+  auto it = tenants_.find(request.tenant);
+  if (it == tenants_.end()) {
+    Reply reply;
+    reply.status =
+        NotFoundError(StrCat("unknown tenant '", request.tenant, "'"));
+    return reply;
+  }
+  Tenant& tenant = *it->second;
+
+  // The request's whole budget, fixed on arrival: queueing for admission
+  // below burns it down.
+  const Deadline deadline = request.deadline_ms > 0
+                                ? Deadline::AfterMillis(request.deadline_ms)
+                                : Deadline::Infinite();
+
+  // Layer 1: the tenant's token bucket. Cheapest check first; the shed
+  // carries the bucket's exact refill time as the backoff hint.
+  if (tenant.bucket != nullptr) {
+    const auto wait = tenant.bucket->TryAcquire();
+    if (wait > TokenBucket::Clock::duration::zero()) {
+      metrics_.Increment("server_shed_quota");
+      Reply reply;
+      reply.status = ResourceExhaustedError(StrCat(
+          "tenant '", tenant.name, "' rate quota exceeded"));
+      reply.retry_after_ms =
+          wait == TokenBucket::Clock::duration::max()
+              ? options_.default_retry_after_ms
+              : CeilMillis(wait);
+      return reply;
+    }
+  }
+
+  // Layer 2: the tenant's inflight cap.
+  const std::size_t tenant_inflight =
+      tenant.inflight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  ScopeExit tenant_release([&tenant] {
+    tenant.inflight.fetch_sub(1, std::memory_order_acq_rel);
+  });
+  if (tenant.max_inflight > 0 && tenant_inflight > tenant.max_inflight) {
+    metrics_.Increment("server_shed_tenant_inflight");
+    Reply reply;
+    reply.status = ResourceExhaustedError(
+        StrCat("tenant '", tenant.name, "' inflight cap (",
+               tenant.max_inflight, ") reached"));
+    reply.retry_after_ms = options_.default_retry_after_ms;
+    return reply;
+  }
+
+  // Layer 3: a global slot, queueing deadline-aware.
+  Status admitted = AcquireGlobalSlot(deadline);
+  if (!admitted.ok()) {
+    Reply reply;
+    reply.status = std::move(admitted);
+    reply.retry_after_ms = options_.default_retry_after_ms;
+    return reply;
+  }
+  ScopeExit global_release([this] { ReleaseGlobalSlot(); });
+
+  // Brownout ladder: under sustained load shed cheap optional work
+  // before ever shedding a request.
+  const int level = brownout_level();
+  metrics_.SetGauge("brownout_level", level);
+  bool trace_wanted = request.trace;
+  if (trace_wanted && level >= 1) {
+    metrics_.Increment("brownout_shed_tracing");
+    trace_wanted = false;
+  }
+  ServeOptions serve;
+  serve.deadline = deadline;
+  serve.cancel = drain_cancel_;
+  if (level >= 2) {
+    metrics_.Increment("brownout_shed_minimize");
+    serve.shed_optional_work = true;
+  }
+  Trace trace;
+  if (trace_wanted) serve.trace = &trace;
+
+  // Vocabulary is not thread-safe: parse and render under the tenant's
+  // vocab lock. SQLite tenants keep it across Serve — SQL emission and
+  // row decoding read the vocabulary inside Execute (the single
+  // connection serializes those requests anyway).
+  std::unique_lock<std::mutex> vocab_lock(tenant.vocab_mutex);
+  StatusOr<ConjunctiveQuery> parsed =
+      ParseQuery(request.query, &tenant.vocab);
+  if (!parsed.ok()) {
+    Reply reply;
+    reply.status = parsed.status();
+    return reply;
+  }
+  UnionOfCqs query(*std::move(parsed));
+  if (!tenant.use_sqlite) vocab_lock.unlock();
+
+  StatusOr<AnswerResult> result = tenant.engine->Serve(query, serve);
+  if (!result.ok()) {
+    Reply reply;
+    reply.status = result.status();
+    // A request cancelled by the drain token did nothing wrong: report
+    // the retryable "server went away", not a non-retryable Cancelled.
+    if (reply.status.code() == StatusCode::kCancelled &&
+        draining_.load(std::memory_order_acquire)) {
+      reply.status = UnavailableError("request cancelled: server draining");
+    }
+    if (IsRetryableStatusCode(reply.status.code())) {
+      reply.retry_after_ms = options_.default_retry_after_ms;
+    }
+    return reply;
+  }
+
+  if (!vocab_lock.owns_lock()) vocab_lock.lock();
+  Reply reply;
+  reply.cache = result->cache_hit ? "hit" : "miss";
+  reply.via_chase = result->served_via_chase;
+  reply.rows.reserve(result->answers.size());
+  for (const Tuple& tuple : result->answers) {
+    reply.rows.push_back(ToString(tuple, tenant.vocab));
+  }
+  vocab_lock.unlock();
+  if (trace_wanted) reply.info = SplitLines(trace.ToString());
+  return reply;
+}
+
+OntologyServer::Reply OntologyServer::HandleStats() {
+  Reply reply;
+  reply.info = SplitLines(metrics_.Snapshot().ToString());
+  const RewriteCacheStats cache = shared_cache_->stats();
+  reply.info.push_back(StrCat("shared_cache hits=", cache.hits,
+                              " misses=", cache.misses,
+                              " evictions=", cache.evictions,
+                              " size=", cache.size));
+  reply.info.push_back(StrCat("brownout_level=", brownout_level()));
+  return reply;
+}
+
+OntologyServer::Reply OntologyServer::HandleTenants() {
+  Reply reply;
+  for (const auto& [name, tenant] : tenants_) {
+    reply.info.push_back(
+        StrCat(name, " inflight=",
+               tenant->inflight.load(std::memory_order_relaxed),
+               " backend=", tenant->use_sqlite ? "sqlite" : "memory"));
+  }
+  return reply;
+}
+
+void OntologyServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, kAcceptPollMillis);
+    if (ready <= 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Chaos: a connection dropped right after accept — the client sees a
+    // reset and retries; the server must not leak the fd or a slot.
+    if (!CheckFaultPoint("server.accept").ok()) {
+      metrics_.Increment("server_accept_faults");
+      close(fd);
+      continue;
+    }
+    if (draining_.load(std::memory_order_acquire) ||
+        stopping_.load(std::memory_order_acquire)) {
+      metrics_.Increment("server_shed_draining");
+      WriteAll(fd, ShedReply("server is draining").Serialize());
+      close(fd);
+      continue;
+    }
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_connections_.size() <
+          static_cast<std::size_t>(options_.max_queued_connections)) {
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        pending_connections_.push_back(std::move(conn));
+        queued = true;
+      }
+    }
+    if (queued) {
+      queue_cv_.notify_one();
+    } else {
+      metrics_.Increment("server_shed_queue_full");
+      Reply reply;
+      reply.status =
+          ResourceExhaustedError("connection queue full — retry with backoff");
+      reply.retry_after_ms = options_.default_retry_after_ms;
+      WriteAll(fd, reply.Serialize());
+      close(fd);
+    }
+  }
+}
+
+void OntologyServer::WorkerLoop() {
+  // Workers multiplex: each grabs a fair share of the live connections,
+  // polls the whole batch at once (so a request on ANY of them wakes the
+  // worker immediately), services the readable ones, and requeues the
+  // rest. A fixed pool thus serves arbitrarily many connections without
+  // parking one thread per connection forever — which would starve every
+  // connection past the Nth.
+  const std::size_t workers =
+      static_cast<std::size_t>(options_.num_workers < 1
+                                   ? 1
+                                   : options_.num_workers);
+  for (;;) {
+    std::vector<std::unique_ptr<Connection>> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(kConnPollMillis),
+                         [this] {
+                           return !pending_connections_.empty() ||
+                                  stopping_.load(std::memory_order_acquire);
+                         });
+      if (stopping_.load(std::memory_order_acquire)) {
+        for (const auto& conn : pending_connections_) close(conn->fd);
+        pending_connections_.clear();
+        return;
+      }
+      if (pending_connections_.empty()) continue;
+      std::size_t share =
+          (pending_connections_.size() + workers - 1) / workers;
+      share = std::min<std::size_t>(std::max<std::size_t>(share, 1), 64);
+      while (share-- > 0 && !pending_connections_.empty()) {
+        batch.push_back(std::move(pending_connections_.front()));
+        pending_connections_.pop_front();
+      }
+    }
+
+    std::vector<pollfd> pfds;
+    pfds.reserve(batch.size());
+    for (const auto& conn : batch) {
+      pfds.push_back(pollfd{conn->fd, POLLIN, 0});
+    }
+    poll(pfds.data(), static_cast<nfds_t>(pfds.size()), kConnPollMillis);
+
+    const bool draining = draining_.load(std::memory_order_acquire);
+    std::vector<std::unique_ptr<Connection>> keep;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const bool readable =
+          (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+      if (readable) {
+        if (ServiceReadable(batch[i].get())) keep.push_back(std::move(batch[i]));
+      } else if (draining) {
+        // Idle during drain: nothing more to answer — hang up so the
+        // client reconnects elsewhere.
+        close(batch[i]->fd);
+      } else {
+        keep.push_back(std::move(batch[i]));
+      }
+    }
+    if (!keep.empty()) {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      for (auto& conn : keep) pending_connections_.push_back(std::move(conn));
+    }
+  }
+}
+
+bool OntologyServer::ServiceReadable(Connection* conn) {
+  const int fd = conn->fd;
+  char chunk[4096];
+  const ssize_t n = read(fd, chunk, sizeof(chunk));
+  if (n <= 0) {  // EOF or error: client went away.
+    close(fd);
+    return false;
+  }
+  // Chaos: a read torn mid-stream — drop the connection, never parse a
+  // half-delivered request.
+  if (!CheckFaultPoint("server.read").ok()) {
+    metrics_.Increment("server_read_faults");
+    close(fd);
+    return false;
+  }
+  conn->buffer.append(chunk, static_cast<std::size_t>(n));
+  if (conn->buffer.size() > kMaxLineBytes) {
+    close(fd);
+    return false;
+  }
+  std::size_t nl;
+  while ((nl = conn->buffer.find('\n')) != std::string::npos) {
+    std::string line = conn->buffer.substr(0, nl);
+    conn->buffer.erase(0, nl + 1);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!WriteAll(fd, ServeLine(line))) {
+      close(fd);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ontorew

@@ -1,0 +1,69 @@
+#ifndef ONTOREW_SERVER_TOKEN_BUCKET_H_
+#define ONTOREW_SERVER_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+// A classic token bucket for per-tenant rate quotas: `rate` tokens/sec
+// refill continuously up to `capacity` (the burst allowance); each
+// admitted request spends one token. TryAcquire never blocks — an empty
+// bucket returns how long until the next token, which the server turns
+// into the wire's retry_after_ms hint so clients back off for exactly as
+// long as the quota demands instead of guessing.
+
+namespace ontorew {
+
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // capacity <= 0 disables the quota entirely (every acquire succeeds).
+  TokenBucket(double capacity, double rate_per_sec)
+      : capacity_(capacity), rate_(rate_per_sec), tokens_(capacity),
+        last_refill_(Clock::now()) {}
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  bool unlimited() const { return capacity_ <= 0; }
+
+  // Takes one token if available, returning zero; otherwise returns the
+  // time until one will have refilled (the suggested client backoff).
+  Clock::duration TryAcquire() {
+    if (unlimited()) return Clock::duration::zero();
+    std::lock_guard<std::mutex> lock(mutex_);
+    Refill();
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return Clock::duration::zero();
+    }
+    if (rate_ <= 0) return Clock::duration::max();  // Never refills.
+    const double deficit_seconds = (1.0 - tokens_) / rate_;
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(deficit_seconds));
+  }
+
+  double tokens() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tokens_;
+  }
+
+ private:
+  void Refill() {
+    const Clock::time_point now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last_refill_).count();
+    last_refill_ = now;
+    tokens_ = std::min(capacity_, tokens_ + elapsed * rate_);
+  }
+
+  const double capacity_;
+  const double rate_;
+  mutable std::mutex mutex_;
+  double tokens_;
+  Clock::time_point last_refill_;
+};
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_SERVER_TOKEN_BUCKET_H_

@@ -75,7 +75,10 @@ AnswerEngine::AnswerEngine(TgdProgram program, Database db,
     : program_(std::make_shared<const TgdProgram>(std::move(program))),
       db_(std::make_shared<const Database>(std::move(db))),
       options_(std::move(options)),
-      fingerprint_(FingerprintProgram(*program_)) {
+      fingerprint_(FingerprintProgram(*program_)),
+      cache_(options_.shared_cache != nullptr
+                 ? options_.shared_cache
+                 : std::make_shared<RewriteCache>(options_.cache_capacity)) {
   ReloadBackend();
 }
 
@@ -158,7 +161,8 @@ StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::Rewrite(
 
 StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::RewriteInternal(
     const UnionOfCqs& query, const CancelScope& cancel,
-    const TraceContext& trace, bool* cache_hit, const Snapshot& snap) {
+    const TraceContext& trace, bool* cache_hit, const Snapshot& snap,
+    bool shed_optional_work) {
   if (cache_hit != nullptr) *cache_hit = false;
 
   std::string key;
@@ -169,26 +173,20 @@ StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::RewriteInternal(
 
   {
     TraceSpan cache_span(trace, "rewrite-cache");
-    if (options_.cache_capacity == 0) {
+    if (cache_->capacity() == 0) {
       cache_span.Attr("cache", "disabled");
+    } else if (std::shared_ptr<const UnionOfCqs> hit = cache_->Lookup(key)) {
+      metrics_.Increment("rewrite_cache_hit");
+      cache_span.Attr("cache", "hit");
+      if (cache_hit != nullptr) *cache_hit = true;
+      return hit;
     } else {
-      std::lock_guard<std::mutex> lock(mutex_);
-      auto it = index_.find(key);
-      if (it != index_.end()) {
-        cache_.splice(cache_.begin(), cache_, it->second);  // Mark MRU.
-        ++stats_.hits;
-        metrics_.Increment("rewrite_cache_hit");
-        cache_span.Attr("cache", "hit");
-        if (cache_hit != nullptr) *cache_hit = true;
-        return it->second->second;
-      }
-      ++stats_.misses;
       metrics_.Increment("rewrite_cache_miss");
       cache_span.Attr("cache", "miss");
     }
   }
 
-  // Rewrite outside the lock: concurrent misses on the same key duplicate
+  // Rewrite outside any lock: concurrent misses on the same key duplicate
   // work instead of serializing every caller behind one saturation.
   std::shared_ptr<const UnionOfCqs> rewriting;
   {
@@ -202,6 +200,14 @@ StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::RewriteInternal(
         cancel.token() != nullptr ? cancel.token()
                                   : rewriter.cancel.token());
     rewriter.trace = rewrite_span.context();
+    if (shed_optional_work) {
+      // Brownout: skip the final containment minimization. The union is
+      // still sound and complete — minimization only removes redundant
+      // disjuncts — so answers are unchanged; only CPU is saved.
+      rewriter.minimize = false;
+      metrics_.Increment("rewrite_degraded");
+      rewrite_span.Attr("degraded", "no-minimize");
+    }
     StatusOr<RewriteResult> rewritten =
         RewriteUcq(query, *snap.program, rewriter);
     if (!rewritten.ok()) {
@@ -216,27 +222,14 @@ StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::RewriteInternal(
     rewriting = std::make_shared<const UnionOfCqs>(std::move(result.ucq));
   }
 
-  if (options_.cache_capacity > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    // The placeholder iterator below never escapes this critical section:
-    // on a fresh insert it is overwritten with cache_.begin() before the
-    // lock is released, and concurrent misses that lost the race take the
-    // `else` branch instead of reading it.
-    auto [it, inserted] = index_.emplace(key, cache_.end());
-    if (inserted) {
-      cache_.emplace_front(key, rewriting);
-      it->second = cache_.begin();
-      while (cache_.size() > options_.cache_capacity) {
-        index_.erase(cache_.back().first);
-        cache_.pop_back();
-        ++stats_.evictions;
-        metrics_.Increment("rewrite_cache_eviction");
-      }
-    } else {
-      rewriting = it->second->second;  // A concurrent miss won the race.
-    }
-    stats_.size = cache_.size();
+  if (shed_optional_work) {
+    // An unminimized rewriting must not be published: the cache (possibly
+    // shared across tenants) only ever holds canonical, minimized unions.
+    return rewriting;
   }
+  std::int64_t evictions = 0;
+  rewriting = cache_->Insert(key, std::move(rewriting), &evictions);
+  if (evictions > 0) metrics_.Increment("rewrite_cache_eviction", evictions);
   return rewriting;
 }
 
@@ -262,6 +255,19 @@ Status AnswerEngine::Admit(const CancelScope& scope) {
       return inflight_ < options_.max_inflight;
     });
     if (!admitted) {
+      // Distinguish WHY the wait ended without a slot: the request's own
+      // deadline expiring while queued is the caller's budget running out
+      // (DeadlineExceeded — retrying with the same deadline is hopeless),
+      // while the admission timeout elapsing is the server shedding load
+      // (ResourceExhausted — retry with backoff). Neither consumes a
+      // slot. The requests_by_status counters pin the split.
+      if (scope.deadline().expired()) {
+        metrics_.Increment("admission_queue_deadline");
+        return DeadlineExceededError(
+            StrCat("deadline expired while queued for admission (",
+                   inflight_, " requests in flight, max ",
+                   options_.max_inflight, ")"));
+      }
       metrics_.Increment("requests_shed");
       return ResourceExhaustedError(
           StrCat("shed: ", inflight_, " requests in flight (max ",
@@ -304,6 +310,11 @@ StatusOr<AnswerResult> AnswerEngine::Serve(const UnionOfCqs& query,
   metrics_.Increment("queries_served");
   const CancelScope scope(serve.deadline, serve.cancel);
   TraceSpan serve_span(serve.trace, "serve");
+  // One requests_by_status_<Code> tick per Serve, on every exit path —
+  // the counter split tests (and dashboards) key on.
+  const auto record_status = [this](StatusCode code) {
+    metrics_.Increment(StrCat("requests_by_status_", StatusCodeName(code)));
+  };
 
   Status admitted;
   {
@@ -313,12 +324,18 @@ StatusOr<AnswerResult> AnswerEngine::Serve(const UnionOfCqs& query,
   }
   if (!admitted.ok()) {
     serve_span.AnnotateStatus(admitted);
+    record_status(admitted.code());
+    if (admitted.code() == StatusCode::kDeadlineExceeded) {
+      metrics_.Increment("deadline_exceeded");
+    }
     return admitted;
   }
   AdmissionSlot slot(this);
 
   StatusOr<AnswerResult> result =
-      ServeAdmitted(query, scope, serve_span.context());
+      ServeAdmitted(query, scope, serve_span.context(),
+                    serve.shed_optional_work);
+  record_status(result.ok() ? StatusCode::kOk : result.status().code());
   if (!result.ok()) {
     serve_span.AnnotateStatus(result.status());
     if (result.status().code() == StatusCode::kDeadlineExceeded) {
@@ -330,7 +347,7 @@ StatusOr<AnswerResult> AnswerEngine::Serve(const UnionOfCqs& query,
 
 StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(
     const UnionOfCqs& query, const CancelScope& scope,
-    const TraceContext& trace) {
+    const TraceContext& trace, bool shed_optional_work) {
   // Fast-fail a request that arrived already out of budget, and give
   // tests a hook that holds an admitted request in flight.
   OREW_RETURN_IF_ERROR(scope.Check("serve"));
@@ -344,7 +361,8 @@ StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(
 
   AnswerResult result;
   StatusOr<std::shared_ptr<const UnionOfCqs>> rewriting =
-      RewriteInternal(query, scope, trace, &result.cache_hit, snap);
+      RewriteInternal(query, scope, trace, &result.cache_hit, snap,
+                      shed_optional_work);
   if (!rewriting.ok()) {
     // Graceful degradation: a rewrite that ran out of budget (deadline or
     // divergence cap) on a chase-terminating program can still be
@@ -475,8 +493,7 @@ StatusOr<std::vector<Tuple>> AnswerEngine::CertainAnswers(
 }
 
 RewriteCacheStats AnswerEngine::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  return cache_->stats();
 }
 
 }  // namespace ontorew

@@ -4,12 +4,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -26,6 +24,7 @@
 #include "logic/vocabulary.h"
 #include "rewriting/rewriter.h"
 #include "serving/parallel_eval.h"
+#include "serving/rewrite_cache.h"
 
 // The serving layer: an AnswerEngine owns an ontology (TGD program) and a
 // database and answers certain-answer queries end-to-end. The paper's
@@ -42,8 +41,11 @@
 // chase, and every tuple scan. Admission control bounds concurrent
 // requests: beyond AnswerEngineOptions::max_inflight, a request waits up
 // to admission_timeout for a slot and is then shed with
-// ResourceExhausted. A timed-out request returns DeadlineExceeded —
-// never a silently-partial answer set. When the rewrite deadline (or its
+// ResourceExhausted — unless its own deadline expired while it queued,
+// which returns DeadlineExceeded instead (the caller ran out of budget;
+// the server did not shed it), consuming no slot either way. A timed-out
+// request returns DeadlineExceeded — never a silently-partial answer
+// set. When the rewrite deadline (or its
 // divergence cap) fires on a program the weak-acyclicity classifier
 // proves chase-terminating, the engine can fall back to chase-based
 // answering (chase_fallback).
@@ -58,15 +60,24 @@
 //   counters  queries_served, rewrite_cache_hit, rewrite_cache_miss,
 //             rewrite_cache_eviction, rewrite_pruned_total,
 //             eval_tuples_examined, eval_matches, deadline_exceeded,
-//             requests_shed, fallback_chase_served
+//             requests_shed, admission_queue_deadline,
+//             fallback_chase_served, rewrite_degraded,
+//             requests_by_status_<CodeName> (one per final Serve status)
 //   gauges    inflight, rewrite_threads
 //   timers    rewrite_ns, eval_ns
 
 namespace ontorew {
 
 struct AnswerEngineOptions {
-  // Maximum cached rewritings; 0 disables caching entirely.
+  // Maximum cached rewritings; 0 disables caching entirely. Ignored when
+  // shared_cache is set.
   std::size_t cache_capacity = 128;
+  // Optional externally-owned rewrite cache, shared across engines. Cache
+  // keys embed each engine's program fingerprint, so tenants hosting the
+  // same ontology share rewritings while distinct programs never collide
+  // (see RewriteCache). Null: the engine creates a private cache of
+  // cache_capacity entries.
+  std::shared_ptr<RewriteCache> shared_cache;
   // Worker threads for UCQ evaluation (see ParallelEvalOptions).
   int num_threads = 0;
   RewriterOptions rewriter;
@@ -122,14 +133,13 @@ struct ServeOptions {
   // open spans) on every exit path, including errors. Null (the default)
   // costs one pointer test per hook.
   Trace* trace = nullptr;
-};
-
-// Cumulative cache statistics (monotonic except `size`).
-struct RewriteCacheStats {
-  std::int64_t hits = 0;
-  std::int64_t misses = 0;
-  std::int64_t evictions = 0;
-  std::size_t size = 0;
+  // Brownout (graceful degradation under sustained load, set by the
+  // server's load ladder): skip optional work on this request. A cache
+  // miss then rewrites WITHOUT the final containment minimization — the
+  // union stays sound and complete, just possibly larger — and the
+  // unminimized result is NOT published to the (possibly shared) cache,
+  // so brownouts never pollute it. Answers are unchanged either way.
+  bool shed_optional_work = false;
 };
 
 // One served query, with provenance for tools and benches.
@@ -268,16 +278,17 @@ class AnswerEngine {
   // Rewrite against a pinned snapshot, reporting whether the cache served
   // it (directly, not via racy counter deltas) and recording
   // canonicalize / rewrite-cache / rewrite spans under `trace`.
+  // `shed_optional_work` skips the final minimization and the cache
+  // publish (see ServeOptions::shed_optional_work).
   StatusOr<std::shared_ptr<const UnionOfCqs>> RewriteInternal(
       const UnionOfCqs& query, const CancelScope& cancel,
-      const TraceContext& trace, bool* cache_hit, const Snapshot& snap);
+      const TraceContext& trace, bool* cache_hit, const Snapshot& snap,
+      bool shed_optional_work = false);
 
   StatusOr<AnswerResult> ServeAdmitted(const UnionOfCqs& query,
                                        const CancelScope& scope,
-                                       const TraceContext& trace);
-
-  // MRU-first entry list; the map points into it for O(1) lookup+splice.
-  using CacheEntry = std::pair<std::string, std::shared_ptr<const UnionOfCqs>>;
+                                       const TraceContext& trace,
+                                       bool shed_optional_work);
 
   // program_/db_/fingerprint_ form the current snapshot: read/swapped
   // under mutex_; the pointees are immutable. The accessors above
@@ -294,12 +305,13 @@ class AnswerEngine {
   // must not each extend the *original* program and lose one TGD.
   std::mutex update_mutex_;
 
-  // Guards cache_, index_, stats_, wa_cache_, backend_load_status_, and
-  // the snapshot swap.
+  // The rewrite cache: options_.shared_cache when set (cross-tenant
+  // sharing), else a private instance. RewriteCache is internally
+  // thread-safe; mutex_ does not guard it.
+  std::shared_ptr<RewriteCache> cache_;
+
+  // Guards wa_cache_, backend_load_status_, and the snapshot swap.
   mutable std::mutex mutex_;
-  std::list<CacheEntry> cache_;
-  std::unordered_map<std::string, std::list<CacheEntry>::iterator> index_;
-  RewriteCacheStats stats_;
   // Weak-acyclicity verdict for the fingerprint it was computed under.
   mutable std::optional<std::pair<std::uint64_t, bool>> wa_cache_;
 

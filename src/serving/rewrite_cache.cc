@@ -1,0 +1,49 @@
+#include "serving/rewrite_cache.h"
+
+namespace ontorew {
+
+std::shared_ptr<const UnionOfCqs> RewriteCache::Lookup(
+    const std::string& key) {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);  // Mark MRU.
+  ++stats_.hits;
+  return it->second->second;
+}
+
+std::shared_ptr<const UnionOfCqs> RewriteCache::Insert(
+    const std::string& key, std::shared_ptr<const UnionOfCqs> value,
+    std::int64_t* evictions) {
+  if (evictions != nullptr) *evictions = 0;
+  if (capacity_ == 0) return value;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The placeholder iterator below never escapes this critical section:
+  // on a fresh insert it is overwritten with entries_.begin() before the
+  // lock is released; a concurrent miss that lost the race takes the
+  // `else` branch instead of reading it.
+  auto [it, inserted] = index_.emplace(key, entries_.end());
+  if (inserted) {
+    entries_.emplace_front(key, std::move(value));
+    it->second = entries_.begin();
+    while (entries_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++stats_.evictions;
+      if (evictions != nullptr) ++*evictions;
+    }
+  }
+  stats_.size = entries_.size();
+  return it->second->second;
+}
+
+RewriteCacheStats RewriteCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ontorew

@@ -409,5 +409,103 @@ TEST(BackendTest, UniversityRewritingAgreesAcrossBackends) {
   }
 }
 
+// --- SQLITE_BUSY retry/backoff ----------------------------------------------
+
+// A tiny instance shared by the busy tests.
+struct BusyFixture {
+  Vocabulary vocab;
+  TgdProgram program;
+  Database db;
+  UnionOfCqs query;
+
+  BusyFixture()
+      : program(MustProgram("r(X, Y) -> s(X).", &vocab)),
+        query(MustQuery("q(X, Y) :- r(X, Y).", &vocab)) {
+    PredicateId r = vocab.FindPredicate("r");
+    auto c = [&](const char* name) {
+      return Value::Constant(vocab.InternConstant(name));
+    };
+    db.Insert(r, {c("a"), c("b")});
+  }
+};
+
+TEST(BackendTest, BusyRetriesExhaustToRetryableUnavailable) {
+  FaultQuiesce quiesce;
+  BusyFixture fx;
+  SqliteBackendOptions options;
+  options.busy_max_retries = 3;
+  options.busy_initial_backoff = std::chrono::microseconds(50);
+  options.busy_max_backoff = std::chrono::microseconds(200);
+  SqliteBackend backend(&fx.vocab, options);
+  ASSERT_TRUE(backend.Load(fx.program, fx.db).ok());
+
+  // Permanent contention: every attempt reports SQLITE_BUSY. After
+  // busy_max_retries backoffs the backend gives up with the RETRYABLE
+  // Unavailable — the caller (or the server's client) decides whether to
+  // come back, the backend never spins forever.
+  FaultRegistry::Global().Arm("backend.busy", {.probability = 1.0});
+  BackendExecOptions exec;
+  StatusOr<std::vector<Tuple>> result = backend.Execute(fx.query, exec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryableStatusCode(result.status().code()));
+  // busy_retries() counts busy HITS: three absorbed by backoff plus the
+  // fourth that exhausted the cap.
+  EXPECT_EQ(backend.busy_retries(), 4);
+}
+
+TEST(BackendTest, BusyBurstIsAbsorbedByBackoff) {
+  FaultQuiesce quiesce;
+  BusyFixture fx;
+  SqliteBackendOptions options;
+  options.busy_initial_backoff = std::chrono::microseconds(50);
+  options.busy_max_backoff = std::chrono::microseconds(200);
+  SqliteBackend backend(&fx.vocab, options);
+  ASSERT_TRUE(backend.Load(fx.program, fx.db).ok());
+
+  // A finite busy burst (three hits, then the lock clears): the bounded
+  // backoff rides it out and the caller sees only a successful result.
+  int busy_left = 3;
+  FaultPointConfig burst;
+  burst.probability = 1.0;
+  burst.handler = [&busy_left](std::string_view) {
+    if (busy_left > 0) {
+      --busy_left;
+      return InternalError("synthetic SQLITE_BUSY");
+    }
+    return Status::Ok();
+  };
+  FaultRegistry::Global().Arm("backend.busy", burst);
+
+  BackendExecOptions exec;
+  StatusOr<std::vector<Tuple>> result = backend.Execute(fx.query, exec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_EQ(busy_left, 0);
+  EXPECT_GE(backend.busy_retries(), 3);
+}
+
+TEST(BackendTest, BusyBackoffRespectsRequestDeadline) {
+  FaultQuiesce quiesce;
+  BusyFixture fx;
+  SqliteBackendOptions options;
+  options.busy_max_retries = 1000;
+  options.busy_initial_backoff = std::chrono::milliseconds(5);
+  options.busy_max_backoff = std::chrono::milliseconds(5);
+  SqliteBackend backend(&fx.vocab, options);
+  ASSERT_TRUE(backend.Load(fx.program, fx.db).ok());
+
+  FaultRegistry::Global().Arm("backend.busy", {.probability = 1.0});
+  BackendExecOptions exec;
+  exec.cancel = CancelScope(Deadline::AfterMillis(20));
+  StatusOr<std::vector<Tuple>> result = backend.Execute(fx.query, exec);
+  // The backoff loop must not sleep past the caller's budget: with a
+  // 20ms deadline and 1000 permitted retries the loop stops on the
+  // deadline, not the retry cap.
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(backend.busy_retries(), 100);
+}
+
 }  // namespace
 }  // namespace ontorew

@@ -35,6 +35,26 @@ TEST(StatusTest, FactoriesProduceDistinctCodes) {
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, RetryableTaxonomyIsExactlyTheTransientCodes) {
+  // The wire protocol's `retryable` bit is derived from this predicate
+  // (server/wire.h): backing off and resending can only help when the
+  // failure is load or timing, never when the request itself is wrong.
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kUnavailable));
+
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kUnimplemented));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kCancelled));
+
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
 TEST(StatusOrTest, HoldsValue) {
   StatusOr<int> result = 42;
   ASSERT_TRUE(result.ok());

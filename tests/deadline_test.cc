@@ -223,6 +223,39 @@ TEST_F(FaultPointTest, ScopedFaultDisarmsOnExit) {
   EXPECT_TRUE(CheckFaultPoint("test.scoped").ok());
 }
 
+TEST_F(FaultPointTest, ResetAllDisarmsEveryPointAndClearsCounts) {
+  // A chaos harness arms many points; one ResetAll must quiesce them
+  // ALL — per-point Disarm bookkeeping is exactly what harnesses get
+  // wrong.
+  for (const char* point : {"test.a", "test.b", "test.c"}) {
+    FaultRegistry::Global().Arm(point, {.probability = 1.0});
+    EXPECT_FALSE(CheckFaultPoint(point).ok());
+  }
+  EXPECT_TRUE(FaultRegistry::Global().armed());
+  FaultRegistry::Global().ResetAll();
+  EXPECT_FALSE(FaultRegistry::Global().armed());
+  for (const char* point : {"test.a", "test.b", "test.c"}) {
+    EXPECT_TRUE(CheckFaultPoint(point).ok());
+    EXPECT_EQ(FaultRegistry::Global().trips(point), 0);
+  }
+}
+
+TEST_F(FaultPointTest, FaultQuiesceBracketsAScopeCleanOnBothEnds) {
+  // Leak a fault on purpose...
+  FaultRegistry::Global().Arm("test.leaked", {.probability = 1.0});
+  {
+    // ...the guard's CONSTRUCTION already quiesces it (the scope starts
+    // clean even when the previous test failed mid-chaos)...
+    FaultQuiesce quiesce;
+    EXPECT_FALSE(FaultRegistry::Global().armed());
+    EXPECT_TRUE(CheckFaultPoint("test.leaked").ok());
+    // ...and anything armed inside dies with the scope.
+    FaultRegistry::Global().Arm("test.inner", {.probability = 1.0});
+  }
+  EXPECT_FALSE(FaultRegistry::Global().armed());
+  EXPECT_TRUE(CheckFaultPoint("test.inner").ok());
+}
+
 // --- Metric gauges ----------------------------------------------------------
 
 TEST(MetricsGaugeTest, SetAdjustSnapshotAndReset) {

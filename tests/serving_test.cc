@@ -1194,5 +1194,97 @@ TEST(AnswerEngineTest, ConcurrentServesSurviveCacheInvalidation) {
   EXPECT_EQ(final_serve->answers, expected);
 }
 
+TEST(AnswerEngineTest, QueuedRequestDeadlineExpiryIsDeadlineExceeded) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(9);
+  UniversityInstanceOptions instance;
+  instance.num_students = 10;
+  AnswerEngineOptions options;
+  options.max_inflight = 1;
+  // The QUEUE is patient — only the request's own budget is not.
+  options.admission_timeout = std::chrono::seconds(10);
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab),
+                      options);
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  std::promise<void> reached_promise;
+  std::promise<void> release_promise;
+  std::future<void> reached = reached_promise.get_future();
+  std::shared_future<void> release = release_promise.get_future().share();
+  FaultPointConfig hold;
+  hold.handler = [&reached_promise, release](std::string_view) {
+    reached_promise.set_value();
+    release.wait();
+    return Status::Ok();
+  };
+  std::optional<StatusOr<AnswerResult>> held;
+  {
+    ScopedFault fault("serve.admit", hold);
+    std::thread holder([&] { held = engine.Serve(query); });
+    reached.wait();
+
+    // This request dies of ITS OWN deadline while queued for the slot.
+    // That must surface as DeadlineExceeded (the caller ran out of
+    // budget), not ResourceExhausted (the server did not shed it) — a
+    // retrying client treats the two differently.
+    ServeOptions serve;
+    serve.deadline = Deadline::AfterMillis(50);
+    StatusOr<AnswerResult> queued = engine.Serve(query, serve);
+    ASSERT_FALSE(queued.ok());
+    EXPECT_EQ(queued.status().code(), StatusCode::kDeadlineExceeded);
+    const MetricsSnapshot snapshot = engine.metrics().Snapshot();
+    EXPECT_EQ(snapshot.Counter("admission_queue_deadline"), 1);
+    EXPECT_EQ(snapshot.Counter("requests_shed"), 0);
+
+    release_promise.set_value();
+    holder.join();
+  }
+  ASSERT_TRUE(held.has_value());
+  EXPECT_TRUE(held->ok()) << held->status();
+  // The queued request never consumed the slot: a fresh serve works.
+  EXPECT_TRUE(engine.Serve(query).ok());
+}
+
+TEST(AnswerEngineTest, RequestsByStatusCountersSplitOutcomes) {
+  FaultQuiesce quiesce;
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  Rng rng(11);
+  UniversityInstanceOptions instance;
+  instance.num_students = 10;
+  AnswerEngine engine(ontology, UniversityInstance(instance, &rng, &vocab),
+                      {});
+  UnionOfCqs query(MustQuery("q(X) :- person(X).", &vocab));
+
+  // Two OKs (miss then hit), one DeadlineExceeded, one injected Internal:
+  // each lands in its own requests_by_status_<Code> bucket, so operators
+  // can tell "healthy", "clients out of budget" and "we are broken"
+  // apart without log-diving.
+  ASSERT_TRUE(engine.Serve(query).ok());
+  ASSERT_TRUE(engine.Serve(query).ok());
+
+  ServeOptions expired;
+  expired.deadline = Deadline::AfterMillis(-1);
+  StatusOr<AnswerResult> late = engine.Serve(query, expired);
+  ASSERT_FALSE(late.ok());
+  ASSERT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+
+  {
+    FaultPointConfig config;
+    config.probability = 1.0;
+    ScopedFault fault("eval.scan", config);
+    StatusOr<AnswerResult> broken = engine.Serve(query);
+    ASSERT_FALSE(broken.ok());
+    ASSERT_EQ(broken.status().code(), StatusCode::kInternal);
+  }
+
+  const MetricsSnapshot snapshot = engine.metrics().Snapshot();
+  EXPECT_EQ(snapshot.Counter("requests_by_status_OK"), 2);
+  EXPECT_EQ(snapshot.Counter("requests_by_status_DeadlineExceeded"), 1);
+  EXPECT_EQ(snapshot.Counter("requests_by_status_Internal"), 1);
+  EXPECT_EQ(snapshot.Counter("queries_served"), 4);
+}
+
 }  // namespace
 }  // namespace ontorew
