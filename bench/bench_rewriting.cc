@@ -10,10 +10,12 @@
 //   bench_rewriting --json [--out=F] [--trace]
 //                                       machine-readable perf harness —
 //     runs each named workload at threads 1 and 4, reports best-of-3
-//     wall time, steps/sec and saturation counters as
-//     "ontorew-bench-rewrite/1" JSON (see README "Benchmarking" and the
-//     checked-in baseline BENCH_rewrite.json guarded by the CI
-//     bench-smoke step via bench/check_bench.py).
+//     wall time, steps/sec, saturation counters and the compiled-SQL
+//     size under both rewrite targets (flat UNION vs factored WITH-CTE),
+//     plus two end-to-end SQLite rows for university_q3 (one per
+//     target), as "ontorew-bench-rewrite/1" JSON (see README
+//     "Benchmarking" and the checked-in baseline BENCH_rewrite.json
+//     guarded by the CI bench-smoke step via bench/check_bench.py).
 
 #include <benchmark/benchmark.h>
 
@@ -23,12 +25,18 @@
 #include <thread>
 #include <vector>
 
+#include "backend/backend.h"
+#include "backend/sqlite_backend.h"
 #include "base/logging.h"
+#include "base/rng.h"
 #include "base/strings.h"
 #include "base/trace.h"
 #include "logic/parser.h"
 #include "logic/vocabulary.h"
+#include "rewriting/cte_sql.h"
+#include "rewriting/datalog.h"
 #include "rewriting/rewriter.h"
+#include "rewriting/sql.h"
 #include "workload/generators.h"
 #include "workload/paper_examples.h"
 #include "workload/university.h"
@@ -189,6 +197,120 @@ std::vector<JsonWorkload> BuildJsonWorkloads() {
   return workloads;
 }
 
+// Size of the compiled SQL under both rewrite targets: the flat UNION
+// (rewriting/sql.h) and the Datalog-factored WITH-CTE form
+// (rewriting/cte_sql.h). The byte counts are deterministic for a given
+// UCQ, so they ride along in every row and feed the check_bench.py
+// --max-cte-sql-ratio gate (university_q3 must compress; chain_256 has
+// nothing shared and is expected not to).
+struct SqlSizes {
+  std::size_t ucq_bytes = 0;
+  std::size_t cte_bytes = 0;
+  int cte_count = 0;
+};
+
+SqlSizes MeasureSqlSizes(const UnionOfCqs& ucq, const Vocabulary& vocab) {
+  SqlSizes sizes;
+  StatusOr<std::string> union_sql = UcqToSql(ucq, vocab);
+  OREW_CHECK(union_sql.ok()) << union_sql.status();
+  sizes.ucq_bytes = union_sql->size();
+  StatusOr<DatalogProgram> factored = FactorUcq(ucq);
+  OREW_CHECK(factored.ok()) << factored.status();
+  sizes.cte_count = factored->cte_count();
+  StatusOr<std::string> cte_sql = DatalogToCteSql(*factored, vocab);
+  OREW_CHECK(cte_sql.ok()) << cte_sql.status();
+  sizes.cte_bytes = cte_sql->size();
+  return sizes;
+}
+
+// End-to-end rows for the deep university join (the CTE compiler's
+// headline workload): rewrite + compile + execute against a populated
+// in-memory SQLite instance, once per rewrite target. Both rows pay the
+// same saturation; the difference is the SQL the database has to parse
+// and run — a ~1000-arm UNION versus a handful of CTEs joined three
+// ways. Answers are cross-checked between the two targets.
+void AppendE2eRows(std::string* json, bool* first) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  StatusOr<ConjunctiveQuery> query = ParseQuery(
+      "q(X0) :- person(X0), knows(X0, X1), person(X1), knows(X1, X2), "
+      "person(X2).",
+      &vocab);
+  OREW_CHECK(query.ok()) << query.status();
+  RewriterOptions options;
+  options.max_cqs = 300000;
+  Rng rng(77);
+  UniversityInstanceOptions instance;
+  instance.num_professors = 10;
+  instance.num_lecturers = 15;
+  instance.num_students = 200;
+  instance.num_phd_students = 20;
+  instance.num_courses = 25;
+  Database db = UniversityInstance(instance, &rng, &vocab);
+  // The instance stores only raw predicates; knows is query-side. A ring
+  // of acquaintance among the students (each knows the next two) gives
+  // q3's two-hop chains real answers, so both executions do real work.
+  const PredicateId knows = vocab.MustPredicate("knows", 2);
+  for (int i = 0; i < instance.num_students; ++i) {
+    const Value a = Value::Constant(vocab.InternConstant(StrCat("stud", i)));
+    for (int hop = 1; hop <= 2; ++hop) {
+      const Value b = Value::Constant(vocab.InternConstant(
+          StrCat("stud", (i + hop) % instance.num_students)));
+      db.Insert(knows, {a, b});
+    }
+  }
+  SqliteBackend backend(&vocab);
+  Status loaded = backend.Load(ontology, db);
+  OREW_CHECK(loaded.ok()) << loaded;
+
+  std::vector<Tuple> answers[2];
+  for (int which = 0; which < 2; ++which) {
+    const bool cte = which == 1;
+    const char* name = cte ? "university_q3_e2e_cte" : "university_q3_e2e_ucq";
+    double best_ms = 0.0;
+    SqlSizes sizes;
+    int disjuncts = 0;
+    constexpr int kRuns = 3;
+    for (int run = 0; run < kRuns; ++run) {
+      const auto start = std::chrono::steady_clock::now();
+      StatusOr<RewriteResult> rewriting = RewriteCq(*query, ontology, options);
+      OREW_CHECK(rewriting.ok()) << rewriting.status();
+      StatusOr<std::vector<Tuple>> result =
+          [&]() -> StatusOr<std::vector<Tuple>> {
+        if (!cte) return backend.Execute(rewriting->ucq, {});
+        StatusOr<DatalogProgram> factored = FactorUcq(rewriting->ucq);
+        if (!factored.ok()) return factored.status();
+        return backend.ExecuteDatalog(*factored, {});
+      }();
+      const auto stop = std::chrono::steady_clock::now();
+      OREW_CHECK(result.ok()) << name << ": " << result.status();
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      if (run == 0 || ms < best_ms) best_ms = ms;
+      if (run == 0) {
+        answers[which] = *std::move(result);
+        sizes = MeasureSqlSizes(rewriting->ucq, vocab);
+        disjuncts = rewriting->ucq.size();
+      }
+    }
+    char line[768];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"name\": \"%s\", \"threads\": 1, \"threads_used\": 1, "
+        "\"wall_ms\": %.3f, \"disjuncts\": %d, \"answers\": %zu, "
+        "\"ucq_sql_bytes\": %zu, \"cte_sql_bytes\": %zu, \"cte_count\": %d}",
+        name, best_ms, disjuncts, answers[which].size(), sizes.ucq_bytes,
+        sizes.cte_bytes, sizes.cte_count);
+    if (!*first) *json += ",\n";
+    *first = false;
+    *json += line;
+    std::fprintf(stderr, "%-24s threads=1  %8.3f ms  %zu answers\n", name,
+                 best_ms, answers[which].size());
+  }
+  OREW_CHECK(answers[0] == answers[1])
+      << "e2e rewrite targets disagree on university_q3";
+}
+
 // With `traced` set, every rewrite carries a live Trace (one fresh Trace
 // per run, like a traced request would): the reported numbers then
 // measure the enabled-tracing overhead. The CI bench-smoke step runs the
@@ -232,16 +354,20 @@ int RunJsonHarness(const std::string& out_path, bool traced) {
       }
       const double steps_per_sec =
           best_ms > 0.0 ? measured.steps / (best_ms / 1000.0) : 0.0;
-      char line[512];
+      const SqlSizes sizes = MeasureSqlSizes(measured.ucq, workload.vocab);
+      char line[768];
       std::snprintf(
           line, sizeof(line),
           "    {\"name\": \"%s\", \"threads\": %d, \"threads_used\": %d, "
           "\"wall_ms\": %.3f, "
           "\"steps\": %d, \"steps_per_sec\": %.1f, \"generated\": %d, "
-          "\"pruned\": %d, \"disjuncts\": %d}",
+          "\"pruned\": %d, \"disjuncts\": %d, "
+          "\"ucq_sql_bytes\": %zu, \"cte_sql_bytes\": %zu, "
+          "\"cte_count\": %d}",
           workload.name.c_str(), threads, measured.threads_used, best_ms,
           measured.steps, steps_per_sec, measured.generated, measured.pruned,
-          measured.ucq.size());
+          measured.ucq.size(), sizes.ucq_bytes, sizes.cte_bytes,
+          sizes.cte_count);
       if (!first) json += ",\n";
       first = false;
       json += line;
@@ -250,6 +376,7 @@ int RunJsonHarness(const std::string& out_path, bool traced) {
                    measured.ucq.size());
     }
   }
+  AppendE2eRows(&json, &first);
   json += "\n  ]\n}\n";
   if (out_path.empty()) {
     std::fputs(json.c_str(), stdout);

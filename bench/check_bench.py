@@ -3,6 +3,7 @@
 
 Usage: check_bench.py [--max-ratio=R] [--abs-floor-ms=M]
                       [--min-parallel-speedup=R] [--parallel-floor-ms=M]
+                      [--max-cte-sql-ratio=NAME:R ...]
                       CURRENT.json [BASELINE.json]
 
 BASELINE defaults to BENCH_rewrite.json at the repository root. A workload
@@ -28,6 +29,14 @@ slower than serial) and R at full effective parallelism.
 The ratio flags exist for comparisons with a known, accepted overhead: the
 CI trace-overhead step re-runs the harness with per-rewrite tracing enabled
 and checks it against the same untraced baseline under a looser ratio.
+
+--max-cte-sql-ratio=NAME:R (repeatable) checks, within CURRENT.json, that
+workload NAME's factored WITH-CTE SQL stays under R x the size of its flat
+UNION SQL (the threads=1 row's cte_sql_bytes / ucq_sql_bytes) — the gate
+that keeps the Datalog factoring actually compressing the workloads it is
+supposed to compress. It is per-workload because not every shape factors:
+chain_256 shares nothing across its disjuncts and degenerates to the plain
+union, which is correct behaviour, not a regression.
 
 Exit status: 0 when no workload regressed, 1 otherwise.
 """
@@ -103,11 +112,42 @@ def check_parallel_speedup(doc, min_speedup, floor_ms):
     return failed
 
 
+def check_cte_sql_ratio(doc, gates):
+    """Within one results file: each gated workload's factored CTE SQL must
+    be at most ratio x its flat UNION SQL. Returns failed gate names."""
+    rows = index(doc)
+    failed = []
+    for name, max_ratio in gates:
+        row = rows.get((name, 1))
+        if row is None:
+            print(f"FAIL  {name}: no threads=1 row to judge the CTE ratio")
+            failed.append(f"{name} (cte-sql-ratio: missing row)")
+            continue
+        ucq_bytes = row.get("ucq_sql_bytes")
+        cte_bytes = row.get("cte_sql_bytes")
+        if not ucq_bytes or cte_bytes is None:
+            print(f"FAIL  {name}: row lacks ucq_sql_bytes/cte_sql_bytes")
+            failed.append(f"{name} (cte-sql-ratio: missing fields)")
+            continue
+        ratio = cte_bytes / ucq_bytes
+        ok = ratio <= max_ratio
+        status = "ok" if ok else "FAIL"
+        print(
+            f"{status:5s} {name}: cte {cte_bytes} B / union {ucq_bytes} B "
+            f"= {ratio:.3f} (require <= {max_ratio}, "
+            f"{row.get('cte_count', 0)} CTEs)"
+        )
+        if not ok:
+            failed.append(f"{name} (cte-sql-ratio {ratio:.3f} > {max_ratio})")
+    return failed
+
+
 def main(argv):
     max_ratio = MAX_RATIO
     abs_floor_ms = ABS_FLOOR_MS
     min_parallel_speedup = None
     parallel_floor_ms = PARALLEL_FLOOR_MS
+    cte_sql_gates = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--max-ratio="):
@@ -118,6 +158,14 @@ def main(argv):
             min_parallel_speedup = float(arg.split("=", 1)[1])
         elif arg.startswith("--parallel-floor-ms="):
             parallel_floor_ms = float(arg.split("=", 1)[1])
+        elif arg.startswith("--max-cte-sql-ratio="):
+            spec = arg.split("=", 1)[1]
+            if ":" not in spec:
+                sys.exit(
+                    f"--max-cte-sql-ratio wants NAME:RATIO, got {spec!r}"
+                )
+            name, ratio = spec.rsplit(":", 1)
+            cte_sql_gates.append((name, float(ratio)))
         elif arg.startswith("--"):
             sys.exit(f"unknown flag {arg!r}\n\n{__doc__}")
         else:
@@ -162,6 +210,10 @@ def main(argv):
         failed += check_parallel_speedup(
             current_doc, min_parallel_speedup, parallel_floor_ms
         )
+
+    if cte_sql_gates:
+        print("\ncte-sql-size gate:")
+        failed += check_cte_sql_ratio(current_doc, cte_sql_gates)
 
     if failed:
         print(f"\n{len(failed)} workload(s) out of budget: "

@@ -4,6 +4,13 @@
 
 namespace ontorew {
 
+StatusOr<std::vector<Tuple>> Backend::ExecuteDatalog(
+    const DatalogProgram& program, const BackendExecOptions& options,
+    EvalStats* stats) {
+  OREW_ASSIGN_OR_RETURN(UnionOfCqs unfolded, UnfoldDatalog(program));
+  return Execute(unfolded, options, stats);
+}
+
 Status InMemoryBackend::Load(const TgdProgram& program, const Database& db) {
   // The evaluator treats a missing relation as empty, so the program's
   // signature needs no materialization here — only the facts matter.

@@ -11,6 +11,7 @@
 #include "db/eval.h"
 #include "logic/program.h"
 #include "logic/query.h"
+#include "rewriting/datalog.h"
 
 // Execution backends: where a (rewritten) UCQ actually runs. The paper's
 // punchline is that FO-rewritability lets certain-answer computation be
@@ -68,6 +69,16 @@ class Backend {
   virtual StatusOr<std::vector<Tuple>> Execute(
       const UnionOfCqs& ucq, const BackendExecOptions& options,
       EvalStats* stats = nullptr) = 0;
+
+  // Executes a factored nonrecursive Datalog rewriting (the target=cte
+  // path). Same answer contract as Execute — the program is only a
+  // compressed spelling of a UCQ. The base implementation unfolds the
+  // program (rewriting/datalog.h) and delegates to Execute; backends
+  // with native support (SQLite's WITH-CTE emission) override it and
+  // never materialize the flat union.
+  virtual StatusOr<std::vector<Tuple>> ExecuteDatalog(
+      const DatalogProgram& program, const BackendExecOptions& options,
+      EvalStats* stats = nullptr);
 };
 
 // The reference backend: a copy of the Database evaluated with the

@@ -12,6 +12,7 @@
 #include "base/fault_point.h"
 #include "base/strings.h"
 #include "logic/atom.h"
+#include "rewriting/cte_sql.h"
 #include "rewriting/sql.h"
 
 namespace ontorew {
@@ -290,33 +291,134 @@ StatusOr<std::vector<Tuple>> SqliteBackend::Execute(
   OREW_RETURN_IF_ERROR(options.cancel.Check("sqlite.exec"));
   OREW_RETURN_IF_ERROR(CheckFaultPoint("backend.exec"));
 
+  // SQLite refuses compound SELECTs wider than SQLITE_LIMIT_COMPOUND_SELECT
+  // (500 by default) — a saturated union like university_q3's 1000
+  // disjuncts cannot even be *prepared* as one statement. Oversized
+  // unions are split into limit-sized chunks, each executed separately,
+  // and the answer sets merged; the all-or-nothing contract holds because
+  // any chunk failure discards everything.
+  const int compound_limit =
+      sqlite3_limit(conn_, SQLITE_LIMIT_COMPOUND_SELECT, -1);
+  const int chunk_size =
+      compound_limit > 0 ? compound_limit : ucq.size();
+
   TraceSpan emit_span(options.trace, "emit");
-  StatusOr<std::string> sql_or = UcqToSql(ucq, *vocab_);
-  if (!sql_or.ok()) {
-    emit_span.AnnotateStatus(sql_or.status());
-    return sql_or.status();
+  std::vector<std::string> sqls;
+  std::int64_t sql_bytes = 0;
+  for (int start = 0; start < ucq.size(); start += chunk_size) {
+    const auto first = ucq.disjuncts().begin() + start;
+    const auto last = ucq.disjuncts().begin() +
+                      std::min(start + chunk_size, ucq.size());
+    StatusOr<std::string> sql_or =
+        UcqToSql(UnionOfCqs(std::vector<ConjunctiveQuery>(first, last)),
+                 *vocab_);
+    if (!sql_or.ok()) {
+      emit_span.AnnotateStatus(sql_or.status());
+      return sql_or.status();
+    }
+    sql_bytes += static_cast<std::int64_t>(sql_or->size());
+    sqls.push_back(std::move(sql_or).value());
   }
-  std::string sql = std::move(sql_or).value();
-  emit_span.Attr("sql_bytes", static_cast<std::int64_t>(sql.size()));
+  emit_span.Attr("sql_bytes", sql_bytes);
   emit_span.Attr("disjuncts",
                  static_cast<std::int64_t>(ucq.disjuncts().size()));
+  if (sqls.size() > 1) {
+    emit_span.Attr("chunks", static_cast<std::int64_t>(sqls.size()));
+  }
   emit_span.End();
 
   // Constants that appear only in the query still need a decoding (a
   // constant answer term comes back as a result cell), and their
   // encodings must not collide with loaded ones.
   for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
-    for (Term t : cq.answer_terms()) {
-      if (t.is_constant()) OREW_RETURN_IF_ERROR(RegisterConstant(t.id()));
+    OREW_RETURN_IF_ERROR(PrepareQuerySymbols(cq.answer_terms(), cq.body()));
+  }
+
+  if (sqls.size() == 1) return RunQuerySql(sqls[0], ucq.arity(), options, stats);
+  std::vector<Tuple> answers;
+  for (const std::string& sql : sqls) {
+    OREW_ASSIGN_OR_RETURN(std::vector<Tuple> part,
+                          RunQuerySql(sql, ucq.arity(), options, stats));
+    answers.insert(answers.end(), part.begin(), part.end());
+  }
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+StatusOr<std::vector<Tuple>> SqliteBackend::ExecuteDatalog(
+    const DatalogProgram& program, const BackendExecOptions& options,
+    EvalStats* stats) {
+  OREW_RETURN_IF_ERROR(open_status_);
+  // Each CTE body and the top-level union is one compound SELECT, capped
+  // by SQLITE_LIMIT_COMPOUND_SELECT. Factored programs stay far below the
+  // default 500, but a pathological one falls back to the unfolded union,
+  // which Execute chunks transparently.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int compound_limit =
+        sqlite3_limit(conn_, SQLITE_LIMIT_COMPOUND_SELECT, -1);
+    std::size_t widest = program.output.size();
+    for (const DatalogAux& aux : program.aux) {
+      widest = std::max(widest, aux.rules.size());
     }
-    for (const Atom& atom : cq.body()) {
-      OREW_RETURN_IF_ERROR(EnsureTable(atom.predicate()));
-      for (Term t : atom.terms()) {
-        if (t.is_constant()) OREW_RETURN_IF_ERROR(RegisterConstant(t.id()));
-      }
+    if (compound_limit > 0 && widest > static_cast<std::size_t>(compound_limit)) {
+      return Backend::ExecuteDatalog(program, options, stats);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!loaded_) {
+    return FailedPreconditionError("SqliteBackend: ExecuteDatalog before "
+                                   "Load");
+  }
+  OREW_RETURN_IF_ERROR(options.cancel.Check("sqlite.exec"));
+  OREW_RETURN_IF_ERROR(CheckFaultPoint("backend.exec"));
+
+  TraceSpan emit_span(options.trace, "emit");
+  StatusOr<std::string> sql_or = DatalogToCteSql(program, *vocab_);
+  if (!sql_or.ok()) {
+    emit_span.AnnotateStatus(sql_or.status());
+    return sql_or.status();
+  }
+  std::string sql = std::move(sql_or).value();
+  emit_span.Attr("sql_bytes", static_cast<std::int64_t>(sql.size()));
+  emit_span.Attr("cte_count", static_cast<std::int64_t>(program.cte_count()));
+  emit_span.Attr("rules", static_cast<std::int64_t>(program.total_rules()));
+  emit_span.End();
+
+  for (const DatalogRule& rule : program.output) {
+    OREW_RETURN_IF_ERROR(PrepareQuerySymbols(rule.head, rule.body));
+  }
+  for (const DatalogAux& aux : program.aux) {
+    for (const DatalogRule& rule : aux.rules) {
+      OREW_RETURN_IF_ERROR(PrepareQuerySymbols(rule.head, rule.body));
     }
   }
 
+  return RunQuerySql(sql, program.arity, options, stats);
+}
+
+Status SqliteBackend::PrepareQuerySymbols(const std::vector<Term>& head,
+                                          const std::vector<Atom>& body) {
+  for (Term t : head) {
+    if (t.is_constant()) OREW_RETURN_IF_ERROR(RegisterConstant(t.id()));
+  }
+  for (const Atom& atom : body) {
+    // Aux predicates are CTEs, not tables; only base predicates the
+    // loaded schema has not seen need an empty relation.
+    if (!IsAuxPredicate(atom.predicate())) {
+      OREW_RETURN_IF_ERROR(EnsureTable(atom.predicate()));
+    }
+    for (Term t : atom.terms()) {
+      if (t.is_constant()) OREW_RETURN_IF_ERROR(RegisterConstant(t.id()));
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Tuple>> SqliteBackend::RunQuerySql(
+    const std::string& sql, int arity, const BackendExecOptions& options,
+    EvalStats* stats) {
   sqlite3_stmt* stmt = nullptr;
   for (int attempt = 0;;) {
     const int rc = sqlite3_prepare_v2(conn_, sql.c_str(), -1, &stmt, nullptr);
@@ -348,7 +450,6 @@ StatusOr<std::vector<Tuple>> SqliteBackend::Execute(
     }
   }
 
-  const int arity = ucq.arity();
   std::vector<Tuple> answers;
   std::int64_t rows_matched = 0;
   // The scan restarts from scratch on SQLITE_BUSY/SQLITE_LOCKED (answers

@@ -103,6 +103,15 @@ class SqliteBackend : public Backend {
                                        const BackendExecOptions& options,
                                        EvalStats* stats = nullptr) override;
 
+  // Native execution of a factored rewriting: emits the program as ONE
+  // WITH-CTE SQL statement (rewriting/cte_sql.h) and runs it through the
+  // same prepared-statement scan as Execute — the flat union is never
+  // materialized, in SQL text or anywhere else. Same errors as Execute;
+  // the "emit" trace span records sql_bytes, cte_count and rules.
+  StatusOr<std::vector<Tuple>> ExecuteDatalog(
+      const DatalogProgram& program, const BackendExecOptions& options,
+      EvalStats* stats = nullptr) override;
+
   // Tuples stored across all tables (COUNT(*) sweep), for tests/benches.
   StatusOr<std::int64_t> StoredTuples();
 
@@ -126,6 +135,18 @@ class SqliteBackend : public Backend {
   Status RegisterConstant(ConstantId id);
   // CREATE TABLE for `p` unless this connection already has it.
   Status EnsureTable(PredicateId p);
+  // Registers the constants of one rule/CQ and creates missing tables for
+  // its base predicates (aux predicates resolve to CTEs, not tables).
+  // Callers hold mutex_.
+  Status PrepareQuerySymbols(const std::vector<Term>& head,
+                             const std::vector<Atom>& body);
+  // Prepares and scans one emitted SQL query: busy-retried prepare,
+  // progress-handler cancellation, EXPLAIN-plan capture on the "scan"
+  // span, row decoding, sort+dedup. Callers hold mutex_ and have checked
+  // loaded_. Shared by Execute (UNION SQL) and ExecuteDatalog (CTE SQL).
+  StatusOr<std::vector<Tuple>> RunQuerySql(const std::string& sql, int arity,
+                                           const BackendExecOptions& options,
+                                           EvalStats* stats);
 
   Vocabulary* vocab_;
   SqliteBackendOptions options_;

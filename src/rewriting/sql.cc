@@ -97,6 +97,14 @@ std::string SqlIdentifier(std::string_view name) {
 
 StatusOr<std::string> CqToSql(const ConjunctiveQuery& cq,
                               const Vocabulary& vocab) {
+  return CqToSqlResolved(cq, vocab, [&vocab](PredicateId p) {
+    return SqlIdentifier(vocab.PredicateName(p));
+  });
+}
+
+StatusOr<std::string> CqToSqlResolved(const ConjunctiveQuery& cq,
+                                      const Vocabulary& vocab,
+                                      const SqlTableResolver& resolver) {
   OREW_RETURN_IF_ERROR(cq.Validate());
 
   // First binding site of each variable: "t<i>.c<j>".
@@ -106,9 +114,7 @@ StatusOr<std::string> CqToSql(const ConjunctiveQuery& cq,
   for (std::size_t i = 0; i < cq.body().size(); ++i) {
     const Atom& atom = cq.body()[i];
     std::string alias = StrCat("t", i);
-    from.push_back(
-        StrCat(SqlIdentifier(vocab.PredicateName(atom.predicate())), " AS ",
-               alias));
+    from.push_back(StrCat(resolver(atom.predicate()), " AS ", alias));
     for (int j = 0; j < atom.arity(); ++j) {
       std::string column = StrCat(alias, ".c", j + 1);
       Term t = atom.term(j);

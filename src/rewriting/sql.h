@@ -1,6 +1,7 @@
 #ifndef ONTOREW_REWRITING_SQL_H_
 #define ONTOREW_REWRITING_SQL_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -30,6 +31,20 @@ namespace ontorew {
 // Renders a single CQ. Errors on an invalid query.
 StatusOr<std::string> CqToSql(const ConjunctiveQuery& cq,
                               const Vocabulary& vocab);
+
+// Maps a predicate to the (already quoted) SQL identifier of the table
+// or CTE that holds it. CqToSql uses the default resolver (the quoted
+// vocabulary name); the CTE emitter (rewriting/cte_sql.h) routes the
+// factored program's virtual aux predicates to prefixed CTE names while
+// base predicates keep the default mapping.
+using SqlTableResolver = std::function<std::string(PredicateId)>;
+
+// As CqToSql, but each body atom's FROM entry is named by `resolver`.
+// Column references stay c1..ck regardless of the resolved name, so
+// resolved CTEs must declare that column list.
+StatusOr<std::string> CqToSqlResolved(const ConjunctiveQuery& cq,
+                                      const Vocabulary& vocab,
+                                      const SqlTableResolver& resolver);
 
 // Renders the whole union. Errors on an invalid or empty UCQ.
 StatusOr<std::string> UcqToSql(const UnionOfCqs& ucq,

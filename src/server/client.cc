@@ -135,10 +135,14 @@ StatusOr<WireResponse> ServerClient::Roundtrip(std::string_view request_line) {
 StatusOr<WireResponse> ServerClient::Query(std::string_view tenant,
                                            std::string_view query_text,
                                            std::int64_t deadline_ms,
-                                           bool trace) {
+                                           bool trace,
+                                           std::optional<RewriteTarget> target) {
   std::string line = StrCat("QUERY tenant=", tenant);
   if (deadline_ms > 0) line += StrCat(" deadline_ms=", deadline_ms);
   if (trace) line += " trace=1";
+  if (target.has_value()) {
+    line += StrCat(" target=", RewriteTargetName(*target));
+  }
   line += StrCat(" ", query_text);
   return Roundtrip(line);
 }
@@ -173,7 +177,8 @@ std::chrono::milliseconds RetryingClient::BackoffFor(
 StatusOr<WireResponse> RetryingClient::Query(std::string_view tenant,
                                              std::string_view query_text,
                                              std::int64_t deadline_ms,
-                                             bool trace) {
+                                             bool trace,
+                                             std::optional<RewriteTarget> target) {
   Status last_transport = UnavailableError("no attempt made");
   const int attempts = policy_.max_attempts < 1 ? 1 : policy_.max_attempts;
   for (int attempt = 0; attempt < attempts; ++attempt) {
@@ -189,7 +194,7 @@ StatusOr<WireResponse> RetryingClient::Query(std::string_view tenant,
       client_ = std::move(fresh).value();
     }
     StatusOr<WireResponse> response =
-        client_.Query(tenant, query_text, deadline_ms, trace);
+        client_.Query(tenant, query_text, deadline_ms, trace, target);
     if (response.ok()) {
       if (response->status.ok() || !response->retryable) return response;
       // A structured retryable error: back off (honouring the server's

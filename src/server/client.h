@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -43,11 +44,13 @@ class ServerClient {
   // with the error inside WireResponse::status.
   StatusOr<WireResponse> Roundtrip(std::string_view request_line);
 
-  // Convenience formatters over Roundtrip.
+  // Convenience formatters over Roundtrip. `target` (when set) appends
+  // "target=ucq|cte" to the request.
   StatusOr<WireResponse> Query(std::string_view tenant,
                                std::string_view query_text,
                                std::int64_t deadline_ms = 0,
-                               bool trace = false);
+                               bool trace = false,
+                               std::optional<RewriteTarget> target = {});
   Status Ping();
 
  private:
@@ -82,7 +85,8 @@ class RetryingClient {
   StatusOr<WireResponse> Query(std::string_view tenant,
                                std::string_view query_text,
                                std::int64_t deadline_ms = 0,
-                               bool trace = false);
+                               bool trace = false,
+                               std::optional<RewriteTarget> target = {});
 
   // Retries performed since construction (attempts beyond each first).
   std::int64_t retries() const { return retries_; }

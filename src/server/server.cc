@@ -417,6 +417,7 @@ OntologyServer::Reply OntologyServer::HandleQuery(
   ServeOptions serve;
   serve.deadline = deadline;
   serve.cancel = drain_cancel_;
+  serve.target = request.target;
   if (level >= 2) {
     metrics_.Increment("brownout_shed_minimize");
     serve.shed_optional_work = true;

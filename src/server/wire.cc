@@ -91,6 +91,18 @@ StatusOr<WireRequest> ParseWireRequest(std::string_view line) {
                             ParseInt(value, "deadline_ms"));
     } else if (ConsumeKey(token, "trace", &value)) {
       request.trace = value == "1";
+    } else if (ConsumeKey(token, "target", &value)) {
+      // Unknown target names are a hard (non-retryable) parse error:
+      // silently falling back to the default would hide client typos.
+      if (value == "ucq") {
+        request.target = RewriteTarget::kUcq;
+      } else if (value == "cte") {
+        request.target = RewriteTarget::kCte;
+      } else {
+        return InvalidArgumentError(StrCat("bad target: '",
+                                           SanitizeLine(value),
+                                           "' (expected ucq|cte)"));
+      }
     } else {
       break;  // Query text begins here.
     }

@@ -2,11 +2,13 @@
 #define ONTOREW_SERVER_WIRE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "base/status.h"
+#include "rewriting/datalog.h"
 
 // The newline-delimited wire protocol of the OntologyServer (DESIGN.md
 // §11 "Serving over the wire"). One request per line; one response per
@@ -15,6 +17,7 @@
 //   request   := query | "PING" | "STATS" | "TENANTS"
 //   query     := "QUERY" SP opts SP query-text
 //   opts      := ("tenant=" name) [SP "deadline_ms=" int] [SP "trace=1"]
+//                [SP "target=" ("ucq"|"cte")]
 //   response  := header NL body* ["# " info]* "END" NL
 //   header    := "OK rows=" int " cache=" ("hit"|"miss"|"none")
 //                " chase=" ("0"|"1")
@@ -44,11 +47,15 @@ struct WireRequest {
   std::string tenant;            // QUERY only.
   std::int64_t deadline_ms = 0;  // 0 = no deadline.
   bool trace = false;            // Request a span-tree dump (may be shed).
+  // Rewrite target override ("target=ucq|cte"): cte asks the engine to
+  // factor the rewriting and run it as WITH-CTE SQL (see
+  // AnswerEngineOptions::target). Unset keeps the tenant's default.
+  std::optional<RewriteTarget> target;
   std::string query;             // Raw query text, QUERY only.
 };
 
 // Parses one request line. InvalidArgument (non-retryable) on malformed
-// input: unknown verb, missing tenant=, bad deadline.
+// input: unknown verb, missing tenant=, bad deadline, bad target.
 StatusOr<WireRequest> ParseWireRequest(std::string_view line);
 
 // One parsed response (client side). For transport-level failures the

@@ -6,6 +6,8 @@
 #include "base/strings.h"
 #include "classes/weakly_acyclic.h"
 #include "logic/canonical.h"
+#include "rewriting/cte_sql.h"
+#include "rewriting/datalog.h"
 #include "rewriting/sql.h"
 
 namespace ontorew {
@@ -45,8 +47,11 @@ bool IsBudgetFailure(const Status& status) {
 // The cache key for `query` under a specific program fingerprint — the
 // fingerprint must come from the same snapshot the rewriting will run
 // against, or a rewriting computed from a newer program could be cached
-// under an older program's key.
-std::string CacheKeyFor(const UnionOfCqs& query, std::uint64_t fingerprint) {
+// under an older program's key. The target name keeps kUcq and kCte
+// entries (different artifacts: flat union vs factored program) from
+// aliasing in a shared cache.
+std::string CacheKeyFor(const UnionOfCqs& query, std::uint64_t fingerprint,
+                        RewriteTarget target) {
   std::vector<std::string> keys;
   keys.reserve(query.disjuncts().size());
   for (const ConjunctiveQuery& cq : query.disjuncts()) {
@@ -55,7 +60,21 @@ std::string CacheKeyFor(const UnionOfCqs& query, std::uint64_t fingerprint) {
   // Sorted: a UCQ is a set of disjuncts, so order must not split entries.
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return StrCat(fingerprint, "|", StrJoin(keys, "|"));
+  return StrCat(fingerprint, "|", RewriteTargetName(target), "|",
+                StrJoin(keys, "|"));
+}
+
+// Aliases the UCQ member of a cache entry: the returned pointer shares
+// the entry's lifetime, so it stays valid after cache eviction.
+std::shared_ptr<const UnionOfCqs> UcqOf(
+    const std::shared_ptr<const CachedRewriting>& cached) {
+  return std::shared_ptr<const UnionOfCqs>(cached, &cached->ucq);
+}
+
+std::shared_ptr<const DatalogProgram> DatalogOf(
+    const std::shared_ptr<const CachedRewriting>& cached) {
+  if (!cached->datalog.has_value()) return nullptr;
+  return std::shared_ptr<const DatalogProgram>(cached, &*cached->datalog);
 }
 
 }  // namespace
@@ -131,8 +150,9 @@ void AnswerEngine::ReplaceDatabase(Database db) {
   ReloadBackend();
 }
 
-std::string AnswerEngine::CacheKey(const UnionOfCqs& query) const {
-  return CacheKeyFor(query, program_fingerprint());
+std::string AnswerEngine::CacheKey(const UnionOfCqs& query,
+                                   RewriteTarget target) const {
+  return CacheKeyFor(query, program_fingerprint(), target);
 }
 
 bool AnswerEngine::ChaseTerminates() const {
@@ -156,26 +176,31 @@ bool AnswerEngine::ChaseTerminates() const {
 StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::Rewrite(
     const UnionOfCqs& query, const CancelScope& cancel,
     const TraceContext& trace) {
-  return RewriteInternal(query, cancel, trace, nullptr, CurrentSnapshot());
+  StatusOr<std::shared_ptr<const CachedRewriting>> cached =
+      RewriteInternal(query, cancel, trace, nullptr, CurrentSnapshot(),
+                      RewriteTarget::kUcq);
+  if (!cached.ok()) return cached.status();
+  return UcqOf(*cached);
 }
 
-StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::RewriteInternal(
+StatusOr<std::shared_ptr<const CachedRewriting>> AnswerEngine::RewriteInternal(
     const UnionOfCqs& query, const CancelScope& cancel,
     const TraceContext& trace, bool* cache_hit, const Snapshot& snap,
-    bool shed_optional_work) {
+    RewriteTarget target, bool shed_optional_work) {
   if (cache_hit != nullptr) *cache_hit = false;
 
   std::string key;
   {
     TraceSpan canonicalize_span(trace, "canonicalize");
-    key = CacheKeyFor(query, snap.fingerprint);
+    key = CacheKeyFor(query, snap.fingerprint, target);
   }
 
   {
     TraceSpan cache_span(trace, "rewrite-cache");
     if (cache_->capacity() == 0) {
       cache_span.Attr("cache", "disabled");
-    } else if (std::shared_ptr<const UnionOfCqs> hit = cache_->Lookup(key)) {
+    } else if (std::shared_ptr<const CachedRewriting> hit =
+                   cache_->Lookup(key)) {
       metrics_.Increment("rewrite_cache_hit");
       cache_span.Attr("cache", "hit");
       if (cache_hit != nullptr) *cache_hit = true;
@@ -188,7 +213,7 @@ StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::RewriteInternal(
 
   // Rewrite outside any lock: concurrent misses on the same key duplicate
   // work instead of serializing every caller behind one saturation.
-  std::shared_ptr<const UnionOfCqs> rewriting;
+  auto entry = std::make_shared<CachedRewriting>();
   {
     TraceSpan rewrite_span(trace, "rewrite");
     ScopedTimer timer(&metrics_, "rewrite_ns");
@@ -219,9 +244,34 @@ StatusOr<std::shared_ptr<const UnionOfCqs>> AnswerEngine::RewriteInternal(
     metrics_.SetGauge("rewrite_threads", result.threads_used);
     rewrite_span.Attr("disjuncts",
                       static_cast<std::int64_t>(result.ucq.disjuncts().size()));
-    rewriting = std::make_shared<const UnionOfCqs>(std::move(result.ucq));
+    entry->ucq = std::move(result.ucq);
   }
 
+  if (target == RewriteTarget::kCte) {
+    // The extra compilation stage of this target: factor the saturated
+    // union into a nonrecursive Datalog program. Data-independent like
+    // the rewriting itself, so it is computed once per cache entry.
+    TraceSpan factor_span(trace, "factor");
+    ScopedTimer timer(&metrics_, "factor_ns");
+    DatalogFactorOptions factor_options;
+    factor_options.cancel = cancel;
+    StatusOr<DatalogProgram> factored =
+        FactorUcq(entry->ucq, factor_options);
+    if (!factored.ok()) {
+      factor_span.AnnotateStatus(factored.status());
+      return factored.status();
+    }
+    factor_span.Attr("cte_count",
+                     static_cast<std::int64_t>(factored->cte_count()));
+    factor_span.Attr("rules",
+                     static_cast<std::int64_t>(factored->total_rules()));
+    factor_span.Attr("disjuncts",
+                     static_cast<std::int64_t>(factored->input_disjuncts));
+    metrics_.Increment("rewrite_factored");
+    entry->datalog = std::move(factored).value();
+  }
+
+  std::shared_ptr<const CachedRewriting> rewriting = std::move(entry);
   if (shed_optional_work) {
     // An unminimized rewriting must not be published: the cache (possibly
     // shared across tenants) only ever holds canonical, minimized unions.
@@ -334,6 +384,7 @@ StatusOr<AnswerResult> AnswerEngine::Serve(const UnionOfCqs& query,
 
   StatusOr<AnswerResult> result =
       ServeAdmitted(query, scope, serve_span.context(),
+                    serve.target.value_or(options_.target),
                     serve.shed_optional_work);
   record_status(result.ok() ? StatusCode::kOk : result.status().code());
   if (!result.ok()) {
@@ -347,7 +398,8 @@ StatusOr<AnswerResult> AnswerEngine::Serve(const UnionOfCqs& query,
 
 StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(
     const UnionOfCqs& query, const CancelScope& scope,
-    const TraceContext& trace, bool shed_optional_work) {
+    const TraceContext& trace, RewriteTarget target,
+    bool shed_optional_work) {
   // Fast-fail a request that arrived already out of budget, and give
   // tests a hook that holds an admitted request in flight.
   OREW_RETURN_IF_ERROR(scope.Check("serve"));
@@ -360,8 +412,8 @@ StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(
   const Snapshot snap = CurrentSnapshot();
 
   AnswerResult result;
-  StatusOr<std::shared_ptr<const UnionOfCqs>> rewriting =
-      RewriteInternal(query, scope, trace, &result.cache_hit, snap,
+  StatusOr<std::shared_ptr<const CachedRewriting>> rewriting =
+      RewriteInternal(query, scope, trace, &result.cache_hit, snap, target,
                       shed_optional_work);
   if (!rewriting.ok()) {
     // Graceful degradation: a rewrite that ran out of budget (deadline or
@@ -388,7 +440,9 @@ StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(
     }
     return rewriting.status();
   }
-  result.rewriting = *std::move(rewriting);
+  const std::shared_ptr<const CachedRewriting> cached = *std::move(rewriting);
+  result.rewriting = UcqOf(cached);
+  result.datalog = DatalogOf(cached);
 
   // The per-request scope tightens the engine-wide eval options.
   const CancelScope eval_scope(
@@ -416,8 +470,14 @@ StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(
     exec.trace = eval_span.context();
     const std::string prefix = StrCat("backend_", options_.backend->name());
     ScopedTimer timer(&metrics_, StrCat(prefix, "_exec_ns"));
+    // Under kCte the factored program goes to the backend natively (a SQL
+    // backend runs it as one WITH-CTE statement; others unfold); under
+    // kUcq the flat union runs as before.
     StatusOr<std::vector<Tuple>> answers =
-        options_.backend->Execute(*result.rewriting, exec, &result.eval);
+        result.datalog != nullptr
+            ? options_.backend->ExecuteDatalog(*result.datalog, exec,
+                                               &result.eval)
+            : options_.backend->Execute(*result.rewriting, exec, &result.eval);
     if (!answers.ok()) {
       eval_span.AnnotateStatus(answers.status());
       return answers.status();
@@ -456,27 +516,38 @@ StatusOr<ExplainResult> AnswerEngine::Explain(const UnionOfCqs& query,
   TraceSpan root(explain.trace.get(), "explain");
 
   const Snapshot snap = CurrentSnapshot();
-  StatusOr<std::shared_ptr<const UnionOfCqs>> rewriting = RewriteInternal(
-      query, scope, root.context(), &explain.cache_hit, snap);
+  explain.target = serve.target.value_or(options_.target);
+  StatusOr<std::shared_ptr<const CachedRewriting>> rewriting = RewriteInternal(
+      query, scope, root.context(), &explain.cache_hit, snap, explain.target);
   if (!rewriting.ok()) {
     root.AnnotateStatus(rewriting.status());
     return rewriting.status();
   }
-  explain.rewriting = *std::move(rewriting);
+  const std::shared_ptr<const CachedRewriting> cached = *std::move(rewriting);
+  explain.rewriting = UcqOf(cached);
+  explain.datalog = DatalogOf(cached);
 
   {
     TraceSpan emit_span(root.context(), "emit");
-    StatusOr<std::string> sql = UcqToSql(*explain.rewriting, vocab);
+    StatusOr<std::string> sql =
+        explain.datalog != nullptr
+            ? DatalogToCteSql(*explain.datalog, vocab)
+            : UcqToSql(*explain.rewriting, vocab);
     if (!sql.ok()) {
       emit_span.AnnotateStatus(sql.status());
       root.AnnotateStatus(sql.status());
       return sql.status();
     }
     explain.sql = std::move(sql).value();
+    emit_span.Attr("target", RewriteTargetName(explain.target));
     emit_span.Attr("sql_bytes",
                    static_cast<std::int64_t>(explain.sql.size()));
     emit_span.Attr("disjuncts", static_cast<std::int64_t>(
                                     explain.rewriting->disjuncts().size()));
+    if (explain.datalog != nullptr) {
+      emit_span.Attr("cte_count", static_cast<std::int64_t>(
+                                      explain.datalog->cte_count()));
+    }
   }
   return explain;
 }

@@ -22,6 +22,7 @@
 #include "logic/program.h"
 #include "logic/query.h"
 #include "logic/vocabulary.h"
+#include "rewriting/datalog.h"
 #include "rewriting/rewriter.h"
 #include "serving/parallel_eval.h"
 #include "serving/rewrite_cache.h"
@@ -61,10 +62,10 @@
 //             rewrite_cache_eviction, rewrite_pruned_total,
 //             eval_tuples_examined, eval_matches, deadline_exceeded,
 //             requests_shed, admission_queue_deadline,
-//             fallback_chase_served, rewrite_degraded,
+//             fallback_chase_served, rewrite_degraded, rewrite_factored,
 //             requests_by_status_<CodeName> (one per final Serve status)
 //   gauges    inflight, rewrite_threads
-//   timers    rewrite_ns, eval_ns
+//   timers    rewrite_ns, factor_ns, eval_ns
 
 namespace ontorew {
 
@@ -81,6 +82,15 @@ struct AnswerEngineOptions {
   // Worker threads for UCQ evaluation (see ParallelEvalOptions).
   int num_threads = 0;
   RewriterOptions rewriter;
+  // Default rewrite target (per-request override: ServeOptions::target).
+  // kUcq evaluates the flat union; kCte additionally factors the union
+  // into a nonrecursive Datalog program (rewriting/datalog.h) and — on a
+  // SQL backend — executes it as one WITH-CTE statement instead of the
+  // flat UNION. Both targets answer identically; they trade rewrite-time
+  // factoring work against exponentially smaller SQL. Factored programs
+  // are cached under target-qualified keys, so the two targets never
+  // alias in the (possibly shared) cache.
+  RewriteTarget target = RewriteTarget::kUcq;
   // Certain-answer semantics: answers containing labeled nulls are not
   // certain, so they are dropped by default.
   EvalOptions eval{.drop_tuples_with_nulls = true, .cancel = {}};
@@ -140,6 +150,8 @@ struct ServeOptions {
   // unminimized result is NOT published to the (possibly shared) cache,
   // so brownouts never pollute it. Answers are unchanged either way.
   bool shed_optional_work = false;
+  // Per-request rewrite target; unset uses AnswerEngineOptions::target.
+  std::optional<RewriteTarget> target;
 };
 
 // One served query, with provenance for tools and benches.
@@ -152,6 +164,9 @@ struct AnswerResult {
   // The rewriting that was evaluated (shared with the cache; remains
   // valid after eviction).
   std::shared_ptr<const UnionOfCqs> rewriting;
+  // Under RewriteTarget::kCte: the factored Datalog program the request
+  // ran (or would run on a SQL backend). Null under kUcq.
+  std::shared_ptr<const DatalogProgram> datalog;
   EvalStats eval;
 };
 
@@ -161,8 +176,14 @@ struct AnswerResult {
 // executed (canonicalize, rewrite-cache, rewrite or cache hit, emit).
 struct ExplainResult {
   std::shared_ptr<const UnionOfCqs> rewriting;
-  // UcqToSql of the rewriting, rendered against the caller's vocabulary.
+  // Under RewriteTarget::kCte: the factored program behind `sql`.
+  std::shared_ptr<const DatalogProgram> datalog;
+  // The SQL the engine would ship: UcqToSql of the rewriting under kUcq,
+  // DatalogToCteSql of the factored program under kCte — rendered against
+  // the caller's vocabulary.
   std::string sql;
+  // The target the explanation was computed for.
+  RewriteTarget target = RewriteTarget::kUcq;
   bool cache_hit = false;
   // Always populated: Explain owns its trace (ServeOptions::trace is
   // ignored here) so the caller gets the tree without pre-wiring one.
@@ -196,10 +217,12 @@ class AnswerEngine {
   // stays warm across data refreshes.
   void ReplaceDatabase(Database db);
 
-  // The cache key for `query` under the current program: fingerprint plus
-  // the canonical key of each disjunct (sorted — disjunct order and
-  // variable names do not matter). Exposed for tests.
-  std::string CacheKey(const UnionOfCqs& query) const;
+  // The cache key for `query` under the current program: fingerprint,
+  // the rewrite target's name, then the canonical key of each disjunct
+  // (sorted — disjunct order and variable names do not matter). Exposed
+  // for tests.
+  std::string CacheKey(const UnionOfCqs& query,
+                       RewriteTarget target = RewriteTarget::kUcq) const;
 
   // The (cached) rewriting of `query`. Errors propagate from RewriteUcq
   // (FailedPrecondition for multi-head programs, ResourceExhausted when
@@ -277,17 +300,19 @@ class AnswerEngine {
 
   // Rewrite against a pinned snapshot, reporting whether the cache served
   // it (directly, not via racy counter deltas) and recording
-  // canonicalize / rewrite-cache / rewrite spans under `trace`.
-  // `shed_optional_work` skips the final minimization and the cache
-  // publish (see ServeOptions::shed_optional_work).
-  StatusOr<std::shared_ptr<const UnionOfCqs>> RewriteInternal(
+  // canonicalize / rewrite-cache / rewrite (and, under kCte, factor)
+  // spans under `trace`. `shed_optional_work` skips the final
+  // minimization and the cache publish (see
+  // ServeOptions::shed_optional_work).
+  StatusOr<std::shared_ptr<const CachedRewriting>> RewriteInternal(
       const UnionOfCqs& query, const CancelScope& cancel,
       const TraceContext& trace, bool* cache_hit, const Snapshot& snap,
-      bool shed_optional_work = false);
+      RewriteTarget target, bool shed_optional_work = false);
 
   StatusOr<AnswerResult> ServeAdmitted(const UnionOfCqs& query,
                                        const CancelScope& scope,
                                        const TraceContext& trace,
+                                       RewriteTarget target,
                                        bool shed_optional_work);
 
   // program_/db_/fingerprint_ form the current snapshot: read/swapped

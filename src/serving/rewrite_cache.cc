@@ -2,7 +2,7 @@
 
 namespace ontorew {
 
-std::shared_ptr<const UnionOfCqs> RewriteCache::Lookup(
+std::shared_ptr<const CachedRewriting> RewriteCache::Lookup(
     const std::string& key) {
   if (capacity_ == 0) return nullptr;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -16,8 +16,8 @@ std::shared_ptr<const UnionOfCqs> RewriteCache::Lookup(
   return it->second->second;
 }
 
-std::shared_ptr<const UnionOfCqs> RewriteCache::Insert(
-    const std::string& key, std::shared_ptr<const UnionOfCqs> value,
+std::shared_ptr<const CachedRewriting> RewriteCache::Insert(
+    const std::string& key, std::shared_ptr<const CachedRewriting> value,
     std::int64_t* evictions) {
   if (evictions != nullptr) *evictions = 0;
   if (capacity_ == 0) return value;

@@ -5,11 +5,13 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "logic/query.h"
+#include "rewriting/datalog.h"
 
 // A thread-safe LRU cache of computed rewritings, shareable across
 // AnswerEngines. Keys embed the owning program's structural fingerprint
@@ -20,10 +22,21 @@
 // (DESIGN.md "Serving over the wire") — N replicas of a popular ontology
 // pay for each query's saturation once, not N times.
 //
-// Values are shared_ptr<const UnionOfCqs>: entries stay valid after
-// eviction for requests still holding them.
+// Values are shared_ptr<const CachedRewriting>: entries stay valid after
+// eviction for requests still holding them. Keys are also qualified by
+// the rewrite target (RewriteTargetName in AnswerEngine::CacheKey), so a
+// flat-UCQ entry and a factored-Datalog entry for the same query never
+// alias — they cache different artifacts.
 
 namespace ontorew {
+
+// One cached rewriting. The UCQ is always present; the factored Datalog
+// program exists only under RewriteTarget::kCte keys (where the extra
+// factoring pass actually ran).
+struct CachedRewriting {
+  UnionOfCqs ucq;
+  std::optional<DatalogProgram> datalog;
+};
 
 // Cumulative cache statistics (monotonic except `size`).
 struct RewriteCacheStats {
@@ -45,22 +58,22 @@ class RewriteCache {
 
   // The cached rewriting for `key` (marked most-recently-used), or null
   // on a miss. Hit/miss counters move accordingly.
-  std::shared_ptr<const UnionOfCqs> Lookup(const std::string& key);
+  std::shared_ptr<const CachedRewriting> Lookup(const std::string& key);
 
   // Inserts `value` under `key` and returns the canonical entry: when a
   // concurrent miss on the same key won the race, the existing entry wins
   // and is returned instead (both callers then evaluate the same
   // rewriting object). `evictions` (optional) receives how many entries
   // this insert pushed out.
-  std::shared_ptr<const UnionOfCqs> Insert(
-      const std::string& key, std::shared_ptr<const UnionOfCqs> value,
+  std::shared_ptr<const CachedRewriting> Insert(
+      const std::string& key, std::shared_ptr<const CachedRewriting> value,
       std::int64_t* evictions = nullptr);
 
   RewriteCacheStats stats() const;
 
  private:
   // MRU-first entry list; the map points into it for O(1) lookup+splice.
-  using Entry = std::pair<std::string, std::shared_ptr<const UnionOfCqs>>;
+  using Entry = std::pair<std::string, std::shared_ptr<const CachedRewriting>>;
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;

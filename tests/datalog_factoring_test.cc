@@ -1,0 +1,217 @@
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/deadline.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "gtest/gtest.h"
+#include "logic/canonical.h"
+#include "rewriting/containment.h"
+#include "rewriting/datalog.h"
+#include "rewriting/rewriter.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/university.h"
+
+// Property: factoring is lossless. For any saturated union U,
+// UnfoldDatalog(FactorUcq(U)) must be CQ-for-CQ equivalent to U — every
+// unfolded disjunct hom-equivalent (rewriting/containment.h) to some
+// input disjunct and vice versa. Run over seeded random programs with
+// the rewriter's eager-subsumption pruning both on and off, so the
+// factoring sees both minimized and redundant unions.
+
+namespace ontorew {
+namespace {
+
+// True iff every disjunct of `a` is CqEquivalent to some disjunct of `b`.
+bool EachDisjunctHasEquivalent(const UnionOfCqs& a, const UnionOfCqs& b,
+                               std::string* missing) {
+  for (const ConjunctiveQuery& cq : a.disjuncts()) {
+    bool found = false;
+    for (const ConjunctiveQuery& other : b.disjuncts()) {
+      if (CqEquivalent(cq, other)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      *missing = CanonicalCqKey(cq);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Factors `ucq` and checks the unfolding round-trips. Returns false (with
+// a gtest failure) on any violation.
+void CheckRoundTrip(const UnionOfCqs& ucq, const std::string& label) {
+  StatusOr<DatalogProgram> factored = FactorUcq(ucq);
+  ASSERT_TRUE(factored.ok()) << label << ": " << factored.status().ToString();
+  ASSERT_TRUE(factored->Validate().ok())
+      << label << ": " << factored->Validate().ToString();
+  StatusOr<UnionOfCqs> unfolded = UnfoldDatalog(*factored);
+  ASSERT_TRUE(unfolded.ok()) << label << ": " << unfolded.status().ToString();
+  std::string missing;
+  EXPECT_TRUE(EachDisjunctHasEquivalent(*unfolded, ucq, &missing))
+      << label << ": unfolded disjunct not covered by input: " << missing;
+  EXPECT_TRUE(EachDisjunctHasEquivalent(ucq, *unfolded, &missing))
+      << label << ": input disjunct lost by factoring: " << missing;
+}
+
+// Mirrors the differential harness's generator recipe so the factoring
+// sees the same input space the cross-backend check runs on.
+UnionOfCqs SaturatedUnion(std::uint64_t seed, bool eager_subsumption,
+                          bool* rewrote) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + seed);
+  Vocabulary vocab;
+  TgdProgram program;
+  if (seed % 2 == 0) {
+    program = RandomLinearProgram(rng.UniformIn(3, 6), rng.UniformIn(3, 5),
+                                  rng.UniformIn(1, 3), 0.4, &rng, &vocab);
+  } else {
+    RandomProgramOptions options;
+    options.num_rules = rng.UniformIn(3, 7);
+    options.num_predicates = rng.UniformIn(3, 5);
+    options.max_arity = 3;
+    options.max_body_atoms = 2;
+    options.max_head_atoms = 1;
+    options.existential_prob = 0.3;
+    options.repeat_prob = 0.2;
+    options.constant_prob = 0.15;
+    options.num_constants = 3;
+    program = RandomProgram(options, &rng, &vocab);
+  }
+  ConjunctiveQuery query = RandomCq(program, rng.UniformIn(1, 3),
+                                    rng.UniformIn(0, 2), &rng, &vocab);
+  RewriterOptions options;
+  options.max_cqs = 3000;
+  options.cancel = CancelScope(Deadline::AfterMillis(2000));
+  options.eager_subsumption = eager_subsumption;
+  StatusOr<RewriteResult> result = RewriteCq(query, program, options);
+  *rewrote = result.ok();
+  return result.ok() ? result->ucq : UnionOfCqs(query);
+}
+
+TEST(DatalogFactoringTest, UnfoldingRoundTripsOverSeededPrograms) {
+  int compared = 0;
+  for (std::uint64_t seed = 1; seed <= 110; ++seed) {
+    for (bool eager : {false, true}) {
+      bool rewrote = false;
+      UnionOfCqs ucq = SaturatedUnion(seed, eager, &rewrote);
+      if (!rewrote) continue;  // Budget skip, counted below.
+      ++compared;
+      CheckRoundTrip(ucq, StrCat("seed ", seed, " eager=", eager));
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+  RecordProperty("compared", compared);
+  // >= 100 programs must actually exercise the factoring (both
+  // subsumption modes count: the unions genuinely differ).
+  EXPECT_GE(compared, 100) << "too few seeds saturated within budget";
+}
+
+// university_q3 is the motivating workload: 1000 flat disjuncts must
+// collapse to a program whose unfolding is the same union. Also pins the
+// compression itself so a factoring regression (back to the flat form)
+// fails loudly, not just slowly.
+TEST(DatalogFactoringTest, UniversityQ3CollapsesAndRoundTrips) {
+  Vocabulary vocab;
+  TgdProgram ontology = UniversityOntology(&vocab);
+  ConjunctiveQuery q3 = MustQuery(
+      "q(X0) :- person(X0), knows(X0, X1), person(X1), knows(X1, X2), "
+      "person(X2).",
+      &vocab);
+  RewriterOptions options;
+  options.max_cqs = 300000;
+  StatusOr<RewriteResult> result = RewriteCq(q3, ontology, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->ucq.size(), 1000);
+
+  StatusOr<DatalogProgram> factored = FactorUcq(result->ucq);
+  ASSERT_TRUE(factored.ok()) << factored.status().ToString();
+  EXPECT_GE(factored->cte_count(), 1);
+  EXPECT_LT(factored->total_rules(), 100)
+      << "factoring stopped compressing:\n"
+      << DatalogToString(*factored, vocab);
+  EXPECT_LT(static_cast<int>(factored->output.size()), 50);
+
+  StatusOr<UnionOfCqs> unfolded = UnfoldDatalog(*factored);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status().ToString();
+  // The factoring is exact (not just hom-equivalent) here: unfolding
+  // reproduces the identical canonical disjunct set.
+  std::unordered_set<std::string> input_keys;
+  for (const ConjunctiveQuery& cq : result->ucq.disjuncts()) {
+    input_keys.insert(CanonicalCqKey(cq));
+  }
+  std::unordered_set<std::string> unfolded_keys;
+  for (const ConjunctiveQuery& cq : unfolded->disjuncts()) {
+    unfolded_keys.insert(CanonicalCqKey(cq));
+  }
+  EXPECT_EQ(input_keys, unfolded_keys);
+}
+
+// Unions with nothing shared must pass through unfactored: the program
+// degenerates to one output rule per disjunct and no aux predicates.
+TEST(DatalogFactoringTest, UnsharedUnionIsLeftFlat) {
+  Vocabulary vocab;
+  UnionOfCqs ucq;
+  ucq.Add(MustQuery("q(X) :- p(X).", &vocab));
+  ucq.Add(MustQuery("q(X) :- r(X, Y).", &vocab));
+  StatusOr<DatalogProgram> factored = FactorUcq(ucq);
+  ASSERT_TRUE(factored.ok()) << factored.status().ToString();
+  EXPECT_EQ(factored->cte_count(), 0);
+  EXPECT_EQ(static_cast<int>(factored->output.size()), 2);
+}
+
+// A shared single-atom slot across two join positions (the q2 shape in
+// miniature): the 4-arm product must collapse to ONE output rule over at
+// most two auxes (which factorization the greedy picks first is not
+// pinned — both fully compress).
+TEST(DatalogFactoringTest, SharedSlotReusesOneAux) {
+  Vocabulary vocab;
+  UnionOfCqs ucq;
+  for (const char* a : {"p", "r"}) {
+    for (const char* b : {"p", "r"}) {
+      ucq.Add(MustQuery(
+          StrCat("q(X) :- ", a, "(X), knows(X, Y), ", b, "(Y).", ""), &vocab));
+    }
+  }
+  StatusOr<DatalogProgram> factored = FactorUcq(ucq);
+  ASSERT_TRUE(factored.ok()) << factored.status().ToString();
+  EXPECT_GE(factored->cte_count(), 1) << DatalogToString(*factored, vocab);
+  EXPECT_LE(factored->cte_count(), 2) << DatalogToString(*factored, vocab);
+  EXPECT_EQ(static_cast<int>(factored->output.size()), 1)
+      << DatalogToString(*factored, vocab);
+  StatusOr<UnionOfCqs> unfolded = UnfoldDatalog(*factored);
+  ASSERT_TRUE(unfolded.ok());
+  EXPECT_EQ(unfolded->size(), 4);
+}
+
+// Boolean (0-ary) queries and constants survive the round-trip.
+TEST(DatalogFactoringTest, BooleanAndConstantUnionsRoundTrip) {
+  Vocabulary vocab;
+  UnionOfCqs boolean;
+  boolean.Add(MustQuery("q() :- p(X), edge(X, Y).", &vocab));
+  boolean.Add(MustQuery("q() :- r(X), edge(X, Y).", &vocab));
+  CheckRoundTrip(boolean, "boolean");
+
+  // A 0-ary shared slot: the merged aux itself is propositional.
+  UnionOfCqs propositional;
+  propositional.Add(MustQuery("q() :- p(X), m1().", &vocab));
+  propositional.Add(MustQuery("q() :- p(X), m2().", &vocab));
+  StatusOr<DatalogProgram> factored = FactorUcq(propositional);
+  ASSERT_TRUE(factored.ok()) << factored.status().ToString();
+  EXPECT_EQ(factored->cte_count(), 1);
+  EXPECT_EQ(factored->aux[0].arity, 0);
+  CheckRoundTrip(propositional, "propositional");
+
+  UnionOfCqs constants;
+  constants.Add(MustQuery("q(X) :- p(X), edge(X, a).", &vocab));
+  constants.Add(MustQuery("q(X) :- r(X), edge(X, a).", &vocab));
+  CheckRoundTrip(constants, "constants");
+}
+
+}  // namespace
+}  // namespace ontorew

@@ -13,6 +13,7 @@
 #include "db/facts_io.h"
 #include "gtest/gtest.h"
 #include "logic/printer.h"
+#include "rewriting/datalog.h"
 #include "rewriting/rewriter.h"
 #include "test_util.h"
 #include "workload/generators.h"
@@ -20,13 +21,22 @@
 #include "workload/university.h"
 
 // The differential harness — a standing correctness oracle. For each
-// generated (program, query, database) it computes certain answers three
+// generated (program, query, database) it computes certain answers four
 // ways and fails on any disagreement:
 //
 //   rewrite -> InMemoryBackend      (the evaluator the repo grew up on)
-//   rewrite -> SqliteBackend        (the paper's "plain SQL" delegation)
+//   rewrite -> SqliteBackend        (the paper's "plain SQL" delegation,
+//                                    flat UNION SQL)
+//   rewrite -> factor -> SqliteBackend
+//                                   (the same union compiled to
+//                                    nonrecursive Datalog and executed
+//                                    as WITH-CTE SQL)
 //   chase + evaluate                (the semantics oracle, when it
 //                                    terminates within budget)
+//
+// The factoring leg is never skipped: FactorUcq is deterministic and
+// cheap relative to the saturation, so a factoring failure is always a
+// bug, not a budget miss.
 //
 // Seeds whose rewriting or chase runs out of budget are skipped and
 // counted; the test asserts that enough seeds produced real comparisons.
@@ -111,6 +121,32 @@ DiffOutcome RunTriple(const TgdProgram& program, const Database& db,
     outcome.detail = StrCat("rewrite->inmemory (", from_memory->size(),
                             " answers) != rewrite->sqlite (",
                             from_sqlite->size(), " answers)");
+    return outcome;
+  }
+
+  // Third way: the union factored into nonrecursive Datalog, executed as
+  // one WITH-CTE statement. Factoring and execution errors are hard.
+  StatusOr<DatalogProgram> factored = FactorUcq(rewriting->ucq);
+  if (!factored.ok()) {
+    outcome.agree = false;
+    outcome.detail = StrCat("factoring failed: ",
+                            factored.status().ToString());
+    return outcome;
+  }
+  StatusOr<std::vector<Tuple>> from_cte =
+      sqlite.ExecuteDatalog(*factored, {});
+  if (!from_cte.ok()) {
+    outcome.agree = false;
+    outcome.detail = StrCat("cte execution failed: ",
+                            from_cte.status().ToString());
+    return outcome;
+  }
+  if (*from_memory != *from_cte) {
+    outcome.agree = false;
+    outcome.detail = StrCat("rewrite->inmemory (", from_memory->size(),
+                            " answers) != factor->sqlite-cte (",
+                            from_cte->size(), " answers, ",
+                            factored->cte_count(), " CTEs)");
     return outcome;
   }
 

@@ -102,11 +102,33 @@ TEST(WireTest, ControlVerbsParse) {
   }
 }
 
+TEST(WireTest, TargetOptionParses) {
+  StatusOr<WireRequest> cte = ParseWireRequest(
+      "QUERY tenant=uni target=cte q(X) :- person(X).");
+  ASSERT_TRUE(cte.ok()) << cte.status();
+  ASSERT_TRUE(cte->target.has_value());
+  EXPECT_EQ(*cte->target, RewriteTarget::kCte);
+  EXPECT_EQ(cte->query, "q(X) :- person(X).");
+
+  StatusOr<WireRequest> ucq = ParseWireRequest(
+      "QUERY tenant=uni target=ucq deadline_ms=50 q(X) :- person(X).");
+  ASSERT_TRUE(ucq.ok()) << ucq.status();
+  ASSERT_TRUE(ucq->target.has_value());
+  EXPECT_EQ(*ucq->target, RewriteTarget::kUcq);
+
+  // Unset keeps the tenant default.
+  StatusOr<WireRequest> plain =
+      ParseWireRequest("QUERY tenant=uni q(X) :- person(X).");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->target.has_value());
+}
+
 TEST(WireTest, MalformedRequestsAreInvalidArgument) {
   for (const char* bad :
        {"FETCH tenant=uni q(X) :- r(X).",  // Unknown verb.
         "QUERY q(X) :- r(X).",             // No tenant.
         "QUERY tenant=uni",                // No query text.
+        "QUERY tenant=uni target=csv q(X) :- r(X).",  // Unknown target.
         "QUERY tenant=uni deadline_ms=abc q(X) :- r(X)."}) {
     StatusOr<WireRequest> request = ParseWireRequest(bad);
     ASSERT_FALSE(request.ok()) << bad;
@@ -235,6 +257,46 @@ TEST_F(ServerTest, SqliteTenantAnswersWithTraceOverTcp) {
   EXPECT_EQ(response->rows,
             (std::vector<std::string>{"(ada)", "(turing)"}));
   EXPECT_FALSE(response->info.empty());  // The span tree came back.
+}
+
+TEST_F(ServerTest, CteTargetRoundTripsWithoutAliasingCacheEntries) {
+  OntologyServer server;
+  ASSERT_TRUE(server
+                  .AddTenant({.name = "uni",
+                              .program_text = kUniversityProgram,
+                              .facts_text = kUniversityFacts,
+                              .use_sqlite = true})
+                  .ok());
+  // person(X) expands four ways under the ontology, so the joined query
+  // below saturates into a union with a genuinely shared teaches-slot —
+  // the CTE target factors it instead of shipping the flat UNION.
+  const char* line = "QUERY tenant=uni %s q(X) :- teaches(X, C), person(X).";
+  auto query = [&](const char* target_opt) {
+    std::string request(line);
+    request.replace(request.find("%s"), 2, target_opt);
+    return MustParse(server.ServeLine(request));
+  };
+
+  const WireResponse flat = query("");
+  ASSERT_TRUE(flat.status.ok()) << flat.status;
+  EXPECT_FALSE(flat.cache_hit);
+  EXPECT_EQ(flat.rows, std::vector<std::string>{"(ada)"});
+
+  // The cte entry is keyed separately: no aliasing with the flat one,
+  // same answers through the WITH-CTE execution path.
+  const WireResponse cte = query("target=cte");
+  ASSERT_TRUE(cte.status.ok()) << cte.status;
+  EXPECT_FALSE(cte.cache_hit);
+  EXPECT_EQ(cte.rows, flat.rows);
+
+  // Warm repeats hit their own target's entry; an explicit target=ucq is
+  // the default entry, already cached by the first query.
+  EXPECT_TRUE(query("target=cte").cache_hit);
+  EXPECT_TRUE(query("target=ucq").cache_hit);
+
+  const WireResponse bad = query("target=csv");
+  EXPECT_EQ(bad.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(bad.retryable);
 }
 
 TEST_F(ServerTest, ErrorTaxonomyOnTheWire) {

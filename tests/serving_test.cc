@@ -754,6 +754,108 @@ TEST(AnswerEngineTest, InMemoryBackendMatchesBuiltInPath) {
             1);
 }
 
+// --- The CTE rewrite target --------------------------------------------------
+
+// One ontology+data set where the q2 join shape saturates into a union
+// with real shared structure (persons linked by a base `knows`).
+struct CteFixture {
+  Vocabulary vocab;
+  TgdProgram ontology;
+  Database db;
+  ConjunctiveQuery q2;
+  CteFixture() {
+    ontology = UniversityOntology(&vocab);
+    q2 = MustQuery("q(X) :- person(X), knows(X, Y), person(Y).", &vocab);
+    Rng rng(23);
+    UniversityInstanceOptions instance;
+    instance.num_students = 20;
+    db = UniversityInstance(instance, &rng, &vocab);
+    const PredicateId knows = vocab.MustPredicate("knows", 2);
+    const PredicateId person = vocab.MustPredicate("person", 1);
+    auto c = [&](const char* name) {
+      return Value::Constant(vocab.InternConstant(name));
+    };
+    db.Insert(person, {c("ada")});
+    db.Insert(person, {c("bob")});
+    db.Insert(knows, {c("ada"), c("bob")});
+    db.Insert(knows, {c("bob"), c("cyd")});  // cyd is no person: no answer.
+  }
+};
+
+TEST(AnswerEngineTest, CteTargetServesIdenticalAnswersOnSqlite) {
+  CteFixture fx;
+  AnswerEngineOptions options;
+  options.backend = std::make_shared<SqliteBackend>(&fx.vocab);
+  AnswerEngine engine(fx.ontology, fx.db, options);
+
+  ServeOptions as_ucq;
+  as_ucq.target = RewriteTarget::kUcq;
+  StatusOr<AnswerResult> ucq = engine.Serve(UnionOfCqs(fx.q2), as_ucq);
+  ASSERT_TRUE(ucq.ok()) << ucq.status();
+  EXPECT_EQ(ucq->datalog, nullptr);
+
+  ServeOptions as_cte;
+  as_cte.target = RewriteTarget::kCte;
+  StatusOr<AnswerResult> cte = engine.Serve(UnionOfCqs(fx.q2), as_cte);
+  ASSERT_TRUE(cte.ok()) << cte.status();
+  ASSERT_NE(cte->datalog, nullptr);
+  EXPECT_GE(cte->datalog->cte_count(), 1);
+
+  EXPECT_EQ(ucq->answers, cte->answers);
+  EXPECT_FALSE(cte->answers.empty());  // ada knows bob, both persons.
+  EXPECT_EQ(engine.metrics().Snapshot().Counter("rewrite_factored"), 1);
+  EXPECT_GT(engine.metrics().Snapshot().TimerNs("factor_ns"), 0);
+}
+
+TEST(AnswerEngineTest, CteTargetWorksWithoutSqlBackend) {
+  // Without a SQL backend the factored program cannot run natively; the
+  // engine evaluates the cached union instead — same answers, and the
+  // provenance still carries the factored program.
+  CteFixture fx;
+  AnswerEngine builtin(fx.ontology, fx.db);
+  ServeOptions as_cte;
+  as_cte.target = RewriteTarget::kCte;
+  StatusOr<AnswerResult> cte = builtin.Serve(UnionOfCqs(fx.q2), as_cte);
+  ASSERT_TRUE(cte.ok()) << cte.status();
+  ASSERT_NE(cte->datalog, nullptr);
+  StatusOr<std::vector<Tuple>> reference =
+      builtin.CertainAnswers(fx.q2);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(cte->answers, *reference);
+}
+
+TEST(AnswerEngineTest, TargetsNeverAliasInTheCache) {
+  CteFixture fx;
+  AnswerEngine engine(fx.ontology, fx.db);
+  const UnionOfCqs query(fx.q2);
+  // Different artifacts, different keys — a kCte entry (union + factored
+  // program) must never be returned to a kUcq request, even though both
+  // rewrite the same query under the same program.
+  EXPECT_NE(engine.CacheKey(query, RewriteTarget::kUcq),
+            engine.CacheKey(query, RewriteTarget::kCte));
+
+  ServeOptions as_ucq, as_cte;
+  as_ucq.target = RewriteTarget::kUcq;
+  as_cte.target = RewriteTarget::kCte;
+  ASSERT_TRUE(engine.Serve(query, as_ucq).ok());
+  ASSERT_TRUE(engine.Serve(query, as_cte).ok());
+  RewriteCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.size, 2u);
+
+  // Each target hits its own entry on repeat, with the right artifact.
+  StatusOr<AnswerResult> again_ucq = engine.Serve(query, as_ucq);
+  StatusOr<AnswerResult> again_cte = engine.Serve(query, as_cte);
+  ASSERT_TRUE(again_ucq.ok());
+  ASSERT_TRUE(again_cte.ok());
+  EXPECT_TRUE(again_ucq->cache_hit);
+  EXPECT_TRUE(again_cte->cache_hit);
+  EXPECT_EQ(again_ucq->datalog, nullptr);
+  ASSERT_NE(again_cte->datalog, nullptr);
+  EXPECT_EQ(engine.cache_stats().hits, 2);
+}
+
 // --- Request-scoped tracing --------------------------------------------------
 
 const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
@@ -1099,6 +1201,50 @@ TEST(AnswerEngineExplainTest, ReturnsRewritingAndSqlWithoutExecuting) {
   StatusOr<AnswerResult> served = engine.Serve(query);
   ASSERT_TRUE(served.ok());
   EXPECT_TRUE(served->cache_hit);
+}
+
+TEST(AnswerEngineExplainTest, CteTargetReportsFactoredSql) {
+  CteFixture fx;
+  AnswerEngineOptions options;
+  options.backend = std::make_shared<SqliteBackend>(&fx.vocab);
+  AnswerEngine engine(fx.ontology, fx.db, options);
+  const UnionOfCqs query(fx.q2);
+
+  ServeOptions as_cte;
+  as_cte.target = RewriteTarget::kCte;
+  StatusOr<ExplainResult> explained = engine.Explain(query, fx.vocab, as_cte);
+  ASSERT_TRUE(explained.ok()) << explained.status();
+  EXPECT_EQ(explained->target, RewriteTarget::kCte);
+  ASSERT_NE(explained->datalog, nullptr);
+  EXPECT_GE(explained->datalog->cte_count(), 1);
+  // The SQL shown is what a SQL backend would actually run for this
+  // target: the WITH-CTE statement, not the flat union.
+  EXPECT_EQ(explained->sql.rfind("WITH ", 0), 0u) << explained->sql;
+  EXPECT_NE(explained->sql.find("orw_cte_0"), std::string::npos);
+
+  const std::vector<SpanRecord> spans = explained->trace->Snapshot();
+  const SpanRecord* factor = FindSpan(spans, "factor");
+  ASSERT_NE(factor, nullptr);
+  EXPECT_TRUE(SpanHasAttrKey(*factor, "cte_count"));
+  const SpanRecord* emit = FindSpan(spans, "emit");
+  ASSERT_NE(emit, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*emit, "target", "cte"));
+  EXPECT_TRUE(SpanHasAttrKey(*emit, "cte_count"));
+
+  // Explain and Serve share the target-qualified entry: the serve that
+  // follows is a hit and executes exactly the factored program shown.
+  StatusOr<AnswerResult> served = engine.Serve(query, as_cte);
+  ASSERT_TRUE(served.ok()) << served.status();
+  EXPECT_TRUE(served->cache_hit);
+  ASSERT_NE(served->datalog, nullptr);
+  EXPECT_EQ(served->datalog.get(), explained->datalog.get());
+
+  // The default-target explanation still shows the flat union.
+  StatusOr<ExplainResult> flat = engine.Explain(query, fx.vocab);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->target, RewriteTarget::kUcq);
+  EXPECT_EQ(flat->datalog, nullptr);
+  EXPECT_EQ(flat->sql.rfind("SELECT", 0), 0u);
 }
 
 TEST(AnswerEngineExplainTest, WorksWithoutBackendAndHonoursDeadline) {
