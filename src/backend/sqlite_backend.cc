@@ -291,6 +291,10 @@ StatusOr<std::vector<Tuple>> SqliteBackend::Execute(
   OREW_RETURN_IF_ERROR(options.cancel.Check("sqlite.exec"));
   OREW_RETURN_IF_ERROR(CheckFaultPoint("backend.exec"));
 
+  // An empty union would produce zero chunks below and silently return
+  // zero rows; keep it an error, as UcqToSql reports for a whole union.
+  OREW_RETURN_IF_ERROR(ucq.Validate());
+
   // SQLite refuses compound SELECTs wider than SQLITE_LIMIT_COMPOUND_SELECT
   // (500 by default) — a saturated union like university_q3's 1000
   // disjuncts cannot even be *prepared* as one statement. Oversized
@@ -354,6 +358,10 @@ StatusOr<std::vector<Tuple>> SqliteBackend::ExecuteDatalog(
   // by SQLITE_LIMIT_COMPOUND_SELECT. Factored programs stay far below the
   // default 500, but a pathological one falls back to the unfolded union,
   // which Execute chunks transparently.
+  // The fallback call must happen with mutex_ released: it unfolds the
+  // program and re-enters Execute, which locks the same non-recursive
+  // mutex_ — returning from inside the guarded block would self-deadlock.
+  bool fallback = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const int compound_limit =
@@ -362,10 +370,10 @@ StatusOr<std::vector<Tuple>> SqliteBackend::ExecuteDatalog(
     for (const DatalogAux& aux : program.aux) {
       widest = std::max(widest, aux.rules.size());
     }
-    if (compound_limit > 0 && widest > static_cast<std::size_t>(compound_limit)) {
-      return Backend::ExecuteDatalog(program, options, stats);
-    }
+    fallback = compound_limit > 0 &&
+               widest > static_cast<std::size_t>(compound_limit);
   }
+  if (fallback) return Backend::ExecuteDatalog(program, options, stats);
   std::lock_guard<std::mutex> lock(mutex_);
   if (!loaded_) {
     return FailedPreconditionError("SqliteBackend: ExecuteDatalog before "
@@ -545,6 +553,13 @@ StatusOr<std::int64_t> SqliteBackend::StoredTuples() {
     total += sqlite3_column_int64(stmt, 0);
   }
   return total;
+}
+
+Status SqliteBackend::SetCompoundSelectLimitForTest(int limit) {
+  OREW_RETURN_IF_ERROR(open_status_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  sqlite3_limit(conn_, SQLITE_LIMIT_COMPOUND_SELECT, limit);
+  return Status::Ok();
 }
 
 }  // namespace ontorew

@@ -115,6 +115,11 @@ class SqliteBackend : public Backend {
   // Tuples stored across all tables (COUNT(*) sweep), for tests/benches.
   StatusOr<std::int64_t> StoredTuples();
 
+  // Lowers SQLITE_LIMIT_COMPOUND_SELECT on this connection so tests can
+  // exercise the oversized-union chunking in Execute and the unfold
+  // fallback in ExecuteDatalog without building 500-disjunct programs.
+  Status SetCompoundSelectLimitForTest(int limit);
+
   // Busy/locked attempts absorbed by backoff so far (injected or real) —
   // the soak harness asserts a contention burst lands here, not in failed
   // requests.

@@ -10,6 +10,7 @@
 #include "base/rng.h"
 #include "db/eval.h"
 #include "gtest/gtest.h"
+#include "rewriting/datalog.h"
 #include "rewriting/rewriter.h"
 #include "rewriting/sql.h"
 #include "test_util.h"
@@ -291,6 +292,79 @@ TEST(BackendTest, ExecuteBeforeLoadFails) {
   InMemoryBackend memory;
   EXPECT_EQ(memory.Execute(q, {}).status().code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST(BackendTest, EmptyUcqIsRejectedNotEmptyAnswer) {
+  // An empty union must keep failing with InvalidArgument (as UcqToSql
+  // reports), not slip through the chunking loop as zero statements and
+  // come back as an empty answer set.
+  Vocabulary vocab;
+  SqliteBackend sqlite(&vocab);
+  ASSERT_TRUE(sqlite.Load(TgdProgram(), Database()).ok());
+  EXPECT_EQ(sqlite.Execute(UnionOfCqs(), {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Five single-atom disjuncts over distinct predicates: nothing to
+// factor, so FactorUcq yields one output rule per disjunct. Every
+// predicate holds a shared constant (exercising cross-chunk dedup) plus
+// one of its own.
+UnionOfCqs MakeUnsharedUnion(int disjuncts, Database* db, Vocabulary* vocab) {
+  UnionOfCqs ucq;
+  for (int i = 0; i < disjuncts; ++i) {
+    const std::string name = "p" + std::to_string(i);
+    PredicateId p = vocab->MustPredicate(name, 1);
+    db->Insert(p, {Value::Constant(vocab->InternConstant("shared"))});
+    db->Insert(p, {Value::Constant(
+                      vocab->InternConstant("only" + std::to_string(i)))});
+    ucq.Add(MustQuery("q(X) :- " + name + "(X).", vocab));
+  }
+  return ucq;
+}
+
+TEST(BackendTest, OversizedUnionChunksAcrossCompoundLimit) {
+  // With SQLITE_LIMIT_COMPOUND_SELECT lowered to 2, a 5-disjunct union
+  // cannot be prepared as one statement; Execute must chunk it and merge
+  // (sort + dedup) the per-chunk answer sets.
+  Vocabulary vocab;
+  Database db;
+  UnionOfCqs ucq = MakeUnsharedUnion(5, &db, &vocab);
+  EvalOptions reference_options{.drop_tuples_with_nulls = true, .cancel = {}};
+  std::vector<Tuple> reference = Evaluate(ucq, db, reference_options);
+  ASSERT_EQ(reference.size(), 6u);  // "shared" deduped across chunks.
+
+  SqliteBackend sqlite(&vocab);
+  ASSERT_TRUE(sqlite.Load(TgdProgram(), db).ok());
+  ASSERT_TRUE(sqlite.SetCompoundSelectLimitForTest(2).ok());
+  StatusOr<std::vector<Tuple>> answers = sqlite.Execute(ucq, {});
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(*answers, reference);
+}
+
+TEST(BackendTest, WideDatalogProgramFallsBackWithoutDeadlock) {
+  // A factored program whose output union is wider than
+  // SQLITE_LIMIT_COMPOUND_SELECT cannot be emitted as one WITH-CTE
+  // statement; ExecuteDatalog must fall back to the unfolded chunked
+  // Execute path *after* releasing the connection mutex — a regression
+  // here self-deadlocks (the fallback re-enters Execute, which locks the
+  // same non-recursive mutex) instead of failing an assertion.
+  Vocabulary vocab;
+  Database db;
+  UnionOfCqs ucq = MakeUnsharedUnion(5, &db, &vocab);
+  StatusOr<DatalogProgram> factored = FactorUcq(ucq);
+  ASSERT_TRUE(factored.ok()) << factored.status();
+  EXPECT_EQ(factored->cte_count(), 0);  // No shareable structure.
+  ASSERT_GT(factored->output.size(), 2u);
+
+  EvalOptions reference_options{.drop_tuples_with_nulls = true, .cancel = {}};
+  std::vector<Tuple> reference = Evaluate(ucq, db, reference_options);
+
+  SqliteBackend sqlite(&vocab);
+  ASSERT_TRUE(sqlite.Load(TgdProgram(), db).ok());
+  ASSERT_TRUE(sqlite.SetCompoundSelectLimitForTest(2).ok());
+  StatusOr<std::vector<Tuple>> answers = sqlite.ExecuteDatalog(*factored, {});
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_EQ(*answers, reference);
 }
 
 TEST(BackendTest, DeadlineMapsToProgressHandler) {
