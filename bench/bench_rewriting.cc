@@ -10,12 +10,16 @@
 //   bench_rewriting --json [--out=F] [--trace]
 //                                       machine-readable perf harness —
 //     runs each named workload at threads 1 and 4, reports best-of-3
-//     wall time, steps/sec, saturation counters and the compiled-SQL
-//     size under both rewrite targets (flat UNION vs factored WITH-CTE),
-//     plus two end-to-end SQLite rows for university_q3 (one per
-//     target), as "ontorew-bench-rewrite/1" JSON (see README
-//     "Benchmarking" and the checked-in baseline BENCH_rewrite.json
-//     guarded by the CI bench-smoke step via bench/check_bench.py).
+//     wall time split into saturate_ms / factor_ms / emit_ms phases,
+//     steps/sec, saturation counters and the compiled-SQL size under
+//     both rewrite targets (flat UNION vs factored WITH-CTE), plus two
+//     end-to-end SQLite rows for university_q3 (one per target; the cte
+//     row runs the DAG-native RewriteToDatalog) and a product_6x8
+//     blow-up row (DAG milliseconds where the flat union is infeasible),
+//     as "ontorew-bench-rewrite/1" JSON (see README "Benchmarking" and
+//     the checked-in baseline BENCH_rewrite.json guarded by the CI
+//     bench-smoke step via bench/check_bench.py, including its
+//     --dag-blowup gate).
 
 #include <benchmark/benchmark.h>
 
@@ -34,6 +38,7 @@
 #include "logic/parser.h"
 #include "logic/vocabulary.h"
 #include "rewriting/cte_sql.h"
+#include "rewriting/dag_rewriter.h"
 #include "rewriting/datalog.h"
 #include "rewriting/rewriter.h"
 #include "rewriting/sql.h"
@@ -207,17 +212,34 @@ struct SqlSizes {
   std::size_t ucq_bytes = 0;
   std::size_t cte_bytes = 0;
   int cte_count = 0;
+  // Phase timings behind the sizes: factoring the union into Datalog and
+  // rendering both SQL strings. Together with the saturation wall time
+  // they give each row its saturate/factor/emit split.
+  double factor_ms = 0.0;
+  double emit_ms = 0.0;
 };
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 SqlSizes MeasureSqlSizes(const UnionOfCqs& ucq, const Vocabulary& vocab) {
   SqlSizes sizes;
+  const auto emit_union_start = std::chrono::steady_clock::now();
   StatusOr<std::string> union_sql = UcqToSql(ucq, vocab);
+  const double emit_union_ms = MsSince(emit_union_start);
   OREW_CHECK(union_sql.ok()) << union_sql.status();
   sizes.ucq_bytes = union_sql->size();
+  const auto factor_start = std::chrono::steady_clock::now();
   StatusOr<DatalogProgram> factored = FactorUcq(ucq);
+  sizes.factor_ms = MsSince(factor_start);
   OREW_CHECK(factored.ok()) << factored.status();
   sizes.cte_count = factored->cte_count();
+  const auto emit_cte_start = std::chrono::steady_clock::now();
   StatusOr<std::string> cte_sql = DatalogToCteSql(*factored, vocab);
+  sizes.emit_ms = emit_union_ms + MsSince(emit_cte_start);
   OREW_CHECK(cte_sql.ok()) << cte_sql.status();
   sizes.cte_bytes = cte_sql->size();
   return sizes;
@@ -225,10 +247,12 @@ SqlSizes MeasureSqlSizes(const UnionOfCqs& ucq, const Vocabulary& vocab) {
 
 // End-to-end rows for the deep university join (the CTE compiler's
 // headline workload): rewrite + compile + execute against a populated
-// in-memory SQLite instance, once per rewrite target. Both rows pay the
-// same saturation; the difference is the SQL the database has to parse
-// and run — a ~1000-arm UNION versus a handful of CTEs joined three
-// ways. Answers are cross-checked between the two targets.
+// in-memory SQLite instance, once per rewrite target. The ucq row pays
+// the full flat saturation and ships a ~1000-arm UNION; the cte row runs
+// the DAG-native RewriteToDatalog — per-group saturation, never the flat
+// union — and ships a handful of CTEs joined three ways, so its
+// saturate_ms phase drops along with the SQL. Answers are cross-checked
+// between the two targets.
 void AppendE2eRows(std::string* json, bool* first) {
   Vocabulary vocab;
   TgdProgram ontology = UniversityOntology(&vocab);
@@ -267,40 +291,69 @@ void AppendE2eRows(std::string* json, bool* first) {
   for (int which = 0; which < 2; ++which) {
     const bool cte = which == 1;
     const char* name = cte ? "university_q3_e2e_cte" : "university_q3_e2e_ucq";
-    double best_ms = 0.0;
-    SqlSizes sizes;
-    int disjuncts = 0;
+    double best_ms = 0.0, best_saturate_ms = 0.0, best_factor_ms = 0.0;
+    std::size_t ucq_sql_bytes = 0, cte_sql_bytes = 0;
+    int cte_count = 0;
+    long long disjuncts = 0;
     constexpr int kRuns = 3;
     for (int run = 0; run < kRuns; ++run) {
       const auto start = std::chrono::steady_clock::now();
-      StatusOr<RewriteResult> rewriting = RewriteCq(*query, ontology, options);
-      OREW_CHECK(rewriting.ok()) << rewriting.status();
+      double saturate_ms = 0.0, factor_ms = 0.0;
       StatusOr<std::vector<Tuple>> result =
           [&]() -> StatusOr<std::vector<Tuple>> {
-        if (!cte) return backend.Execute(rewriting->ucq, {});
-        StatusOr<DatalogProgram> factored = FactorUcq(rewriting->ucq);
-        if (!factored.ok()) return factored.status();
-        return backend.ExecuteDatalog(*factored, {});
+        if (!cte) {
+          StatusOr<RewriteResult> rewriting =
+              RewriteCq(*query, ontology, options);
+          saturate_ms = MsSince(start);
+          if (!rewriting.ok()) return rewriting.status();
+          if (run == 0) {
+            const SqlSizes sizes = MeasureSqlSizes(rewriting->ucq, vocab);
+            ucq_sql_bytes = sizes.ucq_bytes;
+            cte_sql_bytes = sizes.cte_bytes;
+            cte_count = sizes.cte_count;
+            disjuncts = rewriting->ucq.size();
+          }
+          return backend.Execute(rewriting->ucq, {});
+        }
+        DagRewriteOptions dag_options;
+        dag_options.rewriter = options;
+        StatusOr<DagRewriteResult> dag =
+            RewriteToDatalog(UnionOfCqs(*query), ontology, dag_options);
+        if (!dag.ok()) return dag.status();
+        saturate_ms = static_cast<double>(dag->saturate_ns) / 1e6;
+        factor_ms = static_cast<double>(dag->factor_ns) / 1e6;
+        if (run == 0) {
+          OREW_CHECK(!dag->fallback)
+              << "university_q3 must take the DAG path, not the fallback";
+          StatusOr<std::string> sql = DatalogToCteSql(dag->program, vocab);
+          if (!sql.ok()) return sql.status();
+          // No flat union exists on this path (that is the point), so
+          // the row reports ucq_sql_bytes 0 and the IMPLIED disjunct
+          // count the program stands for.
+          cte_sql_bytes = sql->size();
+          cte_count = dag->program.cte_count();
+          disjuncts = dag->implied_disjuncts;
+        }
+        return backend.ExecuteDatalog(dag->program, {});
       }();
-      const auto stop = std::chrono::steady_clock::now();
+      const double ms = MsSince(start);
       OREW_CHECK(result.ok()) << name << ": " << result.status();
-      const double ms =
-          std::chrono::duration<double, std::milli>(stop - start).count();
-      if (run == 0 || ms < best_ms) best_ms = ms;
-      if (run == 0) {
-        answers[which] = *std::move(result);
-        sizes = MeasureSqlSizes(rewriting->ucq, vocab);
-        disjuncts = rewriting->ucq.size();
+      if (run == 0 || ms < best_ms) {
+        best_ms = ms;
+        best_saturate_ms = saturate_ms;
+        best_factor_ms = factor_ms;
       }
+      if (run == 0) answers[which] = *std::move(result);
     }
     char line[768];
     std::snprintf(
         line, sizeof(line),
         "    {\"name\": \"%s\", \"threads\": 1, \"threads_used\": 1, "
-        "\"wall_ms\": %.3f, \"disjuncts\": %d, \"answers\": %zu, "
+        "\"wall_ms\": %.3f, \"saturate_ms\": %.3f, \"factor_ms\": %.3f, "
+        "\"disjuncts\": %lld, \"answers\": %zu, "
         "\"ucq_sql_bytes\": %zu, \"cte_sql_bytes\": %zu, \"cte_count\": %d}",
-        name, best_ms, disjuncts, answers[which].size(), sizes.ucq_bytes,
-        sizes.cte_bytes, sizes.cte_count);
+        name, best_ms, best_saturate_ms, best_factor_ms, disjuncts,
+        answers[which].size(), ucq_sql_bytes, cte_sql_bytes, cte_count);
     if (!*first) *json += ",\n";
     *first = false;
     *json += line;
@@ -309,6 +362,80 @@ void AppendE2eRows(std::string* json, bool* first) {
   }
   OREW_CHECK(answers[0] == answers[1])
       << "e2e rewrite targets disagree on university_q3";
+}
+
+// The cross-product blow-up row: ProductQuery(6) over ProductFamily(8)
+// implies (8+1)^6 = 531441 flat disjuncts — far past any materialization
+// budget — while the DAG rewriting memoizes the single shared p-group
+// and emits ~k + d rules in milliseconds. The row records the DAG wall
+// time (best of 3) plus a single capped flat probe: flat_outcome says
+// how the flat saturation died (or "ok" with its time, should it ever
+// manage), and the check_bench.py --dag-blowup gate holds the DAG side
+// to a hard ceiling while requiring the flat side stayed infeasible.
+void AppendDagBlowupRow(std::string* json, bool* first) {
+  Vocabulary vocab;
+  TgdProgram program = ProductFamily(8, &vocab);
+  const UnionOfCqs query(ProductQuery(6, &vocab));
+
+  DagRewriteOptions dag_options;
+  dag_options.rewriter.max_cqs = 300000;
+  double best_ms = 0.0, best_saturate_ms = 0.0, best_factor_ms = 0.0;
+  long long disjuncts = 0;
+  int cte_count = 0;
+  std::size_t cte_sql_bytes = 0;
+  constexpr int kRuns = 3;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto start = std::chrono::steady_clock::now();
+    StatusOr<DagRewriteResult> dag =
+        RewriteToDatalog(query, program, dag_options);
+    const double ms = MsSince(start);
+    OREW_CHECK(dag.ok()) << dag.status();
+    OREW_CHECK(!dag->fallback) << "product_6x8 must take the DAG path";
+    if (run == 0 || ms < best_ms) {
+      best_ms = ms;
+      best_saturate_ms = static_cast<double>(dag->saturate_ns) / 1e6;
+      best_factor_ms = static_cast<double>(dag->factor_ns) / 1e6;
+    }
+    if (run == 0) {
+      disjuncts = dag->implied_disjuncts;
+      cte_count = dag->program.cte_count();
+      StatusOr<std::string> sql = DatalogToCteSql(dag->program, vocab);
+      OREW_CHECK(sql.ok()) << sql.status();
+      cte_sql_bytes = sql->size();
+    }
+  }
+
+  // One capped probe of the flat path, so the row documents WHY the DAG
+  // side matters. 2 s is orders of magnitude more than the DAG needs.
+  RewriterOptions flat_options;
+  flat_options.max_cqs = 300000;
+  flat_options.cancel = CancelScope(Deadline::AfterMillis(2000));
+  const auto flat_start = std::chrono::steady_clock::now();
+  StatusOr<RewriteResult> flat = RewriteCq(query.disjuncts()[0], program,
+                                           flat_options);
+  const double flat_ms = MsSince(flat_start);
+  const char* flat_outcome = "ok";
+  if (!flat.ok()) {
+    flat_outcome = flat.status().code() == StatusCode::kResourceExhausted
+                       ? "max_cqs"
+                       : "deadline";
+  }
+
+  char line[768];
+  std::snprintf(
+      line, sizeof(line),
+      "    {\"name\": \"product_6x8\", \"threads\": 1, \"threads_used\": 1, "
+      "\"wall_ms\": %.3f, \"saturate_ms\": %.3f, \"factor_ms\": %.3f, "
+      "\"disjuncts\": %lld, \"ucq_sql_bytes\": 0, \"cte_sql_bytes\": %zu, "
+      "\"cte_count\": %d, \"flat_ms\": %.3f, \"flat_outcome\": \"%s\"}",
+      best_ms, best_saturate_ms, best_factor_ms, disjuncts, cte_sql_bytes,
+      cte_count, flat_ms, flat_outcome);
+  if (!*first) *json += ",\n";
+  *first = false;
+  *json += line;
+  std::fprintf(stderr,
+               "%-24s threads=1  %8.3f ms  (flat: %s after %.0f ms)\n",
+               "product_6x8", best_ms, flat_outcome, flat_ms);
 }
 
 // With `traced` set, every rewrite carries a live Trace (one fresh Trace
@@ -355,16 +482,21 @@ int RunJsonHarness(const std::string& out_path, bool traced) {
       const double steps_per_sec =
           best_ms > 0.0 ? measured.steps / (best_ms / 1000.0) : 0.0;
       const SqlSizes sizes = MeasureSqlSizes(measured.ucq, workload.vocab);
+      // These rows time RewriteCq alone, so the whole wall is the
+      // saturate phase; factoring and emission are measured on the side
+      // by MeasureSqlSizes and reported as their own phases.
       char line[768];
       std::snprintf(
           line, sizeof(line),
           "    {\"name\": \"%s\", \"threads\": %d, \"threads_used\": %d, "
-          "\"wall_ms\": %.3f, "
+          "\"wall_ms\": %.3f, \"saturate_ms\": %.3f, \"factor_ms\": %.3f, "
+          "\"emit_ms\": %.3f, "
           "\"steps\": %d, \"steps_per_sec\": %.1f, \"generated\": %d, "
           "\"pruned\": %d, \"disjuncts\": %d, "
           "\"ucq_sql_bytes\": %zu, \"cte_sql_bytes\": %zu, "
           "\"cte_count\": %d}",
           workload.name.c_str(), threads, measured.threads_used, best_ms,
+          best_ms, sizes.factor_ms, sizes.emit_ms,
           measured.steps, steps_per_sec, measured.generated, measured.pruned,
           measured.ucq.size(), sizes.ucq_bytes, sizes.cte_bytes,
           sizes.cte_count);
@@ -377,6 +509,7 @@ int RunJsonHarness(const std::string& out_path, bool traced) {
     }
   }
   AppendE2eRows(&json, &first);
+  AppendDagBlowupRow(&json, &first);
   json += "\n  ]\n}\n";
   if (out_path.empty()) {
     std::fputs(json.c_str(), stdout);

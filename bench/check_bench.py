@@ -4,6 +4,7 @@
 Usage: check_bench.py [--max-ratio=R] [--abs-floor-ms=M]
                       [--min-parallel-speedup=R] [--parallel-floor-ms=M]
                       [--max-cte-sql-ratio=NAME:R ...]
+                      [--dag-blowup=NAME:MS ...]
                       CURRENT.json [BASELINE.json]
 
 BASELINE defaults to BENCH_rewrite.json at the repository root. A workload
@@ -12,6 +13,10 @@ the absolute regression exceeds --abs-floor-ms — sub-millisecond workloads
 jitter far beyond 2x on shared CI runners, so tiny absolute deltas never
 fail the build. Workloads present only on one side are reported but do not
 fail (renames land together with a baseline refresh in the same commit).
+Phase timings (saturate_ms / factor_ms / emit_ms) are gated with the same
+ratio-plus-absolute-floor rule, but only for phases present on BOTH sides
+of a row — the checker gates the phases it knows and ignores the rest, so
+older baselines without the split keep working.
 
 --min-parallel-speedup=R additionally compares each workload's threads=4
 row against its threads=1 row *within CURRENT.json* and fails if the
@@ -37,6 +42,14 @@ that keeps the Datalog factoring actually compressing the workloads it is
 supposed to compress. It is per-workload because not every shape factors:
 chain_256 shares nothing across its disjuncts and degenerates to the plain
 union, which is correct behaviour, not a regression.
+
+--dag-blowup=NAME:MS (repeatable) checks, within CURRENT.json, that the
+DAG rewriting of blow-up workload NAME finished under MS milliseconds
+while the flat rewriting of the same query was genuinely infeasible: its
+recorded flat_outcome must be "max_cqs" or "deadline", or — if the flat
+probe somehow finished — its flat_ms must be at least 10 x MS. This is
+the acceptance gate for the factored saturation: the cross-product shape
+must stay exponential for the flat path and milliseconds for the DAG.
 
 Exit status: 0 when no workload regressed, 1 otherwise.
 """
@@ -112,6 +125,39 @@ def check_parallel_speedup(doc, min_speedup, floor_ms):
     return failed
 
 
+def check_dag_blowup(doc, gates):
+    """Within one results file: each gated blow-up workload's DAG rewrite
+    must beat its ceiling while the flat probe proved infeasible. Returns
+    failed gate names."""
+    rows = index(doc)
+    failed = []
+    for name, max_ms in gates:
+        row = rows.get((name, 1))
+        if row is None:
+            print(f"FAIL  {name}: no threads=1 row to judge the DAG blowup")
+            failed.append(f"{name} (dag-blowup: missing row)")
+            continue
+        wall_ms = row["wall_ms"]
+        flat_outcome = row.get("flat_outcome", "missing")
+        flat_ms = row.get("flat_ms", 0.0)
+        dag_ok = wall_ms < max_ms
+        flat_infeasible = flat_outcome in ("max_cqs", "deadline") or (
+            flat_outcome == "ok" and flat_ms >= 10 * max_ms
+        )
+        ok = dag_ok and flat_infeasible
+        status = "ok" if ok else "FAIL"
+        print(
+            f"{status:5s} {name}: dag {wall_ms:.3f} ms (require < {max_ms}), "
+            f"flat {flat_outcome} after {flat_ms:.0f} ms "
+            f"({row.get('disjuncts', 0)} implied disjuncts)"
+        )
+        if not dag_ok:
+            failed.append(f"{name} (dag-blowup {wall_ms:.3f} ms >= {max_ms})")
+        elif not flat_infeasible:
+            failed.append(f"{name} (dag-blowup: flat path no longer blows up)")
+    return failed
+
+
 def check_cte_sql_ratio(doc, gates):
     """Within one results file: each gated workload's factored CTE SQL must
     be at most ratio x its flat UNION SQL. Returns failed gate names."""
@@ -148,6 +194,7 @@ def main(argv):
     min_parallel_speedup = None
     parallel_floor_ms = PARALLEL_FLOOR_MS
     cte_sql_gates = []
+    dag_blowup_gates = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--max-ratio="):
@@ -166,6 +213,12 @@ def main(argv):
                 )
             name, ratio = spec.rsplit(":", 1)
             cte_sql_gates.append((name, float(ratio)))
+        elif arg.startswith("--dag-blowup="):
+            spec = arg.split("=", 1)[1]
+            if ":" not in spec:
+                sys.exit(f"--dag-blowup wants NAME:MS, got {spec!r}")
+            name, ms = spec.rsplit(":", 1)
+            dag_blowup_gates.append((name, float(ms)))
         elif arg.startswith("--"):
             sys.exit(f"unknown flag {arg!r}\n\n{__doc__}")
         else:
@@ -204,6 +257,23 @@ def main(argv):
         )
         if regressed:
             failed.append(name)
+        # Gate the phases the two sides both report (older baselines
+        # predate the split and are simply not judged on it).
+        for phase in ("saturate_ms", "factor_ms", "emit_ms"):
+            base_phase = baseline[key].get(phase)
+            cur_phase = current[key].get(phase)
+            if base_phase is None or cur_phase is None:
+                continue
+            phase_regressed = (
+                cur_phase > base_phase * max_ratio
+                and cur_phase - base_phase > abs_floor_ms
+            )
+            if phase_regressed:
+                print(
+                    f"FAIL  {name} {phase}: {cur_phase:.3f} ms vs baseline "
+                    f"{base_phase:.3f} ms"
+                )
+                failed.append(f"{name} ({phase})")
 
     if min_parallel_speedup is not None:
         print(f"\nparallel-speedup gate (require {min_parallel_speedup}x):")
@@ -214,6 +284,10 @@ def main(argv):
     if cte_sql_gates:
         print("\ncte-sql-size gate:")
         failed += check_cte_sql_ratio(current_doc, cte_sql_gates)
+
+    if dag_blowup_gates:
+        print("\ndag-blowup gate:")
+        failed += check_dag_blowup(current_doc, dag_blowup_gates)
 
     if failed:
         print(f"\n{len(failed)} workload(s) out of budget: "

@@ -272,7 +272,14 @@ int ResolveRewriteThreads(int requested, std::size_t num_tasks) {
   // workers are compute-bound and preemptible — so small hosts still run
   // a real pool; fork-bomb protection comes from kMaxThreads.
   constexpr int kOversubscribeFloor = 4;
-  if (requested <= 1 || num_tasks <= 1) return 1;
+  // Below this many tasks a pool cannot win: spawning + joining even one
+  // jthread costs ~100µs while a handful of expansions or containment
+  // tests finish in a fraction of that (paper_example1 at threads=4 was
+  // 3x SLOWER than inline). Callers whose task count is only an estimate
+  // (the saturator's first-level fan-out) re-resolve after an inline
+  // warmup when the workload proves larger — see Saturator::Run.
+  constexpr std::size_t kMinTasksForPool = 8;
+  if (requested <= 1 || num_tasks < kMinTasksForPool) return 1;
   int resolved = std::min(requested, kMaxThreads);
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;

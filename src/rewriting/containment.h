@@ -119,14 +119,17 @@ StatusOr<UnionOfCqs> MinimizeUcqWithOptions(const UnionOfCqs& ucq,
 UnionOfCqs MinimizeUcq(const UnionOfCqs& ucq);
 
 // Clamps a requested rewriting/minimization thread count: <= 0 and 1 both
-// mean inline execution, as does num_tasks <= 1 (a pool with nothing to
-// share is pure overhead — callers must pass the real task count, e.g.
-// the rewriter passes its initial worklist size plus the first-level
-// rule fan-out, not a sentinel). Larger requests are capped by a hard
-// bound and by max(hardware_concurrency, a small oversubscription floor):
-// absurd requests must not fork-bomb the process, but 1–2 core hosts
-// still run a real pool so concurrency bugs cannot hide behind the
-// clamp.
+// mean inline execution, as does any num_tasks below a small floor
+// (currently 8) — a pool with too little to share is pure overhead, and
+// sub-millisecond saturations were measurably SLOWER with threads than
+// without. Callers must pass the real task count, e.g. the rewriter
+// passes its initial worklist size plus the first-level rule fan-out,
+// not a sentinel; when that estimate undershoots, the saturator's inline
+// warmup re-resolves with the observed backlog (see Saturator::Run).
+// Larger requests are capped by a hard bound and by
+// max(hardware_concurrency, a small oversubscription floor): absurd
+// requests must not fork-bomb the process, but 1–2 core hosts still run
+// a real pool so concurrency bugs cannot hide behind the clamp.
 int ResolveRewriteThreads(int requested, std::size_t num_tasks);
 
 }  // namespace ontorew

@@ -307,6 +307,21 @@ class Saturator {
         options_.threads,
         static_cast<std::size_t>(
             pending_.load(std::memory_order_relaxed)) + fan_out);
+    if (threads_used_ <= 1 && options_.threads > 1) {
+      // The up-front estimate is only accurate near zero: a 1-disjunct
+      // query over a few rules resolves to "stay inline", yet its
+      // expansion may fan out into hundreds of CQs. Probe with a bounded
+      // inline warmup; if work is still pending afterwards the workload
+      // proved itself non-tiny, so re-resolve with a generous task count
+      // and spawn the pool. The warmup runs strictly before any worker
+      // thread exists, so it needs no extra synchronization.
+      constexpr long kWarmupBudget = 64;
+      WorkerLoop(0, kWarmupBudget);
+      if (!stop_.load(std::memory_order_acquire) &&
+          pending_.load(std::memory_order_acquire) > 0) {
+        threads_used_ = ResolveRewriteThreads(options_.threads, kPlentyOfWork);
+      }
+    }
     if (threads_used_ <= 1) {
       WorkerLoop(0);
     } else {
@@ -758,8 +773,13 @@ class Saturator {
     WakeAll();
   }
 
-  void WorkerLoop(int w) {
+  // `budget` < 0 runs until the saturation completes (or stops on error);
+  // a non-negative budget returns after dequeuing that many items,
+  // leaving any remaining work queued — the single-threaded warmup pass
+  // in Run uses this to probe whether a "tiny" estimate was wrong.
+  void WorkerLoop(int w, long budget = -1) {
     for (;;) {
+      if (budget == 0) return;
       if (stop_.load(std::memory_order_acquire)) return;
       std::uint64_t epoch = 0;
       if (parallel_.load(std::memory_order_relaxed)) {
@@ -784,6 +804,7 @@ class Saturator {
         });
         continue;
       }
+      if (budget > 0) --budget;
       if (item->retired.load(std::memory_order_relaxed)) {
         DoneWork();
         continue;

@@ -7,6 +7,7 @@
 #include "classes/weakly_acyclic.h"
 #include "logic/canonical.h"
 #include "rewriting/cte_sql.h"
+#include "rewriting/dag_rewriter.h"
 #include "rewriting/datalog.h"
 #include "rewriting/sql.h"
 
@@ -65,10 +66,12 @@ std::string CacheKeyFor(const UnionOfCqs& query, std::uint64_t fingerprint,
 }
 
 // Aliases the UCQ member of a cache entry: the returned pointer shares
-// the entry's lifetime, so it stays valid after cache eviction.
+// the entry's lifetime, so it stays valid after cache eviction. Null for
+// kCte entries, which hold only the factored program.
 std::shared_ptr<const UnionOfCqs> UcqOf(
     const std::shared_ptr<const CachedRewriting>& cached) {
-  return std::shared_ptr<const UnionOfCqs>(cached, &cached->ucq);
+  if (!cached->ucq.has_value()) return nullptr;
+  return std::shared_ptr<const UnionOfCqs>(cached, &*cached->ucq);
 }
 
 std::shared_ptr<const DatalogProgram> DatalogOf(
@@ -216,7 +219,6 @@ StatusOr<std::shared_ptr<const CachedRewriting>> AnswerEngine::RewriteInternal(
   auto entry = std::make_shared<CachedRewriting>();
   {
     TraceSpan rewrite_span(trace, "rewrite");
-    ScopedTimer timer(&metrics_, "rewrite_ns");
     RewriterOptions rewriter = options_.rewriter;
     // The per-request scope tightens whatever the engine-wide options
     // carry: the earlier deadline wins, the request token applies.
@@ -233,42 +235,50 @@ StatusOr<std::shared_ptr<const CachedRewriting>> AnswerEngine::RewriteInternal(
       metrics_.Increment("rewrite_degraded");
       rewrite_span.Attr("degraded", "no-minimize");
     }
-    StatusOr<RewriteResult> rewritten =
-        RewriteUcq(query, *snap.program, rewriter);
-    if (!rewritten.ok()) {
-      rewrite_span.AnnotateStatus(rewritten.status());
-      return rewritten.status();
+    if (target == RewriteTarget::kCte) {
+      // DAG-native compilation: the saturator emits the factored Datalog
+      // program directly (per-group memoized saturation + a "factor"
+      // assembly span inside), never materializing the flat union — the
+      // entry caches the program alone. Data-independent like the flat
+      // rewriting, so it is computed once per cache entry.
+      DagRewriteOptions dag_options;
+      dag_options.rewriter = rewriter;
+      dag_options.factor.cancel = rewriter.cancel;
+      StatusOr<DagRewriteResult> dag =
+          RewriteToDatalog(query, *snap.program, dag_options);
+      if (!dag.ok()) {
+        rewrite_span.AnnotateStatus(dag.status());
+        return dag.status();
+      }
+      metrics_.AddTimeNs("rewrite_ns", dag->saturate_ns);
+      metrics_.AddTimeNs("factor_ns", dag->factor_ns);
+      metrics_.Increment("rewrite_pruned_total", dag->pruned);
+      metrics_.SetGauge("rewrite_threads", dag->threads_used);
+      metrics_.Increment("rewrite_factored");
+      metrics_.Increment(dag->fallback ? "rewrite_dag_fallback"
+                                       : "rewrite_dag");
+      rewrite_span.Attr("mode", dag->fallback ? "flat-fallback" : "dag");
+      rewrite_span.Attr("groups", static_cast<std::int64_t>(dag->groups));
+      rewrite_span.Attr("memo_hits",
+                        static_cast<std::int64_t>(dag->memo_hits));
+      rewrite_span.Attr("disjuncts", dag->implied_disjuncts);
+      entry->datalog = std::move(dag->program);
+    } else {
+      ScopedTimer timer(&metrics_, "rewrite_ns");
+      StatusOr<RewriteResult> rewritten =
+          RewriteUcq(query, *snap.program, rewriter);
+      if (!rewritten.ok()) {
+        rewrite_span.AnnotateStatus(rewritten.status());
+        return rewritten.status();
+      }
+      RewriteResult result = std::move(rewritten).value();
+      metrics_.Increment("rewrite_pruned_total", result.pruned);
+      metrics_.SetGauge("rewrite_threads", result.threads_used);
+      rewrite_span.Attr(
+          "disjuncts",
+          static_cast<std::int64_t>(result.ucq.disjuncts().size()));
+      entry->ucq = std::move(result.ucq);
     }
-    RewriteResult result = std::move(rewritten).value();
-    metrics_.Increment("rewrite_pruned_total", result.pruned);
-    metrics_.SetGauge("rewrite_threads", result.threads_used);
-    rewrite_span.Attr("disjuncts",
-                      static_cast<std::int64_t>(result.ucq.disjuncts().size()));
-    entry->ucq = std::move(result.ucq);
-  }
-
-  if (target == RewriteTarget::kCte) {
-    // The extra compilation stage of this target: factor the saturated
-    // union into a nonrecursive Datalog program. Data-independent like
-    // the rewriting itself, so it is computed once per cache entry.
-    TraceSpan factor_span(trace, "factor");
-    ScopedTimer timer(&metrics_, "factor_ns");
-    DatalogFactorOptions factor_options;
-    factor_options.cancel = cancel;
-    StatusOr<DatalogProgram> factored =
-        FactorUcq(entry->ucq, factor_options);
-    if (!factored.ok()) {
-      factor_span.AnnotateStatus(factored.status());
-      return factored.status();
-    }
-    factor_span.Attr("cte_count",
-                     static_cast<std::int64_t>(factored->cte_count()));
-    factor_span.Attr("rules",
-                     static_cast<std::int64_t>(factored->total_rules()));
-    factor_span.Attr("disjuncts",
-                     static_cast<std::int64_t>(factored->input_disjuncts));
-    metrics_.Increment("rewrite_factored");
-    entry->datalog = std::move(factored).value();
   }
 
   std::shared_ptr<const CachedRewriting> rewriting = std::move(entry);
@@ -486,6 +496,19 @@ StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(
     metrics_.Increment(StrCat(prefix, "_exec"));
   } else {
     eval_span.Attr("backend", "builtin");
+    std::shared_ptr<const UnionOfCqs> flat = result.rewriting;
+    if (flat == nullptr) {
+      // A kCte entry caches only the factored program; the builtin
+      // evaluator wants a flat union, so unfold on demand (bounded by the
+      // unfolder's disjunct cap). Not cached — the cache must not retain
+      // the artifact the DAG path exists to avoid materializing.
+      StatusOr<UnionOfCqs> unfolded = UnfoldDatalog(*result.datalog);
+      if (!unfolded.ok()) {
+        eval_span.AnnotateStatus(unfolded.status());
+        return unfolded.status();
+      }
+      flat = std::make_shared<const UnionOfCqs>(std::move(unfolded).value());
+    }
     ParallelEvalOptions eval_options;
     eval_options.num_threads = options_.num_threads;
     eval_options.eval = options_.eval;
@@ -493,8 +516,7 @@ StatusOr<AnswerResult> AnswerEngine::ServeAdmitted(
     eval_options.trace = eval_span.context();
     ScopedTimer timer(&metrics_, "eval_ns");
     StatusOr<std::vector<Tuple>> answers =
-        ParallelEvaluate(*result.rewriting, *snap.db, eval_options,
-                         &result.eval);
+        ParallelEvaluate(*flat, *snap.db, eval_options, &result.eval);
     if (!answers.ok()) {
       eval_span.AnnotateStatus(answers.status());
       return answers.status();
@@ -542,8 +564,10 @@ StatusOr<ExplainResult> AnswerEngine::Explain(const UnionOfCqs& query,
     emit_span.Attr("target", RewriteTargetName(explain.target));
     emit_span.Attr("sql_bytes",
                    static_cast<std::int64_t>(explain.sql.size()));
-    emit_span.Attr("disjuncts", static_cast<std::int64_t>(
-                                    explain.rewriting->disjuncts().size()));
+    if (explain.rewriting != nullptr) {
+      emit_span.Attr("disjuncts", static_cast<std::int64_t>(
+                                      explain.rewriting->disjuncts().size()));
+    }
     if (explain.datalog != nullptr) {
       emit_span.Attr("cte_count", static_cast<std::int64_t>(
                                       explain.datalog->cte_count()));

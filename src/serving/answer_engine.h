@@ -63,6 +63,7 @@
 //             eval_tuples_examined, eval_matches, deadline_exceeded,
 //             requests_shed, admission_queue_deadline,
 //             fallback_chase_served, rewrite_degraded, rewrite_factored,
+//             rewrite_dag, rewrite_dag_fallback,
 //             requests_by_status_<CodeName> (one per final Serve status)
 //   gauges    inflight, rewrite_threads
 //   timers    rewrite_ns, factor_ns, eval_ns
@@ -83,13 +84,16 @@ struct AnswerEngineOptions {
   int num_threads = 0;
   RewriterOptions rewriter;
   // Default rewrite target (per-request override: ServeOptions::target).
-  // kUcq evaluates the flat union; kCte additionally factors the union
-  // into a nonrecursive Datalog program (rewriting/datalog.h) and — on a
-  // SQL backend — executes it as one WITH-CTE statement instead of the
-  // flat UNION. Both targets answer identically; they trade rewrite-time
-  // factoring work against exponentially smaller SQL. Factored programs
-  // are cached under target-qualified keys, so the two targets never
-  // alias in the (possibly shared) cache.
+  // kUcq evaluates the flat union; kCte compiles straight to a
+  // nonrecursive Datalog program (rewriting/dag_rewriter.h) — per-group
+  // memoized saturation that never materializes the flat union — and, on
+  // a SQL backend, executes it as one WITH-CTE statement instead of the
+  // flat UNION. Both targets answer identically; kCte is exponentially
+  // cheaper on queries with independently-rewritable subgoals (and no
+  // worse elsewhere, where it falls back to flat rewriting plus
+  // FactorUcq). Factored programs are cached under target-qualified keys
+  // holding the program alone, so the two targets never alias in the
+  // (possibly shared) cache.
   RewriteTarget target = RewriteTarget::kUcq;
   // Certain-answer semantics: answers containing labeled nulls are not
   // certain, so they are dropped by default.
@@ -161,8 +165,11 @@ struct AnswerResult {
   // True when the answers came from the chase fallback (the rewriting
   // below is then null).
   bool served_via_chase = false;
-  // The rewriting that was evaluated (shared with the cache; remains
-  // valid after eviction).
+  // The flat rewriting that was evaluated (shared with the cache; remains
+  // valid after eviction). Null under RewriteTarget::kCte, whose cache
+  // entries never hold the flat union — the request ran `datalog` instead
+  // (the builtin evaluator unfolds it on demand, without caching the
+  // unfolding).
   std::shared_ptr<const UnionOfCqs> rewriting;
   // Under RewriteTarget::kCte: the factored Datalog program the request
   // ran (or would run on a SQL backend). Null under kUcq.
@@ -175,6 +182,7 @@ struct AnswerResult {
 // to a SQL backend, and the span tree of the stages that actually
 // executed (canonicalize, rewrite-cache, rewrite or cache hit, emit).
 struct ExplainResult {
+  // The flat rewriting under kUcq; null under kCte (see AnswerResult).
   std::shared_ptr<const UnionOfCqs> rewriting;
   // Under RewriteTarget::kCte: the factored program behind `sql`.
   std::shared_ptr<const DatalogProgram> datalog;

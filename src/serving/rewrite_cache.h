@@ -30,11 +30,14 @@
 
 namespace ontorew {
 
-// One cached rewriting. The UCQ is always present; the factored Datalog
-// program exists only under RewriteTarget::kCte keys (where the extra
-// factoring pass actually ran).
+// One cached rewriting — exactly one artifact per target. Flat-UCQ keys
+// hold the union and no Datalog program; RewriteTarget::kCte keys hold
+// the factored Datalog program and NO flat union (the DAG rewriter never
+// materializes it — an entry whose program implies 9^6 disjuncts must
+// not pin them in the cache). Consumers that need a flat union for a cte
+// entry unfold the program on demand.
 struct CachedRewriting {
-  UnionOfCqs ucq;
+  std::optional<UnionOfCqs> ucq;
   std::optional<DatalogProgram> datalog;
 };
 

@@ -128,6 +128,34 @@ TgdProgram ArityStressFamily(int arity, Vocabulary* vocab) {
   return program;
 }
 
+TgdProgram ProductFamily(int d, Vocabulary* vocab) {
+  OREW_CHECK(d >= 1);
+  TgdProgram program;
+  Term y = Var(vocab, "Y1");
+  for (int j = 0; j < d; ++j) {
+    program.Add(Tgd({MakeAtom(vocab, StrCat("s", j), {y})},
+                    {MakeAtom(vocab, "p", {y})}));
+  }
+  // Register the rule-less link predicate so ProductQuery and fact
+  // loaders agree on its id and arity.
+  vocab->MustPredicate("r", 2);
+  return program;
+}
+
+ConjunctiveQuery ProductQuery(int k, Vocabulary* vocab) {
+  OREW_CHECK(k >= 1);
+  std::vector<Atom> body;
+  for (int i = 0; i < k; ++i) {
+    Term x = Var(vocab, StrCat("X", i));
+    body.push_back(MakeAtom(vocab, "p", {x}));
+    if (i + 1 < k) {
+      body.push_back(
+          MakeAtom(vocab, "r", {x, Var(vocab, StrCat("X", i + 1))}));
+    }
+  }
+  return ConjunctiveQuery({Var(vocab, "X0")}, std::move(body));
+}
+
 TgdProgram RandomProgram(const RandomProgramOptions& options, Rng* rng,
                          Vocabulary* vocab) {
   OREW_CHECK(options.num_rules >= 1);

@@ -48,6 +48,21 @@ TgdProgram Example3Family(int n, Vocabulary* vocab);
 // behind the paper's PSPACE conjecture.
 TgdProgram ArityStressFamily(int arity, Vocabulary* vocab);
 
+// d rules s_j(Y) -> p(Y) around a single hub predicate p, plus a
+// rule-less link predicate r/2. Each p-atom in a query rewrites to d + 1
+// disjuncts independently of the others, so ProductQuery(k) below — k
+// p-atoms chained by r-atoms — has a flat UCQ of (d+1)^k disjuncts while
+// the DAG rewriting (rewriting/dag_rewriter.h) memoizes the one shared
+// p-group and stays at O(k + d) rules: the canonical cross-product
+// blow-up the factored saturation exists to avoid. (The r-links keep the
+// query connected without merging the groups: r has no rules, so its
+// backward-reachable set is disjoint from p's.)
+TgdProgram ProductFamily(int d, Vocabulary* vocab);
+
+// q(X0) :- p(X0), r(X0, X1), p(X1), ..., p(X_{k-1}) over ProductFamily's
+// vocabulary: k hub atoms, k - 1 links.
+ConjunctiveQuery ProductQuery(int k, Vocabulary* vocab);
+
 // --- Randomized generators -------------------------------------------------
 
 struct RandomProgramOptions {

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -12,7 +13,10 @@
 #include "db/eval.h"
 #include "db/facts_io.h"
 #include "gtest/gtest.h"
+#include "logic/canonical.h"
 #include "logic/printer.h"
+#include "rewriting/containment.h"
+#include "rewriting/dag_rewriter.h"
 #include "rewriting/datalog.h"
 #include "rewriting/rewriter.h"
 #include "test_util.h"
@@ -21,7 +25,7 @@
 #include "workload/university.h"
 
 // The differential harness — a standing correctness oracle. For each
-// generated (program, query, database) it computes certain answers four
+// generated (program, query, database) it computes certain answers five
 // ways and fails on any disagreement:
 //
 //   rewrite -> InMemoryBackend      (the evaluator the repo grew up on)
@@ -31,12 +35,20 @@
 //                                   (the same union compiled to
 //                                    nonrecursive Datalog and executed
 //                                    as WITH-CTE SQL)
+//   DAG rewrite -> SqliteBackend    (RewriteToDatalog: the factored
+//                                    program emitted straight from the
+//                                    per-group saturation, its unfolding
+//                                    checked CQ-for-CQ against the flat
+//                                    union, then executed as CTE SQL)
 //   chase + evaluate                (the semantics oracle, when it
 //                                    terminates within budget)
 //
-// The factoring leg is never skipped: FactorUcq is deterministic and
-// cheap relative to the saturation, so a factoring failure is always a
-// bug, not a budget miss.
+// The factoring and DAG legs are never skipped: once the flat rewrite
+// succeeded within budget, both are deterministic and no more expensive
+// than the saturation that already ran, so any failure or mismatch there
+// is a bug, not a budget miss. The DAG leg is what keeps the gate logic
+// (group decomposition, G2/G3 fallbacks) honest on inputs with repeated
+// head variables and constants — RandomProgram generates both.
 //
 // Seeds whose rewriting or chase runs out of budget are skipped and
 // counted; the test asserts that enough seeds produced real comparisons.
@@ -76,7 +88,7 @@ struct DiffOutcome {
   std::string detail;  // Which pair disagreed, with sizes.
 };
 
-// Runs the three pipelines on one triple. Hard errors (anything that is
+// Runs the pipelines on one triple. Hard errors (anything that is
 // not a budget failure) are reported as disagreements: no pipeline may
 // fail on inputs the others accept.
 DiffOutcome RunTriple(const TgdProgram& program, const Database& db,
@@ -147,6 +159,65 @@ DiffOutcome RunTriple(const TgdProgram& program, const Database& db,
                             " answers) != factor->sqlite-cte (",
                             from_cte->size(), " answers, ",
                             factored->cte_count(), " CTEs)");
+    return outcome;
+  }
+
+  // Fourth way: the DAG-native rewriting. Its unfolding must minimize to
+  // exactly the flat union (canonical-key multisets — minimal UCQs are
+  // unique up to disjunct isomorphism), and its execution must agree.
+  // Fresh deadline: the flat saturation above may have consumed most of
+  // the shared one, and this leg is all hard errors.
+  DagRewriteOptions dag_options;
+  dag_options.rewriter = budget.rewriter;
+  dag_options.rewriter.cancel = CancelScope(Deadline::AfterMillis(2000));
+  StatusOr<DagRewriteResult> dag =
+      RewriteToDatalog(ucq, program, dag_options);
+  if (!dag.ok()) {
+    outcome.agree = false;
+    outcome.detail = StrCat("dag rewrite failed where flat succeeded: ",
+                            dag.status().ToString());
+    return outcome;
+  }
+  StatusOr<UnionOfCqs> unfolded = UnfoldDatalog(dag->program);
+  if (!unfolded.ok()) {
+    outcome.agree = false;
+    outcome.detail = StrCat("dag unfold failed: ",
+                            unfolded.status().ToString());
+    return outcome;
+  }
+  const UnionOfCqs dag_minimized = MinimizeUcq(*unfolded);
+  std::vector<std::string> dag_keys, flat_keys;
+  for (const ConjunctiveQuery& cq : dag_minimized.disjuncts()) {
+    dag_keys.push_back(CanonicalCqKey(cq));
+  }
+  for (const ConjunctiveQuery& cq : rewriting->ucq.disjuncts()) {
+    flat_keys.push_back(CanonicalCqKey(cq));
+  }
+  std::sort(dag_keys.begin(), dag_keys.end());
+  std::sort(flat_keys.begin(), flat_keys.end());
+  if (dag_keys != flat_keys) {
+    outcome.agree = false;
+    outcome.detail = StrCat("unfold(dag) != flat union (",
+                            dag_keys.size(), " vs ", flat_keys.size(),
+                            " minimized disjuncts; fallback=",
+                            dag->fallback ? "yes" : "no", ", groups=",
+                            dag->groups, ")");
+    return outcome;
+  }
+  StatusOr<std::vector<Tuple>> from_dag =
+      sqlite.ExecuteDatalog(dag->program, {});
+  if (!from_dag.ok()) {
+    outcome.agree = false;
+    outcome.detail = StrCat("dag cte execution failed: ",
+                            from_dag.status().ToString());
+    return outcome;
+  }
+  if (*from_memory != *from_dag) {
+    outcome.agree = false;
+    outcome.detail = StrCat("rewrite->inmemory (", from_memory->size(),
+                            " answers) != dag->sqlite-cte (",
+                            from_dag->size(), " answers, ",
+                            dag->program.cte_count(), " CTEs)");
     return outcome;
   }
 

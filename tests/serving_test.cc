@@ -856,6 +856,40 @@ TEST(AnswerEngineTest, TargetsNeverAliasInTheCache) {
   EXPECT_EQ(engine.cache_stats().hits, 2);
 }
 
+TEST(AnswerEngineTest, CteCacheEntriesHoldNoFlatUnion) {
+  // Under kCte the DAG rewriter emits the factored program directly and
+  // the cache entry holds ONLY that program — materializing the flat
+  // union would cost exactly the exponential the DAG path avoids. The
+  // result therefore exposes no flat rewriting, cold or warm.
+  CteFixture fx;
+  AnswerEngine engine(fx.ontology, fx.db);
+  const UnionOfCqs query(fx.q2);
+
+  ServeOptions as_cte;
+  as_cte.target = RewriteTarget::kCte;
+  StatusOr<AnswerResult> cold = engine.Serve(query, as_cte);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(cold->rewriting, nullptr);
+  ASSERT_NE(cold->datalog, nullptr);
+
+  StatusOr<AnswerResult> warm = engine.Serve(query, as_cte);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->rewriting, nullptr);
+  ASSERT_NE(warm->datalog, nullptr);
+  EXPECT_EQ(warm->answers, cold->answers);
+
+  // The flat target still exposes the union (and no program): the two
+  // artifact shapes are per-entry, not a global mode.
+  ServeOptions as_ucq;
+  as_ucq.target = RewriteTarget::kUcq;
+  StatusOr<AnswerResult> flat = engine.Serve(query, as_ucq);
+  ASSERT_TRUE(flat.ok()) << flat.status();
+  ASSERT_NE(flat->rewriting, nullptr);
+  EXPECT_EQ(flat->datalog, nullptr);
+  EXPECT_EQ(flat->answers, cold->answers);
+}
+
 // --- Request-scoped tracing --------------------------------------------------
 
 const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
@@ -1024,6 +1058,130 @@ TEST(AnswerEngineTraceTest, RewriteStepFaultAnnotatesRewriteSpan) {
     }
   }
   EXPECT_TRUE(names_fault) << trace.ToString();
+}
+
+// Shared divergent two-group setup for the cte-path abort tests below:
+// the r-group saturates forever (PaperExample2's s/r loop) while the
+// p-group is trivial, so the DAG path gets past decomposition and dies
+// inside a group rewrite — partial progress the trace must report.
+struct DivergentCteFixture {
+  Vocabulary vocab;
+  TgdProgram program;
+  UnionOfCqs query;
+  AnswerEngineOptions options;
+  DivergentCteFixture() {
+    program = MustProgram(
+        "t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).\n"
+        "s(Y1, Y1, Y2) -> r(Y2, Y3).\n"
+        "m(Y1) -> p(Y1).\n",
+        &vocab);
+    // Var-disjoint atoms whose reach sets ({r,s,t} vs {p,m}) are also
+    // disjoint: two groups, the divergent one first.
+    query = UnionOfCqs(MustQuery("q() :- r(\"a\", X), p(Z).", &vocab));
+    options.rewriter.max_cqs = 50'000'000;
+  }
+};
+
+TEST(AnswerEngineTraceTest, CteDeadlineExpiryLeavesPartialDagTrace) {
+  DivergentCteFixture fx;
+  AnswerEngine engine(fx.program, Database(), fx.options);
+
+  Trace trace;
+  ServeOptions serve;
+  serve.trace = &trace;
+  serve.target = RewriteTarget::kCte;
+  serve.deadline = Deadline::AfterMillis(1);
+  StatusOr<AnswerResult> result = engine.Serve(fx.query, serve);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The abort unwinds through the DAG rewriter: every span closed, the
+  // rewrite span carries the status, and the trace shows how far the
+  // factorization got — decomposition done, a group rewrite cut short,
+  // and no completed dag factor stage.
+  ExpectAllSpansClosed(trace);
+  const std::vector<SpanRecord> spans = trace.Snapshot();
+  const SpanRecord* rewrite = FindSpan(spans, "rewrite");
+  ASSERT_NE(rewrite, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*rewrite, "status", "DeadlineExceeded"));
+  const SpanRecord* decompose = FindSpan(spans, "decompose");
+  ASSERT_NE(decompose, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*decompose, "groups", "2")) << trace.ToString();
+  const SpanRecord* group = FindSpan(spans, "group");
+  ASSERT_NE(group, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*group, "status", "DeadlineExceeded"));
+  EXPECT_EQ(FindSpan(spans, "factor"), nullptr) << trace.ToString();
+}
+
+TEST(AnswerEngineExplainTest, CteTargetHonoursDeadline) {
+  DivergentCteFixture fx;
+  AnswerEngine engine(fx.program, Database(), fx.options);
+  ServeOptions serve;
+  serve.target = RewriteTarget::kCte;
+  serve.deadline = Deadline::AfterMillis(1);
+  StatusOr<ExplainResult> aborted = engine.Explain(fx.query, fx.vocab, serve);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(AnswerEngineTraceTest, CteRewriteStepFaultMidFactorReportsPartialStage) {
+  // Arm rewrite.step to trip HALFWAY through the DAG rewrite — after the
+  // first group's saturation is done, inside a later one. The hit count
+  // is measured first with a never-tripping probe (probability 0 counts
+  // hits without failing), on a separate engine so the probe run's
+  // success does not warm the cache the faulted run reads.
+  CteFixture fx;
+  ServeOptions as_cte;
+  as_cte.target = RewriteTarget::kCte;
+  std::int64_t total_hits = 0;
+  {
+    AnswerEngine probe(fx.ontology, fx.db);
+    FaultPointConfig count_only;
+    count_only.probability = 0.0;
+    ScopedFault counting("rewrite.step", count_only);
+    ASSERT_TRUE(probe.Serve(UnionOfCqs(fx.q2), as_cte).ok());
+    total_hits = FaultRegistry::Global().hits("rewrite.step");
+  }
+  FaultRegistry::Global().Reset();
+  ASSERT_GT(total_hits, 2);
+
+  AnswerEngine engine(fx.ontology, fx.db);
+  Trace trace;
+  ServeOptions serve = as_cte;
+  serve.trace = &trace;
+  {
+    FaultPointConfig midway;
+    midway.after = total_hits / 2;
+    ScopedFault fault("rewrite.step", midway);
+    StatusOr<AnswerResult> result = engine.Serve(UnionOfCqs(fx.q2), serve);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+    EXPECT_NE(result.status().message().find("rewrite.step"),
+              std::string::npos);
+    EXPECT_EQ(FaultRegistry::Global().trips("rewrite.step"), 1);
+  }
+  FaultRegistry::Global().Reset();
+
+  // Partial stage on record: decomposition completed, at least one group
+  // span exists, exactly one carries the injected error, the enclosing
+  // rewrite span is annotated, and the dag factor stage never ran.
+  ExpectAllSpansClosed(trace);
+  const std::vector<SpanRecord> spans = trace.Snapshot();
+  const SpanRecord* rewrite = FindSpan(spans, "rewrite");
+  ASSERT_NE(rewrite, nullptr);
+  EXPECT_TRUE(SpanHasAttr(*rewrite, "status", "Internal"));
+  const SpanRecord* decompose = FindSpan(spans, "decompose");
+  ASSERT_NE(decompose, nullptr);
+  EXPECT_TRUE(SpanHasAttrKey(*decompose, "groups"));
+  int groups_seen = 0, groups_failed = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name != "group") continue;
+    ++groups_seen;
+    if (SpanHasAttr(span, "status", "Internal")) ++groups_failed;
+  }
+  EXPECT_GE(groups_seen, 1) << trace.ToString();
+  EXPECT_EQ(groups_failed, 1) << trace.ToString();
+  EXPECT_EQ(FindSpan(spans, "factor"), nullptr) << trace.ToString();
 }
 
 TEST(AnswerEngineTraceTest, EvalScanFaultAnnotatesEvalSpan) {
