@@ -115,21 +115,43 @@ int CountResolvedOccurrences(const Atom& atom, const Substitution& subst,
 }
 
 // The rewriting-step applicability test: every existential head variable
-// of the rule must absorb an unbound query term.
+// of the rule must absorb query terms that are unbound outside the atom
+// being rewritten. A head may repeat an existential variable (e.g.
+// g2(X, X, X)): the chase then emits ONE fresh null at all of X's
+// positions, so the step applies exactly when the query terms unified
+// into X occur *only at X's head positions* — the unification itself
+// identifies them (within-atom variable identification), and the
+// resolved value must appear nowhere else in g. The old test demanded
+// "occurs exactly once in g", which silently rejected every repeated
+// existential head and made the saturation incomplete (ROADMAP seed
+// 7275: a factorized g2(t, t, t) could never resolve against
+// g0(V) -> g2(X, X, X), losing the certain answer through the
+// constant-head rule).
 bool IsApplicable(const ConjunctiveQuery& g, const PreparedRule& rule,
                   const Substitution& subst) {
   for (VariableId y : rule.existential_head) {
     Term ty = subst.Resolve(Term::Var(y));
+    // A null never equals a constant in any certain answer.
     if (ty.is_constant()) return false;
+    // Nor another head term's image: distinct existentials are distinct
+    // nulls, and a frontier variable's image is database-valued.
     for (VariableId h : rule.head_variables) {
       if (h == y) continue;
       if (subst.Resolve(Term::Var(h)) == ty) return false;
+    }
+    // Every occurrence of y's image must lie at a head position of y.
+    // Unification already guarantees the atom being rewritten carries ty
+    // at exactly those positions, so counting over the whole (resolved)
+    // body reduces to: ty occurs nowhere else.
+    int head_positions = 0;
+    for (Term t : rule.head.terms()) {
+      if (t.is_variable() && subst.Resolve(t) == ty) ++head_positions;
     }
     int occurrences = 0;
     for (const Atom& atom : g.body()) {
       occurrences += CountResolvedOccurrences(atom, subst, ty);
     }
-    if (occurrences != 1) return false;
+    if (occurrences != head_positions) return false;
     for (Term answer : g.answer_terms()) {
       if (answer.is_variable() && subst.Resolve(answer) == ty) return false;
     }

@@ -19,11 +19,17 @@
 // One *rewriting step* picks a CQ g, a body atom a of g and a TGD
 // R : body -> α, unifies a with (a renamed-apart copy of) α, and — when
 // the unification is *applicable* — replaces a by body·θ. Applicability
-// requires every existential head variable of R to absorb an unbound
-// query term: not a constant, not an answer variable, not identified with
-// another head variable, and occurring exactly once in g. A *factorization
-// step* unifies two body atoms of g with the same predicate, producing a
-// subsumed specialization that can enable further rewriting steps.
+// requires every existential head variable y of R to absorb unbound
+// query terms: the image of y under the unifier is not a constant, not
+// an answer variable, not identified with another head variable, and
+// occurs in g exactly at the positions of a that unify with y's head
+// positions (for a simple head that is "occurs exactly once in g"; a
+// head repeating y, like g2(X, X, X), identifies the atom's terms at
+// those positions and requires the merged variable to occur nowhere
+// else). A *factorization step* unifies two body atoms of g with the
+// same predicate, producing a subsumed specialization that can enable
+// further rewriting steps — e.g. resolution against a constant-head rule
+// whose body atoms must collapse onto one null-valued atom first.
 //
 // The saturation terminates exactly when the program is FO-rewritable for
 // the given query shape (e.g. always on SWR sets — Theorem 1); on

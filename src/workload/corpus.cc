@@ -1,0 +1,145 @@
+#include "workload/corpus.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/strings.h"
+#include "db/facts_io.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+namespace ontorew {
+namespace {
+
+// Section bodies in file order; the parser below insists on exactly
+// these four names, in this order, each exactly once.
+constexpr const char* kSections[] = {"program", "facts", "query",
+                                     "expected"};
+constexpr int kNumSections = 4;
+
+std::string_view TrimmedLine(std::string_view line) {
+  line = StripLineComment(line);
+  while (!line.empty() &&
+         (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+    line.remove_prefix(1);
+  }
+  return line;
+}
+
+}  // namespace
+
+StatusOr<CorpusCase> ParseCorpusCase(std::string_view text,
+                                     Vocabulary* vocab) {
+  std::string bodies[kNumSections];
+  int current = -1;
+  std::size_t line_start = 0;
+  int line_number = 0;
+  while (line_start <= text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view raw = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ++line_number;
+
+    std::string_view line = TrimmedLine(raw);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return InvalidArgumentError(
+            StrCat("corpus line ", line_number, ": unterminated section "
+                   "header '", raw, "'"));
+      }
+      std::string_view name = line.substr(1, line.size() - 2);
+      if (current + 1 >= kNumSections ||
+          name != kSections[current + 1]) {
+        return InvalidArgumentError(StrCat(
+            "corpus line ", line_number, ": unexpected section '[", name,
+            "]' — sections are [program], [facts], [query], [expected], "
+            "in order, exactly once each"));
+      }
+      ++current;
+      continue;
+    }
+    if (current < 0) {
+      return InvalidArgumentError(
+          StrCat("corpus line ", line_number,
+                 ": content before the [program] section"));
+    }
+    bodies[current] += std::string(raw);
+    bodies[current] += '\n';
+  }
+  if (current != kNumSections - 1) {
+    return InvalidArgumentError(
+        StrCat("corpus file ends after section '[",
+               current < 0 ? "<none>" : kSections[current],
+               "]' — [expected] is required (it may be empty)"));
+  }
+
+  CorpusCase c;
+  OREW_ASSIGN_OR_RETURN(c.program, ParseProgram(bodies[0], vocab));
+  if (c.program.size() == 0) {
+    return InvalidArgumentError("corpus [program] section is empty");
+  }
+  OREW_ASSIGN_OR_RETURN(c.facts, ParseFacts(bodies[1], vocab));
+  OREW_ASSIGN_OR_RETURN(c.query, ParseQuery(bodies[2], vocab));
+
+  // Expected answers: ground atoms over the query's answer arity, parsed
+  // line-wise like a facts file.
+  OREW_ASSIGN_OR_RETURN(Database expected_db,
+                        ParseFacts(bodies[3], vocab));
+  for (PredicateId p : expected_db.PredicatesPresent()) {
+    const Relation* relation = expected_db.Find(p);
+    for (const Tuple& tuple : relation->tuples()) {
+      if (static_cast<int>(tuple.size()) != c.query.arity()) {
+        return InvalidArgumentError(StrCat(
+            "corpus [expected] atom has arity ", tuple.size(),
+            " but the query answers with arity ", c.query.arity()));
+      }
+      c.expected.push_back(tuple);
+    }
+  }
+  std::sort(c.expected.begin(), c.expected.end());
+  c.expected.erase(std::unique(c.expected.begin(), c.expected.end()),
+                   c.expected.end());
+  return c;
+}
+
+std::string CorpusCaseToString(const TgdProgram& program,
+                               const Database& facts,
+                               const ConjunctiveQuery& query,
+                               std::vector<Tuple> expected,
+                               const Vocabulary& vocab,
+                               const std::vector<std::string>& comment) {
+  std::string out;
+  for (const std::string& line : comment) {
+    out += StrCat("# ", line, "\n");
+  }
+  out += "[program]\n";
+  out += ToString(program, vocab);
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  out += "[facts]\n";
+  out += FactsToString(facts, vocab);
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  out += "[query]\n";
+  out += ToString(query, vocab);
+  out += "\n[expected]\n";
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  for (const Tuple& tuple : expected) {
+    out += "q(";
+    for (std::size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) out += ", ";
+      // Corpus answers are certain answers: always constants, never
+      // chase nulls.
+      out += ToString(Term::Const(tuple[i].id()), vocab);
+    }
+    out += ").\n";
+  }
+  return out;
+}
+
+}  // namespace ontorew

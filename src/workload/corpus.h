@@ -1,0 +1,68 @@
+#ifndef ONTOREW_WORKLOAD_CORPUS_H_
+#define ONTOREW_WORKLOAD_CORPUS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "db/database.h"
+#include "logic/program.h"
+#include "logic/query.h"
+#include "logic/vocabulary.h"
+
+// The completeness-audit corpus: self-contained differential repro files
+// checked in under tests/corpus/. Each file pins one (program, facts,
+// query) triple together with its certain answers, so a bug found once by
+// the randomized differential harness is replayed forever on every
+// evaluation leg (flat/InMemory, flat/SQLite, factor->CTE, DAG->CTE) —
+// independently of how the generators that first produced it evolve.
+//
+// File format ('#'/'%' comments allowed anywhere, sections in order):
+//
+//   # seed 7275 — factorization before a constant-head resolution
+//   [program]
+//   g0(V1) -> g2(V0, V0, V0).
+//   [facts]
+//   g0(d3).
+//   [query]
+//   q(V) :- g0(V).
+//   [expected]
+//   q(d3).
+//   q(k0).
+//
+// [expected] lists the certain answers as ground atoms over the query
+// predicate, one per line (none for an empty answer set; `q().` for a
+// true boolean query). The differential harness's minimizer emits this
+// exact format on failure, so a fresh repro is checked in verbatim.
+
+namespace ontorew {
+
+struct CorpusCase {
+  TgdProgram program;
+  Database facts;
+  ConjunctiveQuery query;
+  // Certain answers, sorted ascending and deduplicated (the order every
+  // evaluation leg reports).
+  std::vector<Tuple> expected;
+};
+
+// Parses one corpus file. Errors on missing/misordered sections,
+// non-ground facts or expected atoms, and expected-atom arity mismatches
+// against the query.
+StatusOr<CorpusCase> ParseCorpusCase(std::string_view text,
+                                     Vocabulary* vocab);
+
+// Renders a case in the exact format ParseCorpusCase reads (round-trip
+// tested). `comment` lines (without leading '#') become the file header;
+// `expected` may be in any order and is rendered sorted.
+std::string CorpusCaseToString(const TgdProgram& program,
+                               const Database& facts,
+                               const ConjunctiveQuery& query,
+                               std::vector<Tuple> expected,
+                               const Vocabulary& vocab,
+                               const std::vector<std::string>& comment = {});
+
+}  // namespace ontorew
+
+#endif  // ONTOREW_WORKLOAD_CORPUS_H_

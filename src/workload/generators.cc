@@ -184,6 +184,27 @@ TgdProgram RandomProgram(const RandomProgramOptions& options, Rng* rng,
 
     auto make_atom = [&](bool in_head) {
       int p = rng->Uniform(options.num_predicates);
+      // Whole-atom head shapes first (skipped entirely at the 0.0
+      // defaults so pre-existing seeds keep their exact draw sequence):
+      // an all-constants head, or one existential repeated everywhere.
+      if (in_head && options.constant_head_prob > 0.0 &&
+          rng->Bernoulli(options.constant_head_prob)) {
+        std::vector<Term> terms;
+        for (int i = 0; i < arity[static_cast<std::size_t>(p)]; ++i) {
+          terms.push_back(Term::Const(vocab->InternConstant(
+              StrCat("k", rng->Uniform(options.num_constants)))));
+        }
+        return Atom(preds[static_cast<std::size_t>(p)], std::move(terms));
+      }
+      if (in_head && options.repeated_existential_head_prob > 0.0 &&
+          rng->Bernoulli(options.repeated_existential_head_prob)) {
+        const Term fresh =
+            Var(vocab, StrCat("R", r, "E", rng->Uniform(1 << 20)));
+        std::vector<Term> terms(
+            static_cast<std::size_t>(arity[static_cast<std::size_t>(p)]),
+            fresh);
+        return Atom(preds[static_cast<std::size_t>(p)], std::move(terms));
+      }
       std::vector<Term> terms;
       std::vector<Term> used;
       for (int i = 0; i < arity[static_cast<std::size_t>(p)]; ++i) {

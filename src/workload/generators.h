@@ -79,6 +79,18 @@ struct RandomProgramOptions {
   // Probability that a position holds a constant (violates simplicity).
   double constant_prob = 0.0;
   int num_constants = 3;
+  // Probability that a whole head atom is one fresh existential variable
+  // repeated at every position (g(E, E, E)) — the shape whose rewriting
+  // step needs within-atom identification and the positions-of-y
+  // applicability count. Position-wise sampling only produces it as a
+  // repeat_prob^arity coincidence (differential seed 7275 took thousands
+  // of seeds to stumble on one), so it gets explicit weight. Drawn only
+  // when > 0, keeping existing seeds bit-identical at the default.
+  double repeated_existential_head_prob = 0.0;
+  // Probability that a whole head atom holds only constants (g0(k0)) —
+  // resolving against it binds query terms to constants and often needs
+  // a factorization first. Drawn only when > 0, as above.
+  double constant_head_prob = 0.0;
 };
 
 // A random program; every rule has a connected body sharing variables with

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "rewriting/datalog.h"
 #include "rewriting/rewriter.h"
 #include "test_util.h"
+#include "workload/corpus.h"
 #include "workload/generators.h"
 #include "workload/paper_examples.h"
 #include "workload/university.h"
@@ -53,12 +55,15 @@
 // Seeds whose rewriting or chase runs out of budget are skipped and
 // counted; the test asserts that enough seeds produced real comparisons.
 // On disagreement the failing triple is minimized (drop TGDs, then
-// facts, while the disagreement persists) and printed as a repro:
-// program, facts, query, seed — paste-able into a regression test.
+// facts, while the disagreement persists) and printed twice: as the
+// classic repro block, and as a self-contained corpus case ([program] /
+// [facts] / [query] / [expected]-from-the-chase) ready to check in under
+// tests/corpus/, where corpus_test.cc replays it on every leg forever.
 //
-// Knobs (for the CI sweep): ONTOREW_DIFF_RUNS (default 200) and
+// Knobs (for the CI sweep): ONTOREW_DIFF_RUNS (default 200),
 // ONTOREW_DIFF_BASE_SEED (default 1, making the default run a fixed seed
-// set).
+// set), and ONTOREW_CORPUS_EMIT (a directory; when set, each minimized
+// failure is also written there as seed<seed>.repro).
 
 namespace ontorew {
 namespace {
@@ -294,6 +299,43 @@ std::string Repro(const TgdProgram& program, const Database& db,
                 ToString(query, vocab), "\n====================");
 }
 
+// Renders the minimized failure as a self-contained corpus case —
+// tests/corpus/ format, [expected] from the chase oracle under a widened
+// budget — and, when ONTOREW_CORPUS_EMIT names a directory, writes it
+// there as seed<seed>.repro so the repro can be checked in verbatim.
+// Returns the message block to append to the test failure.
+std::string EmitCorpusCase(const TgdProgram& program, const Database& db,
+                           const ConjunctiveQuery& query,
+                           const Vocabulary& vocab, std::uint64_t seed,
+                           const std::string& detail) {
+  ChaseOptions oracle_budget;
+  oracle_budget.max_rounds = 200;
+  oracle_budget.max_tuples = 200000;
+  oracle_budget.cancel = CancelScope(Deadline::AfterMillis(10000));
+  StatusOr<std::vector<Tuple>> expected = CertainAnswersViaChase(
+      UnionOfCqs(query), program, db, oracle_budget);
+  if (!expected.ok()) {
+    return StrCat("\n(no corpus case emitted: chase oracle failed under "
+                  "the widened budget: ",
+                  expected.status().ToString(), ")");
+  }
+  const std::string text = CorpusCaseToString(
+      program, db, query, *expected, vocab,
+      {StrCat("Minimized from differential seed ", seed, ": ", detail),
+       "Check this file in under tests/corpus/ to pin the fix."});
+  std::string message =
+      StrCat("\n--- corpus case (tests/corpus format) ---\n", text,
+             "-----------------------------------------");
+  if (const char* dir = std::getenv("ONTOREW_CORPUS_EMIT")) {
+    const std::string path = StrCat(dir, "/seed", seed, ".repro");
+    std::ofstream out(path);
+    out << text;
+    message += out.good() ? StrCat("\n(written to ", path, ")")
+                          : StrCat("\n(failed to write ", path, ")");
+  }
+  return message;
+}
+
 // One randomized seed: generate, compare, and on disagreement minimize
 // and fail with the repro.
 void RunSeed(std::uint64_t seed, int* compared_backends,
@@ -305,16 +347,24 @@ void RunSeed(std::uint64_t seed, int* compared_backends,
     program = RandomLinearProgram(rng.UniformIn(3, 6), rng.UniformIn(3, 5),
                                   rng.UniformIn(1, 3), 0.4, &rng, &vocab);
   } else {
+    // The widened family: higher arity plus explicit weight on the two
+    // head shapes whose applicability conditions the saturator used to
+    // get wrong — all-constant heads and repeated-existential heads.
+    // Position-wise sampling alone produced a repeated existential head
+    // roughly once per thousand rules, which is how the seed-7275
+    // completeness bug survived several hundred-seed sweeps.
     RandomProgramOptions options;
     options.num_rules = rng.UniformIn(3, 7);
     options.num_predicates = rng.UniformIn(3, 5);
-    options.max_arity = 3;
+    options.max_arity = 4;
     options.max_body_atoms = 2;
     options.max_head_atoms = 1;
     options.existential_prob = 0.3;
     options.repeat_prob = 0.2;
     options.constant_prob = 0.15;
     options.num_constants = 3;
+    options.repeated_existential_head_prob = 0.15;
+    options.constant_head_prob = 0.1;
     program = RandomProgram(options, &rng, &vocab);
   }
   Database db = RandomDatabase(program, rng.UniformIn(2, 6),
@@ -330,9 +380,32 @@ void RunSeed(std::uint64_t seed, int* compared_backends,
   }
   Minimize(&program, &db, query, &vocab);
   DiffOutcome minimized = RunTriple(program, db, query, &vocab);
-  ADD_FAILURE() << "differential disagreement: "
-                << (minimized.agree ? outcome.detail : minimized.detail)
-                << "\n" << Repro(program, db, query, vocab, seed);
+  const std::string& detail =
+      minimized.agree ? outcome.detail : minimized.detail;
+  ADD_FAILURE() << "differential disagreement: " << detail << "\n"
+                << Repro(program, db, query, vocab, seed)
+                << EmitCorpusCase(program, db, query, vocab, seed, detail);
+}
+
+// Seeds that once exposed a real bug, promoted into a fixed set that
+// runs on every CI configuration regardless of ONTOREW_DIFF_* settings.
+// The historical minimized triple is additionally pinned — generator
+// drift-proof — as a file under tests/corpus/ (see corpus_test.cc);
+// keeping the seed here too means the *current* generators re-explore
+// the neighbourhood that found it.
+//   7275: flat saturation dropped a certain answer that needs a
+//         factorization step before resolving against a constant-head
+//         rule with a repeated existential head variable.
+constexpr std::uint64_t kRegressionSeeds[] = {7275};
+
+TEST(DifferentialTest, RegressionSeedsAgree) {
+  int compared_backends = 0;
+  int compared_chase = 0;
+  for (std::uint64_t seed : kRegressionSeeds) {
+    RunSeed(seed, &compared_backends, &compared_chase);
+  }
+  RecordProperty("compared_backends", compared_backends);
+  RecordProperty("compared_chase", compared_chase);
 }
 
 TEST(DifferentialTest, RandomizedTriplesAgree) {

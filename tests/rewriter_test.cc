@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,121 @@ TEST(RewriterTest, FactorizationEnablesAbsorption) {
             {Value::Constant(vocab.InternConstant("c"))});
   EXPECT_EQ(Evaluate(result->ucq, db).size(), 1u);
   EXPECT_TRUE(Evaluate(weaker->ucq, db).empty());
+}
+
+TEST(RewriterTest, Seed7275RegressionBothAnswers) {
+  // The minimized differential seed 7275 (tests/corpus/seed7275_*.repro):
+  // R1 has a head repeating one existential at every position, R2 a
+  // constant head. The certain answers of q over {g0(d3)} are d3 (given)
+  // and k0 (the chase fires R1 on g0(d3), giving g2(n, n, n), which
+  // satisfies R2's join body, giving g0(k0)). Reaching k0 by rewriting
+  // needs the full chain: resolve with R2, factorize the two g2-atoms
+  // into one g2(t, t, t), then resolve that with R1 — a step the old
+  // "occurs exactly once" applicability test wrongly rejected, because
+  // after within-atom identification t occurs three times.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram(
+      "g0(R1V1) -> g2(R1V0, R1V0, R1V0).\n"
+      "g2(R5V1, R5V3, R5V0), g2(R5V2, R5V1, R5V1) -> g0(k0).\n",
+      &vocab);
+  ConjunctiveQuery query = MustQuery("q(V) :- g0(V).", &vocab);
+  Database db;
+  db.Insert(vocab.FindPredicate("g0"),
+            {Value::Constant(vocab.InternConstant("d3"))});
+
+  StatusOr<RewriteResult> result = RewriteCq(query, program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::vector<Tuple> answers = Evaluate(result->ucq, db);
+  std::vector<Tuple> expected = {
+      {Value::Constant(vocab.InternConstant("d3"))},
+      {Value::Constant(vocab.InternConstant("k0"))}};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(answers, expected) << ToString(result->ucq, vocab);
+
+  // Same union under the striped-parallel saturation: IsApplicable is
+  // pure, so the fix must hold on both paths.
+  RewriterOptions parallel;
+  parallel.threads = 4;
+  StatusOr<RewriteResult> striped = RewriteCq(query, program, parallel);
+  ASSERT_TRUE(striped.ok()) << striped.status();
+  EXPECT_EQ(Evaluate(striped->ucq, db), expected);
+
+  // And the chase oracle agrees.
+  StatusOr<std::vector<Tuple>> cert =
+      CertainAnswersViaChase(UnionOfCqs(query), program, db);
+  ASSERT_TRUE(cert.ok()) << cert.status();
+  EXPECT_EQ(*cert, expected);
+}
+
+TEST(RewriterTest, RepeatedExistentialHeadApplies) {
+  // b(X) -> g(Y, Y): the chase emits ONE null at both positions, so a
+  // query atom whose terms the unification identifies rewrites to b.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("b(X) -> g(Y, Y).", &vocab);
+  ConjunctiveQuery target = MustQuery("q() :- b(X).", &vocab);
+  // Explicit within-atom repetition ...
+  StatusOr<RewriteResult> repeated =
+      RewriteCq(MustQuery("q() :- g(U, U).", &vocab), program);
+  ASSERT_TRUE(repeated.ok()) << repeated.status();
+  EXPECT_TRUE(ContainsEquivalent(repeated->ucq, target))
+      << ToString(repeated->ucq, vocab);
+  // ... and identification performed by the unification itself: g(U, V)
+  // unifies with g(Y, Y) by setting U = V.
+  StatusOr<RewriteResult> identified =
+      RewriteCq(MustQuery("q() :- g(U, V).", &vocab), program);
+  ASSERT_TRUE(identified.ok()) << identified.status();
+  EXPECT_TRUE(ContainsEquivalent(identified->ucq, target))
+      << ToString(identified->ucq, vocab);
+}
+
+TEST(RewriterTest, RepeatedExistentialHeadOutsideOccurrenceBlocks) {
+  // The identified variable also occurs in p(U): the null emitted by the
+  // rule can never satisfy that extra atom, so the step must not apply.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("b(X) -> g(Y, Y).", &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q() :- g(U, U), p(U).", &vocab), program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->ucq.size(), 1) << ToString(result->ucq, vocab);
+}
+
+TEST(RewriterTest, RepeatedExistentialHeadAnswerVariableBlocks) {
+  // An answer variable cannot be absorbed into a null.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("b(X) -> g(Y, Y).", &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(U) :- g(U, U).", &vocab), program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->ucq.size(), 1) << ToString(result->ucq, vocab);
+}
+
+TEST(RewriterTest, RepeatedExistentialIdentifiedWithFrontierBlocks) {
+  // g(X, Y, Y) repeats the existential Y but also carries the frontier
+  // variable X. Unifying with g(U, U, U) identifies Y's image with X's —
+  // a null with a database value — so the step must not apply.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("b(X) -> g(X, Y, Y).", &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q() :- g(U, U, U).", &vocab), program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->ucq.size(), 1) << ToString(result->ucq, vocab);
+}
+
+TEST(RewriterTest, ConstantHeadResolvesQueryAtom) {
+  // A head of constants has no existentials at all: resolving against it
+  // binds the query's terms to those constants.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram("reg(X) -> g0(k0).", &vocab);
+  StatusOr<RewriteResult> open =
+      RewriteCq(MustQuery("q() :- g0(W).", &vocab), program);
+  ASSERT_TRUE(open.ok()) << open.status();
+  EXPECT_TRUE(ContainsEquivalent(open->ucq,
+                                 MustQuery("q() :- reg(X).", &vocab)));
+  // A query already mentioning a *different* constant cannot unify.
+  StatusOr<RewriteResult> mismatched =
+      RewriteCq(MustQuery("q() :- g0(other).", &vocab), program);
+  ASSERT_TRUE(mismatched.ok()) << mismatched.status();
+  EXPECT_EQ(mismatched->ucq.size(), 1);
 }
 
 TEST(RewriterTest, HeadConstantSpecializesAnswerVariable) {
@@ -216,6 +332,43 @@ TEST(RewriterTest, DescribeDerivationFactorizationChain) {
     }
   }
   EXPECT_TRUE(saw_factorize);
+}
+
+TEST(RewriterTest, DescribeDerivationSeed7275Chain) {
+  // The derivation that reaches k0 in the seed-7275 regression composes
+  // all three step kinds: resolve with the constant-head rule R2,
+  // factorize the two g2-atoms, resolve with the repeated-existential
+  // rule R1. DescribeDerivation must render the whole chain coherently —
+  // starting at q0, every hop labelled either =R<i>=> or =factorize=>,
+  // with no out-of-range placeholders.
+  Vocabulary vocab;
+  TgdProgram program = MustProgram(
+      "g0(R1V1) -> g2(R1V0, R1V0, R1V0).\n"
+      "g2(R5V1, R5V3, R5V0), g2(R5V2, R5V1, R5V1) -> g0(k0).\n",
+      &vocab);
+  StatusOr<RewriteResult> result =
+      RewriteCq(MustQuery("q(V) :- g0(V).", &vocab), program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  bool saw_full_chain = false;
+  for (int i = 0; i < static_cast<int>(result->derivations.size()); ++i) {
+    const std::string description = DescribeDerivation(*result, i);
+    EXPECT_EQ(description.find("out of range"), std::string::npos)
+        << description;
+    if (description.find("=factorize=>") == std::string::npos) continue;
+    // Every factorization chain here starts at the original query and
+    // follows the R2-then-factorize order.
+    EXPECT_EQ(description.rfind("q0 =R2=> ", 0), 0) << description;
+    if (description.find("=R1=>") != std::string::npos) {
+      saw_full_chain = true;
+      // The full chain in application order:
+      // q0 =R2=> q_i =factorize=> q_j =R1=> q_k.
+      EXPECT_LT(description.find("=R2=>"), description.find("=factorize=>"))
+          << description;
+      EXPECT_LT(description.find("=factorize=>"), description.find("=R1=>"))
+          << description;
+    }
+  }
+  EXPECT_TRUE(saw_full_chain);
 }
 
 TEST(RewriterTest, UniversityConcertedRewriting) {
